@@ -1,0 +1,41 @@
+// Package ann defines the common interface implemented by the approximate
+// nearest-neighbour indexes (flat brute force, IVF-PQ, the inverted
+// multi-index, HNSW) — the ANN-variant axis of the paper's Table V.
+//
+// Similarity is the inner product; all stored and query vectors are unit
+// normalised, so inner product equals cosine similarity and higher is
+// better (Section V-A).
+package ann
+
+import "repro/internal/mat"
+
+// Params tunes a search call. Zero values select per-index defaults.
+type Params struct {
+	// NProbe is the number of clusters probed per (sub)space — the
+	// "number of clusters queried A" of Algorithm 1. Used by IVF-PQ and
+	// the inverted multi-index.
+	NProbe int
+	// Ef is the HNSW dynamic candidate-list size (efSearch).
+	Ef int
+	// Exhaustive disables cluster pruning, scanning every stored code;
+	// the "w/o ANNS" ablation of Table IV.
+	Exhaustive bool
+}
+
+// Index is a vector index over (id, vector) pairs.
+type Index interface {
+	// Kind returns the index family name ("flat", "ivfpq", "imi",
+	// "hnsw").
+	Kind() string
+	// Len returns the number of indexed vectors.
+	Len() int
+	// Add inserts a vector. Quantizing indexes must be built (trained)
+	// before accepting inserts.
+	Add(id int64, v mat.Vec) error
+	// Search returns the k most similar vectors in descending score
+	// order.
+	Search(q mat.Vec, k int, p Params) []mat.Scored
+	// Memory returns an estimate of the index's resident bytes for the
+	// storage-size experiments.
+	Memory() int64
+}

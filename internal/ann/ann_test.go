@@ -1,0 +1,302 @@
+package ann_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/ann/flat"
+	"repro/internal/ann/hnsw"
+	"repro/internal/ann/imi"
+	"repro/internal/ann/ivfpq"
+	"repro/internal/mat"
+)
+
+const dim = 32
+
+// corpus builds n unit vectors clustered around nClusters directions, the
+// shape class embeddings actually have.
+func corpus(n, nClusters int, seed uint64) ([]int64, []mat.Vec) {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	centers := make([]mat.Vec, nClusters)
+	for i := range centers {
+		centers[i] = mat.UnitGaussianVec(dim, uint64(i)+seed*131)
+	}
+	ids := make([]int64, n)
+	vecs := make([]mat.Vec, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%nClusters]
+		v := mat.Clone(c)
+		for d := range v {
+			v[d] += float32(rng.NormFloat64() * 0.25)
+		}
+		mat.Normalize(v)
+		ids[i] = int64(i + 1)
+		vecs[i] = v
+	}
+	return ids, vecs
+}
+
+// buildAll constructs every index kind over the corpus.
+func buildAll(t *testing.T, ids []int64, vecs []mat.Vec) map[string]ann.Index {
+	t.Helper()
+	out := map[string]ann.Index{}
+
+	fl := flat.New(dim)
+	for i := range ids {
+		if err := fl.Add(ids[i], vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out["flat"] = fl
+
+	iv, err := ivfpq.Build(ids, vecs, ivfpq.Config{NList: 16, P: 8, M: 32, KeepRaw: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["ivfpq"] = iv
+
+	im, err := imi.Build(ids, vecs, imi.Config{P: 4, M: 32, KeepRaw: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["imi"] = im
+
+	hn := hnsw.New(dim, hnsw.Config{M: 12, EfConstruction: 80, Seed: 7})
+	for i := range ids {
+		if err := hn.Add(ids[i], vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out["hnsw"] = hn
+	return out
+}
+
+func recallAtK(exact, approx []mat.Scored) float64 {
+	want := make(map[int64]bool, len(exact))
+	for _, s := range exact {
+		want[s.ID] = true
+	}
+	hit := 0
+	for _, s := range approx {
+		if want[s.ID] {
+			hit++
+		}
+	}
+	if len(exact) == 0 {
+		return 1
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+func TestIndexConformance(t *testing.T) {
+	ids, vecs := corpus(600, 12, 1)
+	indexes := buildAll(t, ids, vecs)
+	q := mat.Normalized(vecs[37])
+	for kind, ix := range indexes {
+		t.Run(kind, func(t *testing.T) {
+			if ix.Kind() != kind {
+				t.Fatalf("kind = %q", ix.Kind())
+			}
+			if ix.Len() != len(ids) {
+				t.Fatalf("len = %d want %d", ix.Len(), len(ids))
+			}
+			if ix.Memory() <= 0 {
+				t.Fatal("memory must be positive")
+			}
+			res := ix.Search(q, 10, ann.Params{NProbe: 8, Ef: 64})
+			if len(res) != 10 {
+				t.Fatalf("got %d results", len(res))
+			}
+			for i := 1; i < len(res); i++ {
+				if res[i].Score > res[i-1].Score {
+					t.Fatal("results must be sorted descending")
+				}
+			}
+			seen := map[int64]bool{}
+			for _, r := range res {
+				if seen[r.ID] {
+					t.Fatalf("duplicate id %d", r.ID)
+				}
+				seen[r.ID] = true
+			}
+			// k=0 and absurd k behave sanely.
+			if out := ix.Search(q, 0, ann.Params{}); out != nil {
+				t.Fatal("k=0 must return nil")
+			}
+			if out := ix.Search(q, 10_000, ann.Params{NProbe: 1 << 20, Ef: 1 << 12}); len(out) > len(ids) {
+				t.Fatal("cannot return more than stored")
+			}
+		})
+	}
+}
+
+func TestSelfRetrieval(t *testing.T) {
+	// Every index must return a stored vector as its own top match.
+	ids, vecs := corpus(400, 8, 2)
+	indexes := buildAll(t, ids, vecs)
+	for kind, ix := range indexes {
+		hits := 0
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			probe := i * 16
+			res := ix.Search(vecs[probe], 1, ann.Params{NProbe: 16, Ef: 96})
+			if len(res) == 1 && res[0].ID == ids[probe] {
+				hits++
+			}
+		}
+		minHits := trials
+		if kind == "ivfpq" || kind == "imi" {
+			minHits = trials * 8 / 10 // quantized: near-perfect on clustered data
+		}
+		if hits < minHits {
+			t.Errorf("%s: self-retrieval %d/%d below %d", kind, hits, trials, minHits)
+		}
+	}
+}
+
+func TestApproximateRecallAgainstFlat(t *testing.T) {
+	ids, vecs := corpus(800, 16, 3)
+	indexes := buildAll(t, ids, vecs)
+	fl := indexes["flat"]
+	queries := make([]mat.Vec, 12)
+	for i := range queries {
+		q := mat.Clone(vecs[i*60])
+		q[0] += 0.05
+		queries[i] = mat.Normalize(q)
+	}
+	for _, kind := range []string{"ivfpq", "imi", "hnsw"} {
+		var total float64
+		for _, q := range queries {
+			exact := fl.Search(q, 10, ann.Params{})
+			approx := indexes[kind].Search(q, 10, ann.Params{NProbe: 12, Ef: 96})
+			total += recallAtK(exact, approx)
+		}
+		avg := total / float64(len(queries))
+		if avg < 0.7 {
+			t.Errorf("%s: recall@10 = %.2f below 0.7", kind, avg)
+		}
+	}
+}
+
+func TestExhaustiveMatchesFlatForIMI(t *testing.T) {
+	// With Exhaustive + KeepRaw, IMI must agree exactly with brute force.
+	ids, vecs := corpus(300, 6, 4)
+	indexes := buildAll(t, ids, vecs)
+	q := mat.UnitGaussianVec(dim, 999)
+	exact := indexes["flat"].Search(q, 5, ann.Params{})
+	ex := indexes["imi"].Search(q, 5, ann.Params{Exhaustive: true})
+	if len(exact) != len(ex) {
+		t.Fatalf("lengths differ: %d vs %d", len(exact), len(ex))
+	}
+	for i := range exact {
+		if exact[i].ID != ex[i].ID {
+			t.Fatalf("rank %d: flat=%d imi-exhaustive=%d", i, exact[i].ID, ex[i].ID)
+		}
+	}
+}
+
+func TestNProbeTradesRecallForWork(t *testing.T) {
+	ids, vecs := corpus(800, 16, 5)
+	im, err := imi.Build(ids, vecs, imi.Config{P: 4, M: 32, KeepRaw: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := flat.New(dim)
+	for i := range ids {
+		_ = fl.Add(ids[i], vecs[i])
+	}
+	q := mat.Normalized(vecs[100])
+	exact := fl.Search(q, 10, ann.Params{})
+	lo := recallAtK(exact, im.Search(q, 10, ann.Params{NProbe: 1}))
+	hi := recallAtK(exact, im.Search(q, 10, ann.Params{NProbe: 32}))
+	if hi < lo {
+		t.Fatalf("recall must not drop with more probes: lo=%v hi=%v", lo, hi)
+	}
+	if hi < 0.8 {
+		t.Fatalf("high-probe recall too low: %v", hi)
+	}
+}
+
+func TestIncrementalAddAfterBuild(t *testing.T) {
+	ids, vecs := corpus(300, 6, 6)
+	im, err := imi.Build(ids, vecs, imi.Config{P: 4, M: 16, KeepRaw: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := ivfpq.Build(ids, vecs, ivfpq.Config{NList: 8, P: 8, M: 16, KeepRaw: true, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := mat.UnitGaussianVec(dim, 4242)
+	for _, ix := range []ann.Index{im, iv} {
+		if err := ix.Add(9999, nv); err != nil {
+			t.Fatal(err)
+		}
+		res := ix.Search(nv, 1, ann.Params{NProbe: 16})
+		if len(res) != 1 || res[0].ID != 9999 {
+			t.Errorf("%s: new vector not retrievable: %v", ix.Kind(), res)
+		}
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	ids, vecs := corpus(100, 4, 7)
+	im, err := imi.Build(ids, vecs, imi.Config{P: 4, M: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Add(ids[0], vecs[0]); err == nil {
+		t.Fatal("imi must reject duplicate ids")
+	}
+	hn := hnsw.New(dim, hnsw.Config{})
+	if err := hn.Add(1, vecs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := hn.Add(1, vecs[1]); err == nil {
+		t.Fatal("hnsw must reject duplicate ids")
+	}
+}
+
+func TestDimensionMismatchRejected(t *testing.T) {
+	fl := flat.New(dim)
+	if err := fl.Add(1, mat.Vec{1, 2}); err == nil {
+		t.Fatal("flat must reject wrong dims")
+	}
+	hn := hnsw.New(dim, hnsw.Config{})
+	if err := hn.Add(1, mat.Vec{1}); err == nil {
+		t.Fatal("hnsw must reject wrong dims")
+	}
+}
+
+func TestIMICellCount(t *testing.T) {
+	ids, vecs := corpus(500, 10, 8)
+	im, err := imi.Build(ids, vecs, imi.Config{P: 4, M: 16, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := im.CellCount()
+	if cells <= 1 || cells > 500 {
+		t.Fatalf("cells = %d", cells)
+	}
+}
+
+func TestEmptyIndexSearches(t *testing.T) {
+	fl := flat.New(dim)
+	if res := fl.Search(mat.NewVec(dim), 5, ann.Params{}); res != nil {
+		t.Fatal("empty flat search must be nil")
+	}
+	hn := hnsw.New(dim, hnsw.Config{})
+	if res := hn.Search(mat.NewVec(dim), 5, ann.Params{}); res != nil {
+		t.Fatal("empty hnsw search must be nil")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := imi.Build([]int64{1}, nil, imi.Config{}); err == nil {
+		t.Fatal("mismatched build inputs must error")
+	}
+	if _, err := ivfpq.Build(nil, nil, ivfpq.Config{}); err == nil {
+		t.Fatal("empty build must error")
+	}
+}

@@ -1,0 +1,69 @@
+// Package flat implements the exact brute-force index: every query scans
+// every stored vector. It is the BF variant of Table V — highest accuracy,
+// latency linear in collection size — and the recall oracle the other
+// indexes are tested against.
+package flat
+
+import (
+	"fmt"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+)
+
+// Index is an exact inner-product index.
+type Index struct {
+	dim  int
+	ids  []int64
+	data []float32 // row-major, len = len(ids)*dim
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// New returns an empty flat index for dim-dimensional vectors.
+func New(dim int) *Index {
+	if dim <= 0 {
+		panic("flat: dim must be positive")
+	}
+	return &Index{dim: dim}
+}
+
+// Kind implements ann.Index.
+func (ix *Index) Kind() string { return "flat" }
+
+// Len implements ann.Index.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Add implements ann.Index.
+func (ix *Index) Add(id int64, v mat.Vec) error {
+	if len(v) != ix.dim {
+		return fmt.Errorf("flat: vector dim %d != index dim %d", len(v), ix.dim)
+	}
+	ix.ids = append(ix.ids, id)
+	ix.data = append(ix.data, v...)
+	return nil
+}
+
+// Search implements ann.Index with a full scan.
+func (ix *Index) Search(q mat.Vec, k int, _ ann.Params) []mat.Scored {
+	if k <= 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	top := mat.NewTopK(k)
+	for i, id := range ix.ids {
+		row := ix.data[i*ix.dim : (i+1)*ix.dim]
+		top.Push(id, mat.Dot(q, row))
+	}
+	return top.Sorted()
+}
+
+// Memory implements ann.Index.
+func (ix *Index) Memory() int64 {
+	return int64(len(ix.data))*4 + int64(len(ix.ids))*8
+}
+
+// Vector returns the stored vector at position i (aliasing internal
+// storage); used by refinement stages and tests.
+func (ix *Index) Vector(i int) mat.Vec {
+	return ix.data[i*ix.dim : (i+1)*ix.dim]
+}

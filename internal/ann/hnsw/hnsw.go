@@ -1,0 +1,343 @@
+// Package hnsw implements a hierarchical navigable small-world graph index,
+// the graph-based variant of Table V. Construction inserts each vector at a
+// geometrically sampled level, connecting it to its M best neighbours found
+// by a beam search (efConstruction); queries greedily descend the hierarchy
+// and run a beam search (efSearch) on the ground layer.
+//
+// Similarity is the inner product over unit vectors, so "nearest" means
+// highest dot product throughout.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+)
+
+// Config shapes the graph.
+type Config struct {
+	// M is the per-node out-degree target above level 0 (level 0 allows
+	// 2M). Zero defaults to 16.
+	M int
+	// EfConstruction is the construction beam width; zero defaults
+	// to 100.
+	EfConstruction int
+	// Seed drives level sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 100
+	}
+	return c
+}
+
+type node struct {
+	id    int64
+	vec   mat.Vec
+	level int
+	// links[l] lists neighbour node indices at level l.
+	links [][]int32
+}
+
+// Index is an HNSW graph.
+type Index struct {
+	dim   int
+	cfg   Config
+	mL    float64
+	rng   *rand.Rand
+	nodes []node
+	byID  map[int64]int32
+	entry int32 // index of the top entry point, -1 when empty
+	maxL  int
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// New returns an empty index for dim-dimensional vectors.
+func New(dim int, cfg Config) *Index {
+	if dim <= 0 {
+		panic("hnsw: dim must be positive")
+	}
+	cfg = cfg.withDefaults()
+	return &Index{
+		dim:   dim,
+		cfg:   cfg,
+		mL:    1 / math.Log(float64(cfg.M)),
+		rng:   rand.New(rand.NewPCG(cfg.Seed^0x4e57, cfg.Seed^0x5357)),
+		byID:  make(map[int64]int32),
+		entry: -1,
+	}
+}
+
+// Kind implements ann.Index.
+func (h *Index) Kind() string { return "hnsw" }
+
+// Len implements ann.Index.
+func (h *Index) Len() int { return len(h.nodes) }
+
+func (h *Index) maxDegree(level int) int {
+	if level == 0 {
+		return 2 * h.cfg.M
+	}
+	return h.cfg.M
+}
+
+// Add implements ann.Index.
+func (h *Index) Add(id int64, v mat.Vec) error {
+	if len(v) != h.dim {
+		return fmt.Errorf("hnsw: vector dim %d != %d", len(v), h.dim)
+	}
+	if _, dup := h.byID[id]; dup {
+		return fmt.Errorf("hnsw: duplicate id %d", id)
+	}
+	level := int(math.Floor(-math.Log(1-h.rng.Float64()) * h.mL))
+	n := node{id: id, vec: mat.Clone(v), level: level, links: make([][]int32, level+1)}
+	idx := int32(len(h.nodes))
+	h.nodes = append(h.nodes, n)
+	h.byID[id] = idx
+
+	if h.entry < 0 {
+		h.entry = idx
+		h.maxL = level
+		return nil
+	}
+
+	ep := h.entry
+	// Greedy descent through levels above the insertion level.
+	for l := h.maxL; l > level; l-- {
+		ep = h.greedyClosest(v, ep, l)
+	}
+	// Beam search and connect on each level from min(level, maxL) down.
+	startL := level
+	if startL > h.maxL {
+		startL = h.maxL
+	}
+	for l := startL; l >= 0; l-- {
+		cands := h.searchLayer(v, ep, h.cfg.EfConstruction, l)
+		m := h.maxDegree(l)
+		selected := h.selectNeighbors(v, cands, m)
+		for _, s := range selected {
+			h.link(idx, s, l)
+			h.link(s, idx, l)
+			h.prune(s, l)
+		}
+		if len(cands) > 0 {
+			ep = cands[0].idx
+		}
+	}
+	if level > h.maxL {
+		h.maxL = level
+		h.entry = idx
+	}
+	return nil
+}
+
+type cand struct {
+	idx int32
+	sim float32
+}
+
+// greedyClosest walks level l greedily toward the query.
+func (h *Index) greedyClosest(q mat.Vec, ep int32, l int) int32 {
+	best := ep
+	bestSim := mat.Dot(q, h.nodes[ep].vec)
+	for {
+		improved := false
+		for _, nb := range h.linksAt(best, l) {
+			if s := mat.Dot(q, h.nodes[nb].vec); s > bestSim {
+				best, bestSim = nb, s
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+func (h *Index) linksAt(idx int32, l int) []int32 {
+	n := &h.nodes[idx]
+	if l > n.level {
+		return nil
+	}
+	return n.links[l]
+}
+
+// searchLayer runs a beam search of width ef on level l starting from ep,
+// returning candidates in descending similarity order.
+func (h *Index) searchLayer(q mat.Vec, ep int32, ef, l int) []cand {
+	visited := map[int32]bool{ep: true}
+	epSim := mat.Dot(q, h.nodes[ep].vec)
+	// frontier: max-first exploration queue; result: bounded best set.
+	frontier := []cand{{ep, epSim}}
+	result := mat.NewTopK(ef)
+	result.Push(int64(ep), epSim)
+
+	for len(frontier) > 0 {
+		// Pop the most similar frontier element.
+		bi := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i].sim > frontier[bi].sim {
+				bi = i
+			}
+		}
+		cur := frontier[bi]
+		frontier[bi] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		if cur.sim < result.Threshold() && result.Len() >= ef {
+			break
+		}
+		for _, nb := range h.linksAt(cur.idx, l) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			s := mat.Dot(q, h.nodes[nb].vec)
+			if s > result.Threshold() || result.Len() < ef {
+				result.Push(int64(nb), s)
+				frontier = append(frontier, cand{nb, s})
+			}
+		}
+	}
+	sorted := result.Sorted()
+	out := make([]cand, len(sorted))
+	for i, s := range sorted {
+		out[i] = cand{int32(s.ID), s.Score}
+	}
+	return out
+}
+
+// selectNeighbors applies the diversity heuristic: a candidate is kept only
+// if it is closer to the query point than to any already-selected
+// neighbour, which keeps edges spread across directions.
+func (h *Index) selectNeighbors(q mat.Vec, cands []cand, m int) []int32 {
+	var selected []int32
+	for _, c := range cands {
+		if len(selected) >= m {
+			break
+		}
+		ok := true
+		for _, s := range selected {
+			if mat.Dot(h.nodes[c.idx].vec, h.nodes[s].vec) > c.sim {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			selected = append(selected, c.idx)
+		}
+	}
+	// Fill remaining slots with the best rejected candidates.
+	if len(selected) < m {
+		chosen := make(map[int32]bool, len(selected))
+		for _, s := range selected {
+			chosen[s] = true
+		}
+		for _, c := range cands {
+			if len(selected) >= m {
+				break
+			}
+			if !chosen[c.idx] {
+				selected = append(selected, c.idx)
+			}
+		}
+	}
+	return selected
+}
+
+func (h *Index) link(from, to int32, l int) {
+	if from == to {
+		return
+	}
+	n := &h.nodes[from]
+	if l > n.level {
+		return
+	}
+	for _, nb := range n.links[l] {
+		if nb == to {
+			return
+		}
+	}
+	n.links[l] = append(n.links[l], to)
+}
+
+// prune trims a node's adjacency to the degree bound, keeping the most
+// similar neighbours.
+func (h *Index) prune(idx int32, l int) {
+	n := &h.nodes[idx]
+	if l > n.level {
+		return
+	}
+	maxD := h.maxDegree(l)
+	if len(n.links[l]) <= maxD {
+		return
+	}
+	top := mat.NewTopK(maxD)
+	for _, nb := range n.links[l] {
+		top.Push(int64(nb), mat.Dot(n.vec, h.nodes[nb].vec))
+	}
+	kept := top.Sorted()
+	n.links[l] = n.links[l][:0]
+	for _, k := range kept {
+		n.links[l] = append(n.links[l], int32(k.ID))
+	}
+}
+
+// Search implements ann.Index.
+func (h *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
+	if k <= 0 || len(h.nodes) == 0 {
+		return nil
+	}
+	if p.Exhaustive {
+		top := mat.NewTopK(k)
+		for i := range h.nodes {
+			top.Push(h.nodes[i].id, mat.Dot(q, h.nodes[i].vec))
+		}
+		return top.Sorted()
+	}
+	ef := p.Ef
+	if ef <= 0 {
+		ef = 64
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := h.entry
+	for l := h.maxL; l > 0; l-- {
+		ep = h.greedyClosest(q, ep, l)
+	}
+	cands := h.searchLayer(q, ep, ef, 0)
+	out := make([]mat.Scored, 0, min(k, len(cands)))
+	for i := 0; i < len(cands) && i < k; i++ {
+		out = append(out, mat.Scored{ID: h.nodes[cands[i].idx].id, Score: cands[i].sim})
+	}
+	return out
+}
+
+// Memory implements ann.Index.
+func (h *Index) Memory() int64 {
+	var b int64
+	for i := range h.nodes {
+		b += int64(h.dim)*4 + 8
+		for _, l := range h.nodes[i].links {
+			b += int64(len(l)) * 4
+		}
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+// Package imi implements the inverted multi-index of Section V-B and the
+// approximate nearest-neighbour search of Algorithm 1.
+//
+// The class-embedding space R^D′ is split into P subspaces; each subspace
+// is quantized into M centroids by product quantization. A vector's cell is
+// the Cartesian tuple of its per-subspace codes; only non-empty cells are
+// materialised, and per-subspace inverted lists map a centroid to the
+// vectors coded onto it. A query is partitioned the same way; the Top-A
+// centroids per subspace select candidate lists, candidates are scored
+// through the residual lookup table (ADC), the top shortlist is re-scored
+// exactly (s_exact = Σ_p [q]_p·[c′_a]_p), and ties are broken by the
+// patch-ID vote of Algorithm 1 line 16 — candidates assembled from more
+// agreeing subspaces rank first.
+package imi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+	"repro/internal/quant"
+)
+
+// Config shapes the multi-index.
+type Config struct {
+	// P is the number of subspaces; zero defaults to 4.
+	P int
+	// M is the number of centroids per subspace; zero defaults to 64
+	// (clipped to the training-set size).
+	M int
+	// KeepRaw retains original vectors for the exact re-scoring stage.
+	KeepRaw bool
+	// Seed drives codebook training.
+	Seed uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.P == 0 {
+		c.P = 4
+	}
+	if c.M == 0 {
+		c.M = 64
+	}
+	if c.M > n {
+		c.M = n
+	}
+	return c
+}
+
+// Index is a built inverted multi-index.
+type Index struct {
+	dim   int
+	cfg   Config
+	pq    *quant.PQ
+	codes map[int64]quant.Code
+	// lists[p][m] holds the ids of vectors whose subspace-p code is m.
+	lists [][][]int64
+	raw   map[int64]mat.Vec
+	order []int64 // insertion order, for deterministic exhaustive scans
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// Build trains the subspace codebooks on the given vectors and indexes
+// them.
+func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
+	if len(ids) != len(vecs) {
+		return nil, errors.New("imi: ids/vecs length mismatch")
+	}
+	if len(vecs) == 0 {
+		return nil, quant.ErrNotEnoughData
+	}
+	cfg = cfg.withDefaults(len(vecs))
+	dim := len(vecs[0])
+	pq, err := quant.TrainPQ(vecs, cfg.P, cfg.M, cfg.Seed^0x1a11)
+	if err != nil {
+		return nil, fmt.Errorf("imi: training codebooks: %w", err)
+	}
+	ix := &Index{
+		dim:   dim,
+		cfg:   cfg,
+		pq:    pq,
+		codes: make(map[int64]quant.Code, len(vecs)),
+		lists: make([][][]int64, cfg.P),
+	}
+	for p := 0; p < cfg.P; p++ {
+		ix.lists[p] = make([][]int64, len(pq.Codebooks[p]))
+	}
+	if cfg.KeepRaw {
+		ix.raw = make(map[int64]mat.Vec, len(vecs))
+	}
+	for i, v := range vecs {
+		if err := ix.Add(ids[i], v); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Kind implements ann.Index.
+func (ix *Index) Kind() string { return "imi" }
+
+// Len implements ann.Index.
+func (ix *Index) Len() int { return len(ix.codes) }
+
+// Add implements ann.Index. Vectors added after Build are coded with the
+// existing codebooks.
+func (ix *Index) Add(id int64, v mat.Vec) error {
+	if len(v) != ix.dim {
+		return fmt.Errorf("imi: vector dim %d != %d", len(v), ix.dim)
+	}
+	if _, dup := ix.codes[id]; dup {
+		return fmt.Errorf("imi: duplicate id %d", id)
+	}
+	code := ix.pq.Encode(v)
+	ix.codes[id] = code
+	for p, m := range code {
+		ix.lists[p][m] = append(ix.lists[p][m], id)
+	}
+	if ix.raw != nil {
+		ix.raw[id] = mat.Clone(v)
+	}
+	ix.order = append(ix.order, id)
+	return nil
+}
+
+// Search implements ann.Index following Algorithm 1.
+func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
+	if k <= 0 || len(ix.codes) == 0 {
+		return nil
+	}
+	table := ix.pq.DotTable(q) // lines 2–5: subspace centroid similarities
+
+	// Candidate gathering. votes[id] counts how many subspaces proposed
+	// the vector — the agreement statistic behind the patch-ID vote.
+	votes := make(map[int64]int)
+	if p.Exhaustive {
+		for _, id := range ix.order {
+			votes[id] = ix.pq.P
+		}
+	} else {
+		a := p.NProbe
+		if a <= 0 {
+			a = 8
+		}
+		for sp := 0; sp < ix.pq.P; sp++ {
+			row := table[sp]
+			topA := mat.NewTopK(min(a, len(row)))
+			for m, s := range row {
+				topA.Push(int64(m), s)
+			}
+			for _, c := range topA.Sorted() { // line 6: S_A
+				for _, id := range ix.lists[sp][c.ID] {
+					votes[id]++
+				}
+			}
+		}
+	}
+
+	// Score candidates by ADC (lines 8–11) into a shortlist. Exhaustive
+	// mode with raw vectors skips the ADC funnel entirely — it is the
+	// "w/o ANNS" brute-force ablation, so every candidate is scored
+	// exactly.
+	shortlistK := k
+	if ix.raw != nil {
+		shortlistK = k * 4
+		if p.Exhaustive {
+			shortlistK = len(votes)
+		}
+	}
+	top := mat.NewTopK(shortlistK)
+	if p.Exhaustive && ix.raw != nil {
+		for id := range votes {
+			top.Push(id, mat.Dot(q, ix.raw[id]))
+		}
+	} else {
+		for id := range votes {
+			top.Push(id, ix.pq.ApproxDot(table, ix.codes[id]))
+		}
+	}
+	short := top.Sorted()
+
+	// Exact re-scoring (lines 13–17) with the patch-ID vote as the
+	// tie-break: more subspace agreement ranks first.
+	out := make([]mat.Scored, 0, len(short))
+	for _, s := range short {
+		score := s.Score
+		if ix.raw != nil {
+			score = mat.Dot(q, ix.raw[s.ID])
+		}
+		out = append(out, mat.Scored{ID: s.ID, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if vi, vj := votes[out[i].ID], votes[out[j].ID]; vi != vj {
+			return vi > vj
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Memory implements ann.Index.
+func (ix *Index) Memory() int64 {
+	var b int64
+	b += int64(len(ix.codes)) * int64(8+2*ix.pq.P) // codes
+	for _, sub := range ix.lists {
+		for _, l := range sub {
+			b += int64(len(l)) * 8
+		}
+	}
+	b += int64(ix.pq.P*len(ix.pq.Codebooks[0])*ix.pq.SubDim) * 4
+	if ix.raw != nil {
+		b += int64(len(ix.raw)) * int64(ix.dim) * 4
+	}
+	return b
+}
+
+// CellCount returns the number of distinct non-empty cells (code tuples);
+// exported for stats and tests.
+func (ix *Index) CellCount() int {
+	cells := make(map[string]struct{}, len(ix.codes))
+	buf := make([]byte, 2*ix.pq.P)
+	for _, code := range ix.codes {
+		for i, m := range code {
+			buf[2*i] = byte(m)
+			buf[2*i+1] = byte(m >> 8)
+		}
+		cells[string(buf)] = struct{}{}
+	}
+	return len(cells)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

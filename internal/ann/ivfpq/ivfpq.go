@@ -1,0 +1,222 @@
+// Package ivfpq implements the inverted-file index with product-quantized
+// residuals (IVF-PQ), the quantization-based variant of Table V: a coarse
+// k-means quantizer routes vectors into NList inverted lists; within a list
+// a vector is stored as the PQ code of its residual against the list
+// centroid. Search probes the NProbe closest lists and scores candidates as
+// coarse-similarity + residual ADC, optionally refining the top candidates
+// against raw vectors.
+package ivfpq
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+	"repro/internal/quant"
+)
+
+// Config shapes index construction.
+type Config struct {
+	// NList is the number of coarse clusters; zero defaults to
+	// max(1, sqrt(n)) at build time.
+	NList int
+	// P and M are the residual product quantizer's subspace count and
+	// per-subspace centroid count; zero defaults to 8 and 64.
+	P, M int
+	// KeepRaw retains original vectors for exact refinement (Algorithm 1
+	// line 14 computes exact scores over the shortlist).
+	KeepRaw bool
+	// Seed drives codebook training.
+	Seed uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.NList <= 0 {
+		c.NList = isqrt(n)
+		if c.NList < 1 {
+			c.NList = 1
+		}
+	}
+	if c.P == 0 {
+		c.P = 8
+	}
+	if c.M == 0 {
+		c.M = 64
+	}
+	return c
+}
+
+func isqrt(n int) int {
+	i := 1
+	for i*i < n {
+		i++
+	}
+	return i
+}
+
+type entry struct {
+	id   int64
+	code quant.Code
+}
+
+// Index is a built IVF-PQ index.
+type Index struct {
+	dim    int
+	cfg    Config
+	coarse []mat.Vec // NList centroids
+	lists  [][]entry
+	pq     *quant.PQ
+	raw    map[int64]mat.Vec
+	count  int
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// Build trains the coarse quantizer and residual PQ on the given vectors
+// and indexes them. ids and vecs must align.
+func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
+	if len(ids) != len(vecs) {
+		return nil, errors.New("ivfpq: ids/vecs length mismatch")
+	}
+	if len(vecs) == 0 {
+		return nil, quant.ErrNotEnoughData
+	}
+	cfg = cfg.withDefaults(len(vecs))
+	dim := len(vecs[0])
+
+	km := quant.KMeans(vecs, cfg.NList, 25, cfg.Seed^0x19f0)
+	nlist := len(km.Centroids)
+
+	// Residuals train the PQ.
+	residuals := make([]mat.Vec, len(vecs))
+	for i, v := range vecs {
+		r := mat.NewVec(dim)
+		mat.Sub(r, v, km.Centroids[km.Assign[i]])
+		residuals[i] = r
+	}
+	m := cfg.M
+	if len(vecs) < m {
+		m = len(vecs)
+	}
+	pq, err := quant.TrainPQ(residuals, cfg.P, m, cfg.Seed^0x70f1)
+	if err != nil {
+		return nil, fmt.Errorf("ivfpq: training residual PQ: %w", err)
+	}
+
+	ix := &Index{
+		dim:    dim,
+		cfg:    cfg,
+		coarse: km.Centroids,
+		lists:  make([][]entry, nlist),
+		pq:     pq,
+	}
+	if cfg.KeepRaw {
+		ix.raw = make(map[int64]mat.Vec, len(vecs))
+	}
+	for i, v := range vecs {
+		list := km.Assign[i]
+		ix.lists[list] = append(ix.lists[list], entry{id: ids[i], code: pq.Encode(residuals[i])})
+		if cfg.KeepRaw {
+			ix.raw[ids[i]] = mat.Clone(v)
+		}
+		ix.count++
+	}
+	return ix, nil
+}
+
+// Kind implements ann.Index.
+func (ix *Index) Kind() string { return "ivfpq" }
+
+// Len implements ann.Index.
+func (ix *Index) Len() int { return ix.count }
+
+// Add implements ann.Index: the vector is routed to its nearest list and
+// residual-encoded with the already-trained codebooks (the paper's future
+// work discusses incremental insertion; assignment without retraining is
+// the standard approach).
+func (ix *Index) Add(id int64, v mat.Vec) error {
+	if len(v) != ix.dim {
+		return fmt.Errorf("ivfpq: vector dim %d != %d", len(v), ix.dim)
+	}
+	list := quant.NearestCentroid(ix.coarse, v)
+	r := mat.NewVec(ix.dim)
+	mat.Sub(r, v, ix.coarse[list])
+	ix.lists[list] = append(ix.lists[list], entry{id: id, code: ix.pq.Encode(r)})
+	if ix.raw != nil {
+		ix.raw[id] = mat.Clone(v)
+	}
+	ix.count++
+	return nil
+}
+
+// Search implements ann.Index.
+func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
+	if k <= 0 || ix.count == 0 {
+		return nil
+	}
+	nprobe := p.NProbe
+	if nprobe <= 0 {
+		nprobe = len(ix.coarse)/8 + 1
+	}
+	if p.Exhaustive || nprobe > len(ix.coarse) {
+		nprobe = len(ix.coarse)
+	}
+
+	// Rank coarse lists by query similarity.
+	listTop := mat.NewTopK(nprobe)
+	for li, c := range ix.coarse {
+		listTop.Push(int64(li), mat.Dot(q, c))
+	}
+	table := ix.pq.DotTable(q)
+
+	shortlistK := k
+	if ix.raw != nil {
+		// Over-fetch for exact refinement.
+		shortlistK = k * 4
+	}
+	top := mat.NewTopK(shortlistK)
+	for _, sc := range listTop.Sorted() {
+		li := int(sc.ID)
+		coarseSim := sc.Score
+		for _, e := range ix.lists[li] {
+			// Approximate score: coarse + residual ADC
+			// (Algorithm 1, line 10).
+			top.Push(e.id, coarseSim+ix.pq.ApproxDot(table, e.code))
+		}
+	}
+	short := top.Sorted()
+	if ix.raw == nil {
+		if len(short) > k {
+			short = short[:k]
+		}
+		return short
+	}
+	// Exact re-scoring of the shortlist (Algorithm 1, lines 13–17).
+	out := make([]mat.Scored, 0, len(short))
+	for _, s := range short {
+		out = append(out, mat.Scored{ID: s.ID, Score: mat.Dot(q, ix.raw[s.ID])})
+	}
+	mat.SortScoredDesc(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Memory implements ann.Index: centroids + codes (+ raw vectors if kept).
+func (ix *Index) Memory() int64 {
+	var b int64
+	b += int64(len(ix.coarse)) * int64(ix.dim) * 4
+	for _, l := range ix.lists {
+		b += int64(len(l)) * int64(8+2*ix.cfg.P)
+	}
+	b += int64(ix.pq.P*len(ix.pq.Codebooks[0])*ix.pq.SubDim) * 4
+	if ix.raw != nil {
+		b += int64(len(ix.raw)) * int64(ix.dim) * 4
+	}
+	return b
+}
+
+// Lists returns the number of coarse lists (for tests and stats).
+func (ix *Index) Lists() int { return len(ix.coarse) }

@@ -1,0 +1,45 @@
+// Package baselines implements architectural skeletons of the six systems
+// the paper compares against, plus the hybrid scheme of the motivation
+// study. Each baseline observes the same synthetic ground truth as LOVO but
+// through the restricted, noisy channel its architecture dictates, and each
+// performs real per-frame compute so latency shapes emerge from work
+// actually done:
+//
+//   - VOCAL:  QA-index — predefined-class scene-graph index built at ingest;
+//     closed vocabulary, near-instant queries, unsupported beyond it.
+//   - MIRIS:  QD-search — per-query detector+tracker sweep; heavy offline
+//     detector preparation, moderate query-time scan.
+//   - FiGO:   QD-search — detector-ensemble full scan per query.
+//   - ZELDA:  vision-based — CLIP-style global frame embeddings, flat
+//     search, saliency-biased region proposals (largest objects win).
+//   - UMT:    end-to-end moment retrieval — clip windows, query-time
+//     cross-attention over every window.
+//   - VISA:   LLM reasoning segmentation — enormous per-frame autoregressive
+//     cost, domain bias towards everyday (non-surveillance) footage.
+package baselines
+
+import (
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/simwork"
+)
+
+// Method is the interface the experiment harness drives.
+type Method interface {
+	// Name returns the system name used in tables.
+	Name() string
+	// Prepare runs the method's query-agnostic processing over the
+	// dataset and returns the processing wall time.
+	Prepare(ds *datasets.Dataset) (time.Duration, error)
+	// Supports reports whether the method can execute the query at all
+	// (closed-vocabulary systems reject out-of-vocabulary terms).
+	Supports(text string) bool
+	// Query answers a query with a ranked result list of at most depth
+	// entries and the search wall time.
+	Query(text string, depth int) ([]metrics.Retrieved, time.Duration, error)
+}
+
+// burn delegates to the shared simulated-compute primitive.
+func burn(cost int) { simwork.Burn(cost) }

@@ -1,0 +1,20 @@
+package baselines
+
+import "testing"
+
+// BenchmarkBurnUnit calibrates the simulated-compute unit (one 64-dim dot
+// product).
+func BenchmarkBurnUnit(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		burn(1)
+	}
+}
+
+// BenchmarkDetectorFrame measures one accurate-detector frame pass.
+func BenchmarkDetectorFrame(b *testing.B) {
+	f := frameForBench()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		accurateDetector.Detect(f)
+	}
+}

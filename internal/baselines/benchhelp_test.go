@@ -1,0 +1,15 @@
+package baselines
+
+import "repro/internal/video"
+
+func frameForBench() *video.Frame {
+	f := &video.Frame{VideoID: 1, Index: 0, Context: []string{"road"}}
+	for i := 0; i < 6; i++ {
+		f.Objects = append(f.Objects, video.Object{
+			Track: int64(i), Class: "car", Attrs: []string{"red"},
+			Box:       video.Box{X: 0.1 * float64(i), Y: 0.4, W: 0.1, H: 0.07},
+			Behaviors: []string{"driving"},
+		})
+	}
+	return f
+}

@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/keyframe"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/vocab"
+)
+
+// VOCAL is the QA-index baseline: at ingest it runs a predefined-class
+// detector over sampled keyframes and builds a spatio-temporal scene-graph
+// index of (class, attributes, pairwise proximity) entries. Queries are
+// index lookups — near-instant — but any term outside the closed vocabulary
+// makes the query unsupported, which is why the paper reports it "nearly
+// unable to recognize most of the queries".
+type VOCAL struct {
+	det     Detector
+	entries []vocalEntry
+	allowed map[string]bool
+}
+
+type vocalEntry struct {
+	det     Detection
+	nearIdx []int // scene-graph proximity edges (indices into entries of same frame)
+}
+
+// NewVOCAL returns the baseline with its stock detector.
+func NewVOCAL() *VOCAL {
+	allowed := map[string]bool{}
+	for _, c := range vocab.COCOClasses() {
+		allowed[c] = true
+	}
+	// The index additionally stores scene context, tracked behaviours
+	// and one proximity relation — but no appearance attributes: novel
+	// features like colours are exactly what the paper says QA-index
+	// methods cannot express.
+	for _, t := range []string{"road", "street", "intersection", "sidewalk",
+		"next to", "driving", "walking", "parked"} {
+		allowed[t] = true
+	}
+	return &VOCAL{det: mediumDetector, allowed: allowed}
+}
+
+// Name implements Method.
+func (v *VOCAL) Name() string { return "VOCAL" }
+
+// Prepare implements Method: detector pass over keyframes plus graph build.
+func (v *VOCAL) Prepare(ds *datasets.Dataset) (time.Duration, error) {
+	start := time.Now()
+	kf := keyframe.Uniform{Interval: 5}
+	v.entries = v.entries[:0]
+	for vi := range ds.Videos {
+		vid := &ds.Videos[vi]
+		for _, fi := range kf.Select(vid) {
+			f := &vid.Frames[fi]
+			dets := v.det.Detect(f)
+			base := len(v.entries)
+			for _, d := range dets {
+				v.entries = append(v.entries, vocalEntry{det: d})
+			}
+			// Scene-graph edges within the frame.
+			for i := base; i < len(v.entries); i++ {
+				for j := base; j < len(v.entries); j++ {
+					if i != j && v.entries[i].det.Box.CenterDist(v.entries[j].det.Box) < 0.18 {
+						v.entries[i].nearIdx = append(v.entries[i].nearIdx, j)
+					}
+				}
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Supports implements Method: every parsed term must be in the index
+// vocabulary.
+func (v *VOCAL) Supports(text string) bool {
+	p := query.Parse(text)
+	if len(p.Terms) == 0 {
+		return false
+	}
+	return !p.HasTermOutside(v.allowed)
+}
+
+// Query implements Method with a pure index lookup.
+func (v *VOCAL) Query(text string, depth int) ([]metrics.Retrieved, time.Duration, error) {
+	start := time.Now()
+	if !v.Supports(text) {
+		// Unsupported: the system cannot express the query.
+		return nil, time.Since(start), nil
+	}
+	p := query.Parse(text)
+	var out []metrics.Retrieved
+	for _, e := range v.entries {
+		s, ok := scoreDetection(e.det, p)
+		if !ok {
+			continue
+		}
+		// The one relation the graph stores.
+		for _, r := range p.Relations {
+			if r.Name == "next to" && len(e.nearIdx) > 0 {
+				s += 0.1
+			}
+		}
+		out = append(out, metrics.Retrieved{
+			VideoID: e.det.VideoID, FrameIdx: e.det.FrameIdx, Box: e.det.Box, Score: s,
+		})
+	}
+	sortRetrieved(out)
+	out = metrics.Truncate(out, depth)
+	return out, time.Since(start), nil
+}
+
+// sortRetrieved orders results by descending score with deterministic
+// tie-breaks.
+func sortRetrieved(rs []metrics.Retrieved) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		if rs[i].VideoID != rs[j].VideoID {
+			return rs[i].VideoID < rs[j].VideoID
+		}
+		return rs[i].FrameIdx < rs[j].FrameIdx
+	})
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/vectordb"
+)
+
+func init() {
+	register("table4", table4Ablation)
+	register("table5", table5ANNVariants)
+	register("table7", table7ActivityNet)
+}
+
+// ablationCase is one (dataset, query) cell column of Table IV.
+type ablationCase struct {
+	dsName string
+	qID    string
+	text   string
+}
+
+// table4Ablation regenerates Table IV: accuracy and stage latency of LOVO
+// with the rerank, ANNS and keyframe modules removed in turn.
+func table4Ablation(o Options) (*Table, error) {
+	city := datasets.Cityscapes(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	bel := datasets.Bellevue(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	byName := map[string]*datasets.Dataset{"cityscapes": city, "bellevue": bel}
+	cases := []ablationCase{
+		{"cityscapes", "Q1.1", "A person walking on the street."},
+		{"cityscapes", "Q1.2", "A person in light-colored clothing walking while holding a dark bag."},
+		{"bellevue", "Q2.1", "A red car driving in the center of the road."},
+		{"bellevue", "Q2.2", "A red car side by side with another car, both positioned in the center of the road."},
+	}
+	if o.Quick {
+		cases = []ablationCase{cases[0], cases[3]}
+	}
+	variants := []*LOVOMethod{
+		{Seed: o.Seed, Label: "LOVO"},
+		{Seed: o.Seed, Label: "w/o Rerank", NoRerank: true},
+		{Seed: o.Seed, Label: "w/o ANNS", NoANNS: true},
+		{Seed: o.Seed, Label: "w/o Keyframe", NoKeyframe: true},
+	}
+	t := &Table{
+		ID:     "table4",
+		Title:  "Ablation: AveP and stage latency",
+		Header: []string{"variant", "metric"},
+	}
+	for _, c := range cases {
+		t.Header = append(t.Header, c.qID)
+	}
+	type cell struct {
+		ap           float64
+		fast, rerank time.Duration
+	}
+	results := make(map[string][]cell)
+	for _, v := range variants {
+		// Prepare per dataset once.
+		prepared := map[string]*LOVOMethod{}
+		for name, ds := range byName {
+			m := &LOVOMethod{Seed: v.Seed, Label: v.Label, NoRerank: v.NoRerank, NoANNS: v.NoANNS, NoKeyframe: v.NoKeyframe}
+			if _, err := m.Prepare(ds); err != nil {
+				return nil, err
+			}
+			prepared[name] = m
+		}
+		for _, c := range cases {
+			ds := byName[c.dsName]
+			m := prepared[c.dsName]
+			gt := datasets.GroundTruth(ds, queryTerms(c.text))
+			res, _, err := m.Query(c.text, metrics.Depth(gt))
+			if err != nil {
+				return nil, err
+			}
+			last := m.LastResult()
+			results[v.Label] = append(results[v.Label], cell{
+				ap:   metrics.AveragePrecision(res, gt, metrics.DefaultIoU),
+				fast: last.FastSearch, rerank: last.Rerank,
+			})
+		}
+	}
+	for _, v := range variants {
+		cells := results[v.Label]
+		apRow := []string{v.Label, "AveP"}
+		fastRow := []string{"", "fast search"}
+		rerankRow := []string{"", "rerank"}
+		for _, c := range cells {
+			apRow = append(apRow, f3(c.ap))
+			fastRow = append(fastRow, ms(c.fast))
+			if v.NoRerank {
+				rerankRow = append(rerankRow, "-")
+			} else {
+				rerankRow = append(rerankRow, ms(c.rerank))
+			}
+		}
+		t.Add(apRow...)
+		t.Add(fastRow...)
+		t.Add(rerankRow...)
+	}
+	t.Note("expected shape: w/o rerank drops AveP most on the relation query (Q2.2); w/o ANNS inflates fast search; w/o keyframe inflates fast search and storage")
+	return t, nil
+}
+
+// table5ANNVariants regenerates Table V: LOVO under brute-force, IVF-PQ and
+// HNSW indexes on the Cityscapes queries.
+func table5ANNVariants(o Options) (*Table, error) {
+	ds := datasets.Cityscapes(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	queries := ds.Queries
+	if o.Quick {
+		queries = queries[:2]
+	}
+	variants := []*LOVOMethod{
+		{Seed: o.Seed, Label: "LOVO(BF)", Index: vectordb.IndexFlat},
+		{Seed: o.Seed, Label: "LOVO(IVF-PQ)", Index: vectordb.IndexIVFPQ},
+		{Seed: o.Seed, Label: "LOVO(HNSW)", Index: vectordb.IndexHNSW},
+	}
+	t := &Table{
+		ID:     "table5",
+		Title:  "ANN variants: AveP / search(s) / total(s)",
+		Header: []string{"variant", "metric"},
+	}
+	for _, q := range queries {
+		t.Header = append(t.Header, q.ID)
+	}
+	for _, v := range variants {
+		prep, err := v.Prepare(ds)
+		if err != nil {
+			return nil, err
+		}
+		apRow := []string{v.Label, "AveP"}
+		searchRow := []string{"", "search"}
+		totalRow := []string{"", "total"}
+		for _, q := range queries {
+			gt := datasets.GroundTruth(ds, queryTerms(q.Text))
+			res, d, err := v.Query(q.Text, metrics.Depth(gt))
+			if err != nil {
+				return nil, err
+			}
+			apRow = append(apRow, f3(metrics.AveragePrecision(res, gt, metrics.DefaultIoU)))
+			searchRow = append(searchRow, secs(d))
+			totalRow = append(totalRow, secs(prep+d))
+		}
+		t.Add(apRow...)
+		t.Add(searchRow...)
+		t.Add(totalRow...)
+	}
+	t.Note("expected shape: BF highest accuracy / slowest search; HNSW fastest search; IVF-PQ balanced with smallest memory")
+	return t, nil
+}
+
+// table7ActivityNet regenerates Table VII: LOVO on the ActivityNet-QA
+// extension queries.
+func table7ActivityNet(o Options) (*Table, error) {
+	ds := datasets.ActivityNetQA(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	lovo := NewLOVO(o.Seed)
+	prep, err := lovo.Prepare(ds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "table7",
+		Title:  "ActivityNet-QA extension: LOVO accuracy and latency",
+		Header: []string{"metric"},
+	}
+	for _, q := range ds.Queries {
+		t.Header = append(t.Header, q.ID)
+	}
+	apRow := []string{"AveP"}
+	searchRow := []string{"search(s)"}
+	totalRow := []string{"total(s)"}
+	for _, q := range ds.Queries {
+		gt := datasets.GroundTruth(ds, queryTerms(q.Text))
+		res, d, err := lovo.Query(q.Text, metrics.Depth(gt))
+		if err != nil {
+			return nil, err
+		}
+		apRow = append(apRow, f3(metrics.AveragePrecision(res, gt, metrics.DefaultIoU)))
+		searchRow = append(searchRow, secs(d))
+		totalRow = append(totalRow, secs(prep+d))
+	}
+	t.Add(apRow...)
+	t.Add(searchRow...)
+	t.Add(totalRow...)
+	t.Note("expected shape: LOVO answers question-style queries with high AveP")
+	return t, nil
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/video"
+	"repro/internal/vocab"
+)
+
+func init() {
+	register("fig2", fig2Motivation)
+	register("fig6", fig6Accuracy)
+	register("fig7", fig7Qualitative)
+}
+
+// queryTerms parses a query into canonical term names.
+func queryTerms(q string) []string {
+	p := query.Parse(q)
+	out := make([]string, 0, len(p.Terms))
+	for _, t := range p.Terms {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// qdExpressible reports whether a QD-search system can express the query
+// without retraining: no spatial relations and every subject inside the
+// detector vocabulary. Fig. 2(b) marks queries beyond this as unsupported
+// for QD-search.
+func qdExpressible(text string) bool {
+	p := query.Parse(text)
+	for _, r := range p.Relations {
+		if r.Kind == vocab.KindRelation {
+			return false
+		}
+	}
+	for _, s := range p.Subject {
+		if !s.COCO {
+			return false
+		}
+	}
+	return true
+}
+
+// fig2Motivation regenerates Fig. 2(a): execution time per query for the
+// four method families across the three complexity grades, with
+// unsupported combinations marked.
+func fig2Motivation(o Options) (*Table, error) {
+	ds := datasets.Bellevue(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	grades := []string{"simple", "normal", "complex"}
+	mq := datasets.MotivationQueries()
+
+	vocal := baselines.NewVOCAL()
+	miris := baselines.NewMIRIS()
+	hybrid := baselines.NewHybrid()
+	visa := baselines.NewVISA()
+	methods := []struct {
+		family string
+		m      baselines.Method
+		// expressible reports whether the family can run the query.
+		expressible func(q string) bool
+	}{
+		{"QA-index (VOCAL)", vocal, vocal.Supports},
+		{"QD-search (MIRIS)", miris, qdExpressible},
+		{"Hybrid", hybrid, func(string) bool { return true }},
+		{"Vision-based (VISA)", visa, visa.Supports},
+	}
+	for _, m := range methods {
+		if _, err := m.m.Prepare(ds); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Motivation: execution time (s) per query by complexity",
+		Header: append([]string{"method"}, grades...),
+	}
+	for _, m := range methods {
+		row := []string{m.family}
+		for _, g := range grades {
+			var total time.Duration
+			n := 0
+			unsupported := false
+			for _, q := range mq[g] {
+				if !m.expressible(q) {
+					unsupported = true
+					break
+				}
+				_, d, err := m.m.Query(q, 40)
+				if err != nil {
+					return nil, err
+				}
+				total += d
+				n++
+			}
+			if unsupported || n == 0 {
+				row = append(row, "unsupported")
+				continue
+			}
+			row = append(row, secs(total/time.Duration(n)))
+		}
+		t.Add(row...)
+	}
+	t.Note("QA-index answers only predefined-class queries; QD-search stops at relations/open classes; vision-based supports everything at high cost")
+	return t, nil
+}
+
+// accuracyMethods builds the Fig. 6 method set.
+func accuracyMethods(seed uint64) []baselines.Method {
+	return []baselines.Method{
+		baselines.NewVOCAL(),
+		baselines.NewZELDA(),
+		baselines.NewUMT(),
+		baselines.NewVISA(),
+		baselines.NewMIRIS(),
+		baselines.NewFiGO(),
+		NewLOVO(seed),
+	}
+}
+
+// fig6Accuracy regenerates Fig. 6: AveP of every method on all 16 queries.
+func fig6Accuracy(o Options) (*Table, error) {
+	dss := datasets.All(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	methods := accuracyMethods(o.Seed)
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Average precision per query (IoU>0.5, depth 10x ground truth)",
+		Header: []string{"query"},
+	}
+	for _, m := range methods {
+		t.Header = append(t.Header, m.Name())
+	}
+	wins := 0
+	total := 0
+	for _, ds := range dss {
+		for _, m := range methods {
+			if _, err := m.Prepare(ds); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", m.Name(), ds.Name, err)
+			}
+		}
+		queries := ds.Queries
+		if o.Quick {
+			queries = queries[:2]
+		}
+		for _, q := range queries {
+			gt := datasets.GroundTruth(ds, queryTerms(q.Text))
+			depth := metrics.Depth(gt)
+			row := []string{q.ID}
+			var lovoAP, bestOther float64
+			for _, m := range methods {
+				if !m.Supports(q.Text) {
+					row = append(row, "unsup")
+					continue
+				}
+				res, _, err := m.Query(q.Text, depth)
+				if err != nil {
+					return nil, err
+				}
+				ap := metrics.AveragePrecision(res, gt, metrics.DefaultIoU)
+				row = append(row, f3(ap))
+				if m.Name() == "LOVO" {
+					lovoAP = ap
+				} else if ap > bestOther {
+					bestOther = ap
+				}
+			}
+			total++
+			if lovoAP >= bestOther {
+				wins++
+			}
+			t.Add(row...)
+		}
+	}
+	t.Note("LOVO best-or-tied on %d/%d queries", wins, total)
+	return t, nil
+}
+
+// fig7Qualitative regenerates Fig. 7: the top-1 retrieval of each method
+// for Q4.2 with a diagnosis of what the retrieved object actually is.
+func fig7Qualitative(o Options) (*Table, error) {
+	ds := datasets.Beach(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	const q = "A green bus with the white roof driving on the road."
+	qt := queryTerms(q)
+	methods := []baselines.Method{
+		baselines.NewMIRIS(), baselines.NewFiGO(), baselines.NewUMT(),
+		baselines.NewZELDA(), baselines.NewVISA(), NewLOVO(o.Seed),
+	}
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Qualitative top-1 retrieval for Q4.2 (" + q + ")",
+		Header: []string{"method", "verdict", "retrieved object"},
+	}
+	for _, m := range methods {
+		if _, err := m.Prepare(ds); err != nil {
+			return nil, err
+		}
+		res, _, err := m.Query(q, 10)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) == 0 {
+			t.Add(m.Name(), "no result", "-")
+			continue
+		}
+		verdict, desc := diagnose(ds, res[0], qt)
+		t.Add(m.Name(), verdict, desc)
+	}
+	return t, nil
+}
+
+// diagnose identifies what a retrieved box actually covers and whether it
+// satisfies the query.
+func diagnose(ds *datasets.Dataset, r metrics.Retrieved, qt []string) (string, string) {
+	var frame *video.Frame
+	for vi := range ds.Videos {
+		if ds.Videos[vi].ID != r.VideoID {
+			continue
+		}
+		if r.FrameIdx >= 0 && r.FrameIdx < len(ds.Videos[vi].Frames) {
+			frame = &ds.Videos[vi].Frames[r.FrameIdx]
+		}
+	}
+	if frame == nil {
+		return "invalid frame", "-"
+	}
+	best, bestIoU := -1, 0.0
+	for oi := range frame.Objects {
+		if iou := frame.Objects[oi].Box.IoU(r.Box); iou > bestIoU {
+			best, bestIoU = oi, iou
+		}
+	}
+	if best < 0 || bestIoU < 0.2 {
+		return "background", "no object under the box"
+	}
+	obj := &frame.Objects[best]
+	desc := obj.Class
+	if len(obj.Attrs) > 0 {
+		desc = strings.Join(obj.Attrs, " ") + " " + obj.Class
+	}
+	if bestIoU <= metrics.DefaultIoU {
+		return "incomplete object", fmt.Sprintf("%s (IoU %.2f)", desc, bestIoU)
+	}
+	if frame.MatchesTermsRelational(best, qt) {
+		return "correct", desc
+	}
+	return "wrong object/detail", desc
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+)
+
+func init() {
+	register("fig8", fig8Runtime)
+	register("table3", table3Emerging)
+	register("fig9", fig9Distribution)
+}
+
+// avgSearch runs every benchmark query of ds through m and returns the mean
+// search time.
+func avgSearch(m baselines.Method, ds *datasets.Dataset, quick bool) (time.Duration, error) {
+	queries := ds.Queries
+	if quick {
+		queries = queries[:1]
+	}
+	var total time.Duration
+	n := 0
+	for _, q := range queries {
+		if !m.Supports(q.Text) {
+			continue
+		}
+		_, d, err := m.Query(q.Text, 100)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return total / time.Duration(n), nil
+}
+
+// fig8Runtime regenerates Fig. 8: search and total execution time of MIRIS,
+// FiGO and LOVO on the four datasets, with acceleration factors relative to
+// the slowest method.
+func fig8Runtime(o Options) (*Table, error) {
+	dss := datasets.All(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	t := &Table{
+		ID:    "fig8",
+		Title: "Runtime vs QD-search (seconds; xN = speedup vs slowest)",
+		Header: []string{"dataset",
+			"MIRIS search", "FiGO search", "LOVO search",
+			"MIRIS total", "FiGO total", "LOVO total"},
+	}
+	for _, ds := range dss {
+		miris := baselines.NewMIRIS()
+		figo := baselines.NewFiGO()
+		lovo := NewLOVO(o.Seed)
+		prep := map[string]time.Duration{}
+		search := map[string]time.Duration{}
+		for _, m := range []baselines.Method{miris, figo, lovo} {
+			p, err := m.Prepare(ds)
+			if err != nil {
+				return nil, err
+			}
+			prep[m.Name()] = p
+			s, err := avgSearch(m, ds, o.Quick)
+			if err != nil {
+				return nil, err
+			}
+			search[m.Name()] = s
+		}
+		total := map[string]time.Duration{}
+		for _, n := range []string{"MIRIS", "FiGO", "LOVO"} {
+			total[n] = prep[n] + search[n]
+		}
+		fmtCell := func(d, slowest time.Duration) string {
+			factor := float64(slowest) / float64(max64(int64(d), 1))
+			return fmt.Sprintf("%s (%.0fx)", secs(d), factor)
+		}
+		slowestSearch := maxDur(search["MIRIS"], search["FiGO"], search["LOVO"])
+		slowestTotal := maxDur(total["MIRIS"], total["FiGO"], total["LOVO"])
+		t.Add(ds.Name,
+			fmtCell(search["MIRIS"], slowestSearch),
+			fmtCell(search["FiGO"], slowestSearch),
+			fmtCell(search["LOVO"], slowestSearch),
+			fmtCell(total["MIRIS"], slowestTotal),
+			fmtCell(total["FiGO"], slowestTotal),
+			fmtCell(total["LOVO"], slowestTotal),
+		)
+		t.Note("%s: LOVO search %.0fx faster than FiGO, %.0fx than MIRIS",
+			ds.Name,
+			float64(search["FiGO"])/float64(max64(int64(search["LOVO"]), 1)),
+			float64(search["MIRIS"])/float64(max64(int64(search["LOVO"]), 1)))
+	}
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxDur(ds ...time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// table3Emerging regenerates Table III: processing / search / total time of
+// ZELDA, UMT, VISA and LOVO per dataset.
+func table3Emerging(o Options) (*Table, error) {
+	dss := datasets.All(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	t := &Table{
+		ID:     "table3",
+		Title:  "Vision-based and end-to-end methods: time (s)",
+		Header: []string{"method", "phase", "cityscapes", "bellevue", "qvhighlights", "beach"},
+	}
+	type cells struct{ proc, search, total [4]time.Duration }
+	results := map[string]*cells{}
+	order := []string{"ZELDA", "UMT", "VISA", "LOVO"}
+	for di, ds := range dss {
+		methods := []baselines.Method{
+			baselines.NewZELDA(), baselines.NewUMT(), baselines.NewVISA(), NewLOVO(o.Seed),
+		}
+		for _, m := range methods {
+			p, err := m.Prepare(ds)
+			if err != nil {
+				return nil, err
+			}
+			s, err := avgSearch(m, ds, o.Quick)
+			if err != nil {
+				return nil, err
+			}
+			c := results[m.Name()]
+			if c == nil {
+				c = &cells{}
+				results[m.Name()] = c
+			}
+			c.proc[di], c.search[di], c.total[di] = p, s, p+s
+		}
+	}
+	for _, name := range order {
+		c := results[name]
+		t.Add(name, "processing", secs(c.proc[0]), secs(c.proc[1]), secs(c.proc[2]), secs(c.proc[3]))
+		t.Add(name, "search", secs(c.search[0]), secs(c.search[1]), secs(c.search[2]), secs(c.search[3]))
+		t.Add(name, "total", secs(c.total[0]), secs(c.total[1]), secs(c.total[2]), secs(c.total[3]))
+	}
+	t.Note("expected shape: VISA slowest overall; UMT search-heavy; ZELDA search < LOVO search (no rerank); LOVO total competitive")
+	return t, nil
+}
+
+// fig9Distribution regenerates Fig. 9: LOVO's per-dataset time split across
+// processing, rerank, and indexing+fast search.
+func fig9Distribution(o Options) (*Table, error) {
+	dss := datasets.All(datasets.Config{Seed: o.Seed, Scale: o.Scale})
+	t := &Table{
+		ID:     "fig9",
+		Title:  "LOVO time distribution per dataset (s)",
+		Header: []string{"dataset", "processing", "rerank", "indexing+fast search"},
+	}
+	for _, ds := range dss {
+		lovo := NewLOVO(o.Seed)
+		if _, err := lovo.Prepare(ds); err != nil {
+			return nil, err
+		}
+		var rerank, fast time.Duration
+		n := 0
+		queries := ds.Queries
+		if o.Quick {
+			queries = queries[:1]
+		}
+		for _, q := range queries {
+			if _, _, err := lovo.Query(q.Text, 100); err != nil {
+				return nil, err
+			}
+			res := lovo.LastResult()
+			rerank += res.Rerank
+			fast += res.FastSearch
+			n++
+		}
+		st := lovo.System().Stats()
+		t.Add(ds.Name,
+			secs(st.Processing),
+			secs(rerank/time.Duration(n)),
+			secs(st.Indexing+fast/time.Duration(n)))
+	}
+	t.Note("expected shape: processing > rerank >> indexing+fast search")
+	return t, nil
+}

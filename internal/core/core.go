@@ -1,0 +1,335 @@
+// Package core implements LOVO itself: the three modules of Section III
+// wired together over the substrate packages.
+//
+//   - Video Summary (Section IV): keyframe extraction, patch encoding with
+//     the decoupled vision encoder, box and class heads, and vector
+//     collection construction.
+//   - Database Storage (Section V): class embeddings in the vector database
+//     under a product-quantized inverted multi-index, with bounding boxes
+//     and frame identifiers in the relational side-store joined by patch ID.
+//   - Query Strategy (Section VI, Algorithm 2): top-k fast search over the
+//     index with the whole-sentence query embedding, then cross-modality
+//     rerank of the candidate frames.
+//
+// The orthogonal knobs the paper calls out — keyframe strategy, index kind,
+// rerank on/off, exhaustive search — are all Config/QueryOptions fields, so
+// every ablation of Table IV and every ANN variant of Table V runs through
+// this one type.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/embed"
+	"repro/internal/keyframe"
+	"repro/internal/mat"
+	"repro/internal/relational"
+	"repro/internal/vectordb"
+	"repro/internal/video"
+	"repro/internal/vit"
+	"repro/internal/xmodal"
+)
+
+// PackPatchID encodes (video, frame, patch) into the shared join key linking
+// the vector database to the relational store: 16 bits of video, 28 of
+// frame, 12 of patch.
+func PackPatchID(videoID, frameIdx, patch int) int64 {
+	return int64(videoID)<<40 | int64(frameIdx)<<12 | int64(patch)
+}
+
+// UnpackPatchID reverses PackPatchID.
+func UnpackPatchID(id int64) (videoID, frameIdx, patch int) {
+	return int(id >> 40), int(id >> 12 & 0xfffffff), int(id & 0xfff)
+}
+
+// Config parameterises a LOVO system. Zero values select the defaults used
+// throughout the evaluation.
+type Config struct {
+	// Dim is the vision/text embedding dimension D (default 64).
+	Dim int
+	// ProjDim is the indexed class-embedding dimension D′ (default 32).
+	ProjDim int
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Keyframe is the extraction strategy (default keyframe.MVMed).
+	Keyframe keyframe.Strategy
+	// GridW, GridH give the ViT patch grid (default 16×9).
+	GridW, GridH int
+	// Index is the vector index kind (default vectordb.IndexIMI).
+	Index vectordb.IndexKind
+	// IndexOptions tune the index build; zero fields use defaults with
+	// KeepRaw forced on (Algorithm 1 re-scores exactly).
+	IndexOptions vectordb.IndexOptions
+	// FastK is the fast-search candidate count k (default 100).
+	FastK int
+	// TopN is the number of reranked frames returned (default 10).
+	TopN int
+	// RerankFrames bounds the candidate frames stage 2 examines
+	// (default 16); the paper's rerank similarly operates on a small
+	// candidate subset so its cost stays independent of dataset size.
+	RerankFrames int
+	// NProbe is the per-subspace cluster count A probed by Algorithm 1
+	// (default 16).
+	NProbe int
+	// Ef is the HNSW search beam (default 64).
+	Ef int
+	// Rerank configures the cross-modality transformer.
+	Rerank xmodal.Config
+	// Streaming enables segmented incremental indexing (the paper's
+	// Section IX future work): inserts accumulate in a growing segment
+	// that is sealed and indexed in isolation, so continuous video
+	// updates never trigger full index rebuilds. BuildIndex seals the
+	// current segment instead of rebuilding.
+	Streaming bool
+	// SegmentSize is the streaming seal threshold (default 4096).
+	SegmentSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.ProjDim == 0 {
+		c.ProjDim = 32
+	}
+	if c.Keyframe == nil {
+		c.Keyframe = keyframe.MVMed{}
+	}
+	if c.GridW == 0 {
+		c.GridW = 16
+	}
+	if c.GridH == 0 {
+		c.GridH = 9
+	}
+	if c.Index == "" {
+		c.Index = vectordb.IndexIMI
+	}
+	if c.IndexOptions.P == 0 {
+		c.IndexOptions.P = 4
+	}
+	if c.IndexOptions.M == 0 {
+		c.IndexOptions.M = 64
+	}
+	if c.IndexOptions.M0 == 0 {
+		c.IndexOptions.M0 = 16
+	}
+	if c.IndexOptions.Seed == 0 {
+		c.IndexOptions.Seed = c.Seed ^ 0x1d8
+	}
+	c.IndexOptions.KeepRaw = true
+	if c.FastK == 0 {
+		c.FastK = 100
+	}
+	if c.TopN == 0 {
+		c.TopN = 10
+	}
+	if c.RerankFrames == 0 {
+		c.RerankFrames = 16
+	}
+	if c.NProbe == 0 {
+		c.NProbe = 16
+	}
+	if c.Ef == 0 {
+		c.Ef = 64
+	}
+	if c.Rerank.Seed == 0 {
+		c.Rerank.Seed = c.Seed ^ 0x2e2a
+	}
+	return c
+}
+
+type frameKey struct {
+	video int
+	frame int
+}
+
+// System is a running LOVO instance.
+type System struct {
+	cfg    Config
+	space  *embed.Space
+	vision *embed.VisionEncoder
+	text   *embed.TextEncoder
+	vitCfg vit.Config
+	model  *xmodal.Model
+
+	db      *vectordb.DB
+	col     *vectordb.Collection          // monolithic mode
+	seg     *vectordb.SegmentedCollection // streaming mode
+	meta    *relational.Store
+	patches *relational.Table
+
+	// keyframes retains the scene description of every indexed keyframe;
+	// the rerank stage re-examines these, as the paper's rerank reloads
+	// keyframe images from storage.
+	keyframes map[frameKey]*video.Frame
+
+	stats IngestStats
+	built bool
+}
+
+// IngestStats accumulates Video Summary metrics.
+type IngestStats struct {
+	// Videos, Frames, Keyframes and Tokens count processed units.
+	Videos, Frames, Keyframes, Tokens int
+	// Processing is the video-summary time (keyframes + encoding).
+	Processing time.Duration
+	// Indexing is the index construction time.
+	Indexing time.Duration
+}
+
+// patchSchema is the relational layout of Section V-B: the vector database
+// and this table share the patch ID.
+func patchSchema() relational.Schema {
+	return relational.Schema{
+		Columns: []relational.Column{
+			{Name: "patch_id", Type: relational.Int64},
+			{Name: "video_id", Type: relational.Int64},
+			{Name: "frame_idx", Type: relational.Int64},
+			{Name: "patch", Type: relational.Int64},
+			{Name: "box_x", Type: relational.Float64},
+			{Name: "box_y", Type: relational.Float64},
+			{Name: "box_w", Type: relational.Float64},
+			{Name: "box_h", Type: relational.Float64},
+			{Name: "objectness", Type: relational.Float64},
+		},
+		Key: "patch_id",
+	}
+}
+
+// New constructs a LOVO system.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	space := embed.NewSpace(cfg.Dim, cfg.ProjDim, cfg.Seed^0x5bace)
+	s := &System{
+		cfg:    cfg,
+		space:  space,
+		vision: &embed.VisionEncoder{Space: space, Seed: cfg.Seed ^ 0x115},
+		text:   &embed.TextEncoder{Space: space},
+		model:  xmodal.New(space, cfg.Rerank),
+		db:     vectordb.New(),
+		meta:   relational.NewStore(),
+
+		keyframes: make(map[frameKey]*video.Frame),
+	}
+	s.vitCfg = vit.Config{GridW: cfg.GridW, GridH: cfg.GridH, Encoder: s.vision}
+	if cfg.Streaming {
+		seg, err := vectordb.NewSegmented("patches",
+			vectordb.Schema{Dim: cfg.ProjDim, Normalize: true},
+			cfg.Index, cfg.IndexOptions, cfg.SegmentSize)
+		if err != nil {
+			return nil, err
+		}
+		s.seg = seg
+	} else {
+		col, err := s.db.CreateCollection("patches", vectordb.Schema{Dim: cfg.ProjDim, Normalize: true})
+		if err != nil {
+			return nil, err
+		}
+		s.col = col
+	}
+	tbl, err := s.meta.CreateTable("patches", patchSchema())
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.CreateIndex("frame_idx"); err != nil {
+		return nil, err
+	}
+	s.patches = tbl
+	return s, nil
+}
+
+// Ingest runs Video Summary over one video: keyframe extraction, patch
+// encoding, and vector-collection construction. Call BuildIndex after the
+// last video (or keep ingesting — post-build inserts flow into the index).
+func (s *System) Ingest(v *video.Video) error {
+	start := time.Now()
+	keys := s.cfg.Keyframe.Select(v)
+	for _, fi := range keys {
+		f := &v.Frames[fi]
+		tokens := vit.EncodeFrame(s.vitCfg, f)
+		for _, tok := range tokens {
+			pid := PackPatchID(v.ID, f.Index, tok.Patch)
+			if err := s.insertVector(pid, tok.Class); err != nil {
+				return fmt.Errorf("core: inserting patch vector: %w", err)
+			}
+			row := relational.Row{
+				pid, int64(v.ID), int64(f.Index), int64(tok.Patch),
+				tok.Box.X, tok.Box.Y, tok.Box.W, tok.Box.H,
+				float64(tok.Objectness),
+			}
+			if err := s.patches.Insert(row); err != nil {
+				return fmt.Errorf("core: inserting patch metadata: %w", err)
+			}
+			s.stats.Tokens++
+		}
+		fc := *f
+		s.keyframes[frameKey{v.ID, f.Index}] = &fc
+		s.stats.Keyframes++
+	}
+	s.stats.Videos++
+	s.stats.Frames += len(v.Frames)
+	s.stats.Processing += time.Since(start)
+	return nil
+}
+
+// insertVector routes a class embedding to the configured store.
+func (s *System) insertVector(id int64, v []float32) error {
+	if s.seg != nil {
+		return s.seg.Insert(id, v)
+	}
+	return s.col.Insert(id, v)
+}
+
+// BuildIndex constructs the configured vector index over everything
+// ingested so far. In streaming mode it seals the current growing segment
+// instead — sealed segments are never rebuilt.
+func (s *System) BuildIndex() error {
+	start := time.Now()
+	if s.seg != nil {
+		if err := s.seg.Seal(); err != nil {
+			return fmt.Errorf("core: sealing segment: %w", err)
+		}
+	} else if err := s.col.BuildIndex(s.cfg.Index, s.cfg.IndexOptions); err != nil {
+		return fmt.Errorf("core: building %s index: %w", s.cfg.Index, err)
+	}
+	s.stats.Indexing += time.Since(start)
+	s.built = true
+	return nil
+}
+
+// searchVectors runs fast search against the configured store.
+func (s *System) searchVectors(q []float32, k int, p ann.Params) ([]mat.Scored, error) {
+	if s.seg != nil {
+		return s.seg.Search(q, k, p)
+	}
+	return s.col.Search(q, k, p)
+}
+
+// Entities returns the number of indexed patch vectors.
+func (s *System) Entities() int {
+	if s.seg != nil {
+		return s.seg.Len()
+	}
+	return s.col.Len()
+}
+
+// Segmented exposes the streaming-mode store (nil in monolithic mode).
+func (s *System) Segmented() *vectordb.SegmentedCollection { return s.seg }
+
+// Stats returns accumulated ingest statistics.
+func (s *System) Stats() IngestStats { return s.stats }
+
+// Collection exposes the underlying vector collection (stats, experiments).
+func (s *System) Collection() *vectordb.Collection { return s.col }
+
+// DB exposes the underlying vector database, e.g. for snapshot persistence
+// (vectordb.DB.Save / vectordb.Load).
+func (s *System) DB() *vectordb.DB { return s.db }
+
+// Keyframe returns the retained keyframe for (video, frame), if indexed.
+func (s *System) Keyframe(videoID, frameIdx int) (*video.Frame, bool) {
+	f, ok := s.keyframes[frameKey{videoID, frameIdx}]
+	return f, ok
+}

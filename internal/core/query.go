@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+	"repro/internal/query"
+	"repro/internal/video"
+)
+
+// QueryOptions tune one query; zero values inherit the system Config.
+type QueryOptions struct {
+	// FastK overrides the fast-search candidate count.
+	FastK int
+	// TopN overrides the number of reranked frames returned.
+	TopN int
+	// DisableRerank skips stage 2 ("w/o Rerank" ablation): fast-search
+	// hits are returned directly.
+	DisableRerank bool
+	// Exhaustive disables ANNS pruning ("w/o ANNS" ablation).
+	Exhaustive bool
+	// RerankFrames overrides the stage-2 frame budget.
+	RerankFrames int
+}
+
+// ResultObject is one retrieved object.
+type ResultObject struct {
+	// VideoID and FrameIdx locate the keyframe.
+	VideoID  int
+	FrameIdx int
+	// Box is the object's bounding box.
+	Box video.Box
+	// Score is the ranking score (cross-modality score after rerank,
+	// fast-search similarity otherwise).
+	Score float32
+	// PatchID is the vector-database key that produced the candidate
+	// (zero for rerank-promoted objects that had no direct hit).
+	PatchID int64
+}
+
+// Result is a ranked answer with stage timings.
+type Result struct {
+	// Objects is the ranked object list (frames with bounding boxes).
+	Objects []ResultObject
+	// FastSearch is the stage-1 latency (encode + ANNS + metadata join).
+	FastSearch time.Duration
+	// Rerank is the stage-2 latency.
+	Rerank time.Duration
+	// CandidateFrames is the number of distinct frames sent to rerank.
+	CandidateFrames int
+}
+
+// Total returns the user-perceived search latency.
+func (r *Result) Total() time.Duration { return r.FastSearch + r.Rerank }
+
+// Query executes the two-stage strategy of Algorithm 2.
+func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	fastK := opts.FastK
+	if fastK == 0 {
+		fastK = s.cfg.FastK
+	}
+	topN := opts.TopN
+	if topN == 0 {
+		topN = s.cfg.TopN
+	}
+
+	res := &Result{}
+	start := time.Now()
+
+	// Stage 1: encode the query and fast-search the index.
+	parsed := query.Parse(text)
+	qvec := s.text.FastVec(parsed)
+	if mat.Norm(qvec) == 0 {
+		return nil, fmt.Errorf("core: query %q contains no recognised terms", text)
+	}
+	qproj := s.space.Project(qvec)
+	hits, err := s.searchVectors(qproj, fastK, ann.Params{
+		NProbe:     s.cfg.NProbe,
+		Ef:         s.cfg.Ef,
+		Exhaustive: opts.Exhaustive,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fast search: %w", err)
+	}
+
+	// Join hits against the relational store and collect candidate
+	// frames in first-hit (best-score) order.
+	type candidate struct {
+		key  frameKey
+		best mat.Scored
+	}
+	var frameOrder []candidate
+	seen := make(map[frameKey]bool)
+	fastObjects := make([]ResultObject, 0, len(hits))
+	for _, h := range hits {
+		row, err := s.patches.Get(h.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: metadata join for patch %d: %w", h.ID, err)
+		}
+		vid := int(row[1].(int64))
+		fi := int(row[2].(int64))
+		box := video.Box{X: row[4].(float64), Y: row[5].(float64), W: row[6].(float64), H: row[7].(float64)}
+		fastObjects = append(fastObjects, ResultObject{
+			VideoID: vid, FrameIdx: fi, Box: box, Score: h.Score, PatchID: h.ID,
+		})
+		k := frameKey{vid, fi}
+		if !seen[k] {
+			seen[k] = true
+			frameOrder = append(frameOrder, candidate{key: k, best: h})
+		}
+	}
+	res.FastSearch = time.Since(start)
+	res.CandidateFrames = len(frameOrder)
+
+	if opts.DisableRerank {
+		res.Objects = truncateObjects(dedupByFrameBox(fastObjects), fastK)
+		return res, nil
+	}
+
+	// Stage 2: cross-modality rerank over the candidate frames, bounded
+	// by the rerank budget so its cost stays independent of dataset
+	// size (Section VII-D). The budget is spent on temporally diverse
+	// moments: adjacent keyframes almost surely show the same objects,
+	// so a candidate within a few frames of an already-selected one is
+	// deferred until the distinct moments are exhausted.
+	rerankFrames := opts.RerankFrames
+	if rerankFrames == 0 {
+		rerankFrames = s.cfg.RerankFrames
+	}
+	if len(frameOrder) > rerankFrames {
+		const spacing = 4
+		selected := make([]candidate, 0, rerankFrames)
+		var deferred []candidate
+		for _, cand := range frameOrder {
+			close := false
+			for _, sel := range selected {
+				if sel.key.video == cand.key.video && abs(sel.key.frame-cand.key.frame) <= spacing {
+					close = true
+					break
+				}
+			}
+			if close {
+				deferred = append(deferred, cand)
+				continue
+			}
+			selected = append(selected, cand)
+			if len(selected) == rerankFrames {
+				break
+			}
+		}
+		for _, cand := range deferred {
+			if len(selected) == rerankFrames {
+				break
+			}
+			selected = append(selected, cand)
+		}
+		frameOrder = selected
+	}
+	rstart := time.Now()
+	toks := s.text.Tokens(parsed)
+	var reranked []ResultObject
+	frameBest := make(map[frameKey]float32)
+	for _, cand := range frameOrder {
+		f, ok := s.keyframes[cand.key]
+		if !ok {
+			continue
+		}
+		groundings := s.model.GroundFrame(f, toks)
+		for gi, g := range groundings {
+			// Beyond the best grounding, a frame contributes
+			// further objects only while they form a plateau of
+			// near-equal scores (several pedestrians all walking,
+			// both cars of a side-by-side pair); a clear drop
+			// means the remaining objects don't match and would
+			// only inject false positives.
+			if gi >= 4 || (gi > 0 && g.Score < groundings[gi-1].Score-0.02) {
+				break
+			}
+			reranked = append(reranked, ResultObject{
+				VideoID:  cand.key.video,
+				FrameIdx: cand.key.frame,
+				Box:      g.Box,
+				Score:    g.Score,
+				PatchID:  cand.best.ID,
+			})
+		}
+		if len(groundings) > 0 {
+			frameBest[cand.key] = groundings[0].Score
+		}
+	}
+	// Rank frames by their best grounding, keep the top-n frames, then
+	// rank objects within (Algorithm 2 returns top-n frames with boxes).
+	type fs struct {
+		key   frameKey
+		score float32
+	}
+	ranked := make([]fs, 0, len(frameBest))
+	for k, v := range frameBest {
+		ranked = append(ranked, fs{k, v})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		if ranked[i].key.video != ranked[j].key.video {
+			return ranked[i].key.video < ranked[j].key.video
+		}
+		return ranked[i].key.frame < ranked[j].key.frame
+	})
+	keep := make(map[frameKey]bool)
+	for i := 0; i < len(ranked) && i < topN; i++ {
+		keep[ranked[i].key] = true
+	}
+	var kept []ResultObject
+	for _, o := range reranked {
+		if keep[frameKey{o.VideoID, o.FrameIdx}] {
+			kept = append(kept, o)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Score != kept[j].Score {
+			return kept[i].Score > kept[j].Score
+		}
+		if kept[i].VideoID != kept[j].VideoID {
+			return kept[i].VideoID < kept[j].VideoID
+		}
+		return kept[i].FrameIdx < kept[j].FrameIdx
+	})
+	res.Objects = kept
+	res.Rerank = time.Since(rstart)
+	return res, nil
+}
+
+// dedupByFrameBox removes near-duplicate fast-search hits: multiple patches
+// of one object predict nearly identical boxes, which would otherwise flood
+// the un-reranked result list.
+func dedupByFrameBox(objs []ResultObject) []ResultObject {
+	var out []ResultObject
+	for _, o := range objs {
+		dup := false
+		for i := range out {
+			if out[i].VideoID == o.VideoID && out[i].FrameIdx == o.FrameIdx && out[i].Box.IoU(o.Box) > 0.8 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func truncateObjects(objs []ResultObject, n int) []ResultObject {
+	if len(objs) > n {
+		return objs[:n]
+	}
+	return objs
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+package datasets
+
+import "repro/internal/video"
+
+// ActivityNetQA generates the question-answering extension workload of
+// Table VI: twelve short videos whose yes/no questions LOVO answers by
+// object retrieval (videos with a "yes" answer contain the queried object).
+func ActivityNetQA(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	b := newBuilder(cfg.Seed ^ 0xac711)
+
+	stationary := func(b *builder, class string, behaviors []string, attrs ...string) actor {
+		return actor{
+			life: -1,
+			obj: video.Object{
+				Track:     b.track(),
+				Class:     class,
+				Attrs:     attrs,
+				Behaviors: behaviors,
+				Box:       video.Box{X: b.uniform(0.25, 0.55), Y: b.uniform(0.3, 0.5), W: 0.14, H: 0.22},
+			},
+		}
+	}
+
+	type theme struct {
+		name    string
+		context []string
+		rules   []spawnRule
+	}
+	themes := []theme{
+		// EQ1: does the car park on the meadow — yes-videos have a parked
+		// car on a meadow.
+		{name: "meadow-park", context: []string{"meadow", "outdoors"}, rules: []spawnRule{
+			{every: 35, make: func(b *builder) []actor {
+				a := stationary(b, "car", []string{"parked"}, pick(b, vehicleColors))
+				a.obj.Box.W, a.obj.Box.H = 0.16, 0.10
+				a.life = 30
+				return []actor{a}
+			}},
+		}},
+		// EQ2: is the person with a hat a man — yes-videos show a man
+		// wearing a hat.
+		{name: "hat-man", context: []string{"outdoors"}, rules: []spawnRule{
+			{every: 30, make: func(b *builder) []actor {
+				a := stationary(b, "person", []string{"standing"}, "man", "hat")
+				a.life = 25
+				return []actor{a}
+			}},
+			{prob: 0.02, make: func(b *builder) []actor {
+				// Distractor: woman with a hat.
+				a := stationary(b, "person", []string{"standing"}, "woman", "hat")
+				a.life = 15
+				return []actor{a}
+			}},
+		}},
+		// EQ3: is the person in the red life jacket outdoors.
+		{name: "life-jacket", context: []string{"outdoors", "beach"}, rules: []spawnRule{
+			{every: 32, make: func(b *builder) []actor {
+				a := stationary(b, "person", []string{"standing"}, "red", "life jacket")
+				a.life = 26
+				return []actor{a}
+			}},
+			{prob: 0.02, make: func(b *builder) []actor {
+				a := stationary(b, "person", []string{"standing"}, "blue", "life jacket")
+				a.life = 15
+				return []actor{a}
+			}},
+		}},
+		// EQ4: is the person in a grey skirt dancing in the room.
+		{name: "room-dance", context: []string{"room"}, rules: []spawnRule{
+			{every: 28, make: func(b *builder) []actor {
+				a := stationary(b, "person", []string{"dancing"}, "woman", "grey", "skirt")
+				a.life = 22
+				return []actor{a}
+			}},
+			{prob: 0.02, make: func(b *builder) []actor {
+				// Distractor: grey skirt but standing.
+				a := stationary(b, "person", []string{"standing"}, "woman", "grey", "skirt")
+				a.life = 12
+				return []actor{a}
+			}},
+		}},
+		// Pure distractor themes (the "no"-answer videos).
+		{name: "street-misc", context: []string{"street"}, rules: []spawnRule{
+			{prob: 0.05, make: func(b *builder) []actor {
+				return []actor{b.crossingVehicle("car", 0.10, 0.07, pick(b, vehicleColors))}
+			}},
+		}},
+		{name: "room-misc", context: []string{"room"}, rules: []spawnRule{
+			{prob: 0.04, make: func(b *builder) []actor {
+				a := stationary(b, "person", []string{"sitting"}, "man", "blue", "suit")
+				a.life = 18
+				return []actor{a}
+			}},
+		}},
+	}
+
+	const nVideos = 12
+	videos := make([]video.Video, 0, nVideos)
+	for i := 0; i < nVideos; i++ {
+		th := themes[i%len(themes)]
+		videos = append(videos, b.simulate(sceneSpec{
+			id:      i,
+			name:    th.name,
+			context: th.context,
+			shot:    func(frame int) int { return frame / 15 },
+			rules:   th.rules,
+			frames:  cfg.frames(120),
+			fps:     cfg.FPS,
+		}))
+	}
+
+	return &Dataset{
+		Name:         "activitynet",
+		Videos:       videos,
+		MovingCamera: true,
+		Queries: []Query{
+			{ID: "EQ1", Text: "does the car park on the meadow"},
+			{ID: "EQ2", Text: "is the person with a hat a man"},
+			{ID: "EQ3", Text: "is the person in the red life jacket outdoors"},
+			{ID: "EQ4", Text: "is the person in a grey skirt dancing in the room"},
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package datasets
+
+import "repro/internal/video"
+
+// Beach generates the fixed-camera resort-sidewalk workload standing in for
+// the Beach dataset: a camera watching a road beside a beach promenade, with
+// buses, trucks, cars and strolling pedestrians.
+func Beach(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	b := newBuilder(cfg.Seed ^ 0xbeac4)
+
+	rules := []spawnRule{
+		// Q4.1 targets: green buses.
+		{every: 113, prob: 0.010, make: func(b *builder) []actor {
+			return []actor{b.crossingVehicle("bus", 0.20, 0.11, "green", "large")}
+		}},
+		// Q4.2 targets: green bus with a white roof.
+		{every: 239, phase: 17, prob: 0.005, make: func(b *builder) []actor {
+			return []actor{b.crossingVehicle("bus", 0.20, 0.11, "green", "white roof", "large")}
+		}},
+		// Bus distractors: white or blue buses (FiGO's classic confusion
+		// for Q4.2 is a white bus).
+		{prob: 0.012, make: func(b *builder) []actor {
+			return []actor{b.crossingVehicle("bus", 0.20, 0.11, pick(b, []string{"white", "blue"}), "large")}
+		}},
+		// Q4.3 targets: trucks of any kind.
+		{every: 127, phase: 41, prob: 0.012, make: func(b *builder) []actor {
+			return []actor{b.crossingVehicle("truck", 0.17, 0.10, pick(b, []string{"grey", "blue", "red"}), "large")}
+		}},
+		// Q4.4 targets: small white trucks filled with cargo.
+		{every: 251, phase: 73, prob: 0.005, make: func(b *builder) []actor {
+			return []actor{b.crossingVehicle("truck", 0.11, 0.07, "white", "small", "cargo")}
+		}},
+		// Truck distractors: large white truck without cargo; small grey
+		// truck with cargo; small white truck WITHOUT cargo (separable
+		// only by the load, which detector channels cannot see).
+		{prob: 0.014, make: func(b *builder) []actor {
+			switch b.rng.IntN(3) {
+			case 0:
+				return []actor{b.crossingVehicle("truck", 0.17, 0.10, "white", "large")}
+			case 1:
+				return []actor{b.crossingVehicle("truck", 0.11, 0.07, "grey", "small", "cargo")}
+			default:
+				return []actor{b.crossingVehicle("truck", 0.11, 0.07, "white", "small")}
+			}
+		}},
+		// Background cars.
+		{prob: 0.07, make: func(b *builder) []actor {
+			return []actor{b.crossingVehicle("car", b.uniform(0.08, 0.12), 0.065, pick(b, vehicleColors))}
+		}},
+		// Promenade pedestrians.
+		{prob: 0.05, make: func(b *builder) []actor {
+			return []actor{b.walker(pick(b, []string{"light", "dark"}), "clothing")}
+		}},
+	}
+
+	v := b.simulate(sceneSpec{
+		id:      0,
+		name:    "beach-promenade",
+		context: []string{"road", "sidewalk", "beach"},
+		rules:   rules,
+		frames:  cfg.frames(3120),
+		fps:     cfg.FPS,
+	})
+
+	return &Dataset{
+		Name:   "beach",
+		Videos: []video.Video{v},
+		Queries: []Query{
+			{ID: "Q4.1", Text: "A green bus driving on the road."},
+			{ID: "Q4.2", Text: "A green bus with the white roof driving on the road."},
+			{ID: "Q4.3", Text: "A truck driving on the road."},
+			{ID: "Q4.4", Text: "A small white truck filled with cargo driving on the road."},
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package datasets
+
+import "repro/internal/video"
+
+// Bellevue generates the fixed-camera intersection workload standing in for
+// the Bellevue Traffic dataset: a 60-minute surveillance view of one
+// intersection with crossing cars, buses, trucks, SUVs and pedestrians.
+func Bellevue(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	b := newBuilder(cfg.Seed ^ 0xbe11e)
+
+	// pause makes a vehicle wait at the intersection signal a little over
+	// half the time, so centre-of-road dwell times match an intersection
+	// rather than free-flowing traffic.
+	pause := func(b *builder, a actor) actor {
+		if b.chance(0.55) {
+			if a.obj.Vel[0] > 0 {
+				a.pauseAtX = b.uniform(0.42, 0.52)
+			} else {
+				a.pauseAtX = b.uniform(0.48, 0.58)
+			}
+			a.pauseFrames = 3 + b.rng.IntN(6)
+		}
+		return a
+	}
+
+	rules := []spawnRule{
+		// Background traffic: cars in assorted colours, some large.
+		{prob: 0.10, make: func(b *builder) []actor {
+			attrs := []string{pick(b, vehicleColors)}
+			if b.chance(0.25) {
+				attrs = append(attrs, "large")
+			}
+			return []actor{pause(b, b.crossingVehicle("car", b.uniform(0.08, 0.13), b.uniform(0.055, 0.08), attrs...))}
+		}},
+		// Q2.1 target: red cars pass through the centre of the road while
+		// driving. Scripted so positives always exist.
+		{every: 71, prob: 0.016, make: func(b *builder) []actor {
+			return []actor{pause(b, b.crossingVehicle("car", 0.10, 0.065, "red"))}
+		}},
+		// Q2.2 target: a red car side by side with another car through the
+		// centre. Two lanes, synchronised speed and signal timing.
+		{every: 211, phase: 13, prob: 0.006, make: func(b *builder) []actor {
+			red := pause(b, b.crossingVehicle("car", 0.10, 0.065, "red"))
+			other := red
+			other.obj.Track = b.track()
+			other.obj.Attrs = []string{pick(b, []string{"black", "white", "blue", "grey"})}
+			other.obj.Box.X += 0.17
+			if red.obj.Vel[0] < 0 {
+				other.obj.Box.X = red.obj.Box.X - 0.17
+			}
+			other.obj.Box.Y = red.obj.Box.Y + b.uniform(-0.02, 0.02)
+			if red.pauseAtX != 0 {
+				// The partner stops level with the red car.
+				if red.obj.Vel[0] > 0 {
+					other.pauseAtX = red.pauseAtX + 0.17
+				} else {
+					other.pauseAtX = red.pauseAtX - 0.17
+				}
+			}
+			return []actor{red, other}
+		}},
+		// Q2.3 target: ordinary buses.
+		{every: 131, phase: 31, prob: 0.010, make: func(b *builder) []actor {
+			return []actor{pause(b, b.crossingVehicle("bus", 0.20, 0.11, pick(b, []string{"white", "blue", "grey"})))}
+		}},
+		// Q2.4 target: the yellow-green bus with a white roof.
+		{every: 263, phase: 57, prob: 0.004, make: func(b *builder) []actor {
+			return []actor{pause(b, b.crossingVehicle("bus", 0.20, 0.11, "yellow-green", "white roof", "large"))}
+		}},
+		// Motivation-experiment target: black SUVs (open-world class).
+		{every: 149, phase: 71, prob: 0.008, make: func(b *builder) []actor {
+			attrs := []string{"black"}
+			if b.chance(0.5) {
+				attrs = append(attrs, "large")
+			}
+			return []actor{pause(b, b.crossingVehicle("suv", 0.12, 0.075, attrs...))}
+		}},
+		// Distractor trucks.
+		{prob: 0.02, make: func(b *builder) []actor {
+			return []actor{pause(b, b.crossingVehicle("truck", 0.16, 0.10, pick(b, vehicleColors), "large"))}
+		}},
+		// Pedestrians on the crosswalk.
+		{prob: 0.03, make: func(b *builder) []actor {
+			a := b.walker(pick(b, []string{"dark", "light"}), "clothing")
+			a.obj.Vel = [2]float64{0, b.uniform(0.008, 0.02)}
+			a.obj.Box.Y = 0.2
+			return []actor{a}
+		}},
+	}
+
+	v := b.simulate(sceneSpec{
+		id:      0,
+		name:    "bellevue-intersection",
+		context: []string{"road", "intersection"},
+		rules:   rules,
+		frames:  cfg.frames(3600),
+		fps:     cfg.FPS,
+	})
+
+	return &Dataset{
+		Name:   "bellevue",
+		Videos: []video.Video{v},
+		Queries: []Query{
+			{ID: "Q2.1", Text: "A red car driving in the center of the road."},
+			{ID: "Q2.2", Text: "A red car side by side with another car, both positioned in the center of the road."},
+			{ID: "Q2.3", Text: "A bus driving on the road."},
+			{ID: "Q2.4", Text: "A bus driving on the road with white roof and yellow-green body."},
+		},
+	}
+}

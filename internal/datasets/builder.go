@@ -1,0 +1,213 @@
+package datasets
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/video"
+)
+
+// builder runs the frame-by-frame scene simulation shared by all dataset
+// generators. Spawn rules inject actors (single objects or groups moving
+// together); actors advance linearly until they leave the frame or exhaust
+// their lifetime.
+type builder struct {
+	rng       *rand.Rand
+	nextTrack int64
+}
+
+func newBuilder(seed uint64) *builder {
+	return &builder{rng: rand.New(rand.NewPCG(seed, seed^0xa5a5a5a55a5a5a5a))}
+}
+
+// track allocates a fresh track ID.
+func (b *builder) track() int64 {
+	b.nextTrack++
+	return b.nextTrack
+}
+
+// pick returns a uniformly random element of options.
+func pick[T any](b *builder, options []T) T {
+	return options[b.rng.IntN(len(options))]
+}
+
+// chance reports true with probability p.
+func (b *builder) chance(p float64) bool { return b.rng.Float64() < p }
+
+// uniform returns a uniform sample in [lo, hi).
+func (b *builder) uniform(lo, hi float64) float64 {
+	return lo + b.rng.Float64()*(hi-lo)
+}
+
+// actor is a live simulated object with an optional remaining lifetime.
+type actor struct {
+	obj  video.Object
+	life int // frames remaining; <0 means until it leaves the frame
+	// pauseAtX, when non-zero, makes the actor stop for pauseFrames once
+	// its centre reaches that x — vehicles waiting at the intersection
+	// signal. savedVel restores motion afterwards.
+	pauseAtX    float64
+	pauseFrames int
+	paused      bool
+	pauseLeft   int
+	savedVel    [2]float64
+}
+
+// spawnRule describes when and how new actors enter the scene.
+type spawnRule struct {
+	// every spawns deterministically each N frames (0 disables); these
+	// scripted spawns guarantee each benchmark query has positives.
+	every int
+	// phase offsets the periodic schedule.
+	phase int
+	// prob additionally spawns per frame with this probability.
+	prob float64
+	// make constructs the actor group.
+	make func(b *builder) []actor
+}
+
+// sceneSpec describes one generated video.
+type sceneSpec struct {
+	id      int
+	name    string
+	context []string
+	// cam returns the camera motion for a frame index.
+	cam func(frame int) [2]float64
+	// shot returns the shot number for a frame index.
+	shot func(frame int) int
+	// rules are the spawn rules.
+	rules []spawnRule
+	// frames is the number of frames to simulate.
+	frames int
+	fps    float64
+}
+
+// simulate runs the scene and returns the video.
+func (b *builder) simulate(spec sceneSpec) video.Video {
+	dt := 1.0 / spec.fps
+	var live []actor
+	frames := make([]video.Frame, 0, spec.frames)
+	for fi := 0; fi < spec.frames; fi++ {
+		cam := [2]float64{0, 0}
+		if spec.cam != nil {
+			cam = spec.cam(fi)
+		}
+		shot := 0
+		if spec.shot != nil {
+			shot = spec.shot(fi)
+		}
+		// Spawn.
+		for _, r := range spec.rules {
+			if r.every > 0 && (fi+r.phase)%r.every == 0 {
+				live = append(live, r.make(b)...)
+			}
+			if r.prob > 0 && b.chance(r.prob) {
+				live = append(live, r.make(b)...)
+			}
+		}
+		// Materialise the frame from live actors.
+		f := video.Frame{
+			VideoID:   spec.id,
+			Index:     fi,
+			Time:      float64(fi) * dt,
+			Shot:      shot,
+			Context:   spec.context,
+			CamMotion: cam,
+		}
+		for i := range live {
+			clipped := live[i].obj.Box.Clip()
+			if clipped.Area() <= 0 {
+				continue
+			}
+			o := live[i].obj
+			o.Box = clipped
+			f.Objects = append(f.Objects, o)
+		}
+		frames = append(frames, f)
+		// Advance.
+		var next []actor
+		for i := range live {
+			a := live[i]
+			// Signal pauses: stop once at pauseAtX, resume after.
+			if a.pauseLeft > 0 {
+				a.pauseLeft--
+				if a.pauseLeft == 0 {
+					a.obj.Vel = a.savedVel
+				}
+			} else if a.pauseAtX != 0 && !a.paused {
+				cx, _ := a.obj.Box.Center()
+				if (a.obj.Vel[0] > 0 && cx >= a.pauseAtX) || (a.obj.Vel[0] < 0 && cx <= a.pauseAtX) {
+					a.paused = true
+					a.pauseLeft = a.pauseFrames
+					a.savedVel = a.obj.Vel
+					a.obj.Vel = [2]float64{0, 0}
+				}
+			}
+			a.obj.Box = a.obj.Box.Translate(
+				(a.obj.Vel[0]-cam[0])*dt,
+				(a.obj.Vel[1]-cam[1])*dt,
+			)
+			if a.life > 0 {
+				a.life--
+				if a.life == 0 {
+					continue
+				}
+			}
+			// Drop actors that have left the visible region with margin.
+			bb := a.obj.Box
+			if bb.X+bb.W < -0.25 || bb.X > 1.25 || bb.Y+bb.H < -0.25 || bb.Y > 1.25 {
+				continue
+			}
+			next = append(next, a)
+		}
+		live = next
+	}
+	return video.Video{ID: spec.id, Name: spec.name, FPS: spec.fps, Frames: frames}
+}
+
+// ---- Shared actor factories ----
+
+// vehicleColors are the common vehicle paint colours.
+var vehicleColors = []string{"black", "white", "blue", "grey", "red"}
+
+// crossingVehicle builds a vehicle crossing the road band horizontally.
+// Extra attributes are appended to the colour attribute.
+func (b *builder) crossingVehicle(class string, w, h float64, attrs ...string) actor {
+	fromLeft := b.chance(0.5)
+	y := b.uniform(0.38, 0.58)
+	speed := b.uniform(0.06, 0.16)
+	x, vx := -w+0.01, speed
+	if !fromLeft {
+		x, vx = 0.99, -speed
+	}
+	return actor{
+		life: -1,
+		obj: video.Object{
+			Track:     b.track(),
+			Class:     class,
+			Attrs:     attrs,
+			Behaviors: []string{"driving"},
+			Box:       video.Box{X: x, Y: y, W: w, H: h},
+			Vel:       [2]float64{vx, 0},
+		},
+	}
+}
+
+// walker builds a pedestrian strolling along a sidewalk band.
+func (b *builder) walker(attrs ...string) actor {
+	y := b.uniform(0.55, 0.75)
+	speed := b.uniform(0.01, 0.035)
+	if b.chance(0.5) {
+		speed = -speed
+	}
+	return actor{
+		life: 40 + b.rng.IntN(60),
+		obj: video.Object{
+			Track:     b.track(),
+			Class:     "person",
+			Attrs:     attrs,
+			Behaviors: []string{"walking"},
+			Box:       video.Box{X: b.uniform(0.05, 0.85), Y: y, W: 0.045, H: 0.16},
+			Vel:       [2]float64{speed, 0},
+		},
+	}
+}

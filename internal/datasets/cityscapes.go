@@ -1,0 +1,105 @@
+package datasets
+
+import "repro/internal/video"
+
+// Cityscapes generates the moving-camera urban workload standing in for the
+// Cityscapes Stuttgart dash-cam sequence: a car-mounted camera driving along
+// streets lined with pedestrians, cyclists and parked vehicles.
+func Cityscapes(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	b := newBuilder(cfg.Seed ^ 0xc17)
+
+	rules := []spawnRule{
+		// Q1.1 targets: pedestrians walking along the street.
+		{every: 41, prob: 0.05, make: func(b *builder) []actor {
+			attrs := []string{pick(b, []string{"dark", "blue", "grey"}), "clothing"}
+			return []actor{b.walker(attrs...)}
+		}},
+		// Q1.2 targets: light-dressed pedestrians carrying a dark bag
+		// (composite person+bag object; "holding" derives from the attrs).
+		{every: 173, phase: 11, prob: 0.010, make: func(b *builder) []actor {
+			return []actor{b.walker("light", "clothing", "bag", "dark")}
+		}},
+		// Distractors: light-dressed without bag, dark-dressed with bag.
+		{prob: 0.02, make: func(b *builder) []actor {
+			if b.chance(0.5) {
+				return []actor{b.walker("light", "clothing")}
+			}
+			return []actor{b.walker("dark", "clothing", "bag", "light")}
+		}},
+		// Q1.3 targets: cyclists (person riding a bicycle).
+		{every: 101, phase: 7, prob: 0.015, make: func(b *builder) []actor {
+			a := b.walker(pick(b, []string{"grey", "blue", "red"}), "clothing", "bicycle")
+			a.obj.Behaviors = []string{"riding"}
+			a.obj.Box.W, a.obj.Box.H = 0.07, 0.14
+			a.obj.Vel[0] *= 3
+			return []actor{a}
+		}},
+		// Q1.4 targets: cyclist in black t-shirt and blue jeans.
+		{every: 193, phase: 29, prob: 0.006, make: func(b *builder) []actor {
+			a := b.walker("black", "t-shirt", "blue", "jeans", "bicycle")
+			a.obj.Behaviors = []string{"riding"}
+			a.obj.Box.W, a.obj.Box.H = 0.07, 0.14
+			a.obj.Vel[0] *= 3
+			return []actor{a}
+		}},
+		// Cyclist distractor: wrong outfit.
+		{prob: 0.008, make: func(b *builder) []actor {
+			a := b.walker("white", "t-shirt", "black", "jeans", "bicycle")
+			a.obj.Behaviors = []string{"riding"}
+			a.obj.Vel[0] *= 3
+			return []actor{a}
+		}},
+		// Parked cars lining the street (world-static; drift backwards in
+		// frame because the camera moves).
+		{prob: 0.12, make: func(b *builder) []actor {
+			return []actor{{
+				life: -1,
+				obj: video.Object{
+					Track:     b.track(),
+					Class:     "car",
+					Attrs:     []string{pick(b, vehicleColors)},
+					Behaviors: []string{"parked"},
+					Box:       video.Box{X: 1.05, Y: b.uniform(0.45, 0.6), W: 0.12, H: 0.08},
+					Vel:       [2]float64{0, 0},
+				},
+			}}
+		}},
+		// Oncoming traffic.
+		{prob: 0.04, make: func(b *builder) []actor {
+			return []actor{{
+				life: -1,
+				obj: video.Object{
+					Track:     b.track(),
+					Class:     "car",
+					Attrs:     []string{pick(b, vehicleColors)},
+					Behaviors: []string{"driving"},
+					Box:       video.Box{X: 1.05, Y: b.uniform(0.35, 0.45), W: 0.10, H: 0.07},
+					Vel:       [2]float64{-0.08, 0},
+				},
+			}}
+		}},
+	}
+
+	v := b.simulate(sceneSpec{
+		id:      0,
+		name:    "cityscapes-stuttgart",
+		context: []string{"street", "road"},
+		cam:     func(int) [2]float64 { return [2]float64{0.045, 0} },
+		rules:   rules,
+		frames:  cfg.frames(1800),
+		fps:     cfg.FPS,
+	})
+
+	return &Dataset{
+		Name:         "cityscapes",
+		Videos:       []video.Video{v},
+		MovingCamera: true,
+		Queries: []Query{
+			{ID: "Q1.1", Text: "A person walking on the street."},
+			{ID: "Q1.2", Text: "A person in light-colored clothing walking while holding a dark bag."},
+			{ID: "Q1.3", Text: "A person riding a bicycle."},
+			{ID: "Q1.4", Text: "A person riding a bicycle, wearing a black t-shirt and blue jeans."},
+		},
+	}
+}

@@ -1,0 +1,270 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/video"
+)
+
+// testCfg keeps generation fast: roughly 1/10 of full duration.
+var testCfg = Config{Seed: 7, FPS: 1, Scale: 0.12}
+
+func terms(q string) []string {
+	p := query.Parse(q)
+	out := make([]string, 0, len(p.Terms))
+	for _, t := range p.Terms {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.FPS != 1 || c.Scale != 1 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if n := (Config{FPS: 1, Scale: 1e-9}.withDefaults()).frames(100); n < 30 {
+		t.Fatalf("frame floor: %d", n)
+	}
+}
+
+func TestAllDatasetsGenerate(t *testing.T) {
+	for _, ds := range All(testCfg) {
+		if ds.Frames() == 0 {
+			t.Errorf("%s: no frames", ds.Name)
+		}
+		if ds.Objects() == 0 {
+			t.Errorf("%s: no objects", ds.Name)
+		}
+		if len(ds.Queries) != 4 {
+			t.Errorf("%s: %d queries", ds.Name, len(ds.Queries))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Bellevue(testCfg)
+	b := Bellevue(testCfg)
+	if a.Frames() != b.Frames() || a.Objects() != b.Objects() {
+		t.Fatal("same seed must give identical datasets")
+	}
+	c := Bellevue(Config{Seed: 8, FPS: 1, Scale: 0.12})
+	if a.Objects() == c.Objects() {
+		t.Log("warning: different seeds gave same object count (possible but unlikely)")
+	}
+	// Deep check on one frame.
+	fa := a.Videos[0].Frames[50]
+	fb := b.Videos[0].Frames[50]
+	if len(fa.Objects) != len(fb.Objects) {
+		t.Fatal("frame 50 differs between equal-seed runs")
+	}
+	for i := range fa.Objects {
+		if fa.Objects[i].Track != fb.Objects[i].Track || fa.Objects[i].Box != fb.Objects[i].Box {
+			t.Fatal("object state differs between equal-seed runs")
+		}
+	}
+}
+
+func TestEveryQueryHasGroundTruth(t *testing.T) {
+	dss := All(testCfg)
+	dss = append(dss, ActivityNetQA(testCfg))
+	for _, ds := range dss {
+		for _, q := range ds.Queries {
+			gt := GroundTruth(ds, terms(q.Text))
+			if len(gt) < 2 {
+				t.Errorf("%s %s: only %d ground-truth instances for %q", ds.Name, q.ID, len(gt), q.Text)
+			}
+		}
+	}
+}
+
+func TestGroundTruthSelectivity(t *testing.T) {
+	// Detailed queries must be strictly more selective than their simple
+	// counterparts (Q2.4 ⊂ Q2.3, Q4.2 ⊂ Q4.1, Q4.4 ⊂ Q4.3).
+	cases := []struct {
+		ds            *Dataset
+		narrow, broad string
+	}{
+		{Bellevue(testCfg), "A bus driving on the road with white roof and yellow-green body.", "A bus driving on the road."},
+		{Beach(testCfg), "A green bus with the white roof driving on the road.", "A green bus driving on the road."},
+		{Beach(testCfg), "A small white truck filled with cargo driving on the road.", "A truck driving on the road."},
+	}
+	for _, c := range cases {
+		n := len(GroundTruth(c.ds, terms(c.narrow)))
+		b := len(GroundTruth(c.ds, terms(c.broad)))
+		if n >= b {
+			t.Errorf("%s: narrow query has %d instances, broad has %d — expected narrow < broad", c.ds.Name, n, b)
+		}
+	}
+}
+
+func TestGroundTruthInstanceShape(t *testing.T) {
+	ds := Bellevue(testCfg)
+	gt := GroundTruth(ds, terms("A red car driving in the center of the road."))
+	if len(gt) == 0 {
+		t.Fatal("no instances")
+	}
+	for _, inst := range gt {
+		if len(inst.Boxes) == 0 {
+			t.Fatal("instance without boxes")
+		}
+		for fi, b := range inst.Boxes {
+			if fi < 0 || b.Area() <= 0 {
+				t.Fatalf("bad box at frame %d: %+v", fi, b)
+			}
+		}
+	}
+	// Instances must be sorted.
+	for i := 1; i < len(gt); i++ {
+		if gt[i].VideoID < gt[i-1].VideoID ||
+			(gt[i].VideoID == gt[i-1].VideoID && gt[i].Track <= gt[i-1].Track) {
+			t.Fatal("instances not sorted by (video, track)")
+		}
+	}
+}
+
+func TestBellevueHasSUVs(t *testing.T) {
+	ds := Bellevue(testCfg)
+	gt := GroundTruth(ds, terms("A black SUV driving in the intersection of the road."))
+	if len(gt) == 0 {
+		t.Fatal("motivation experiment needs black SUVs in Bellevue")
+	}
+}
+
+func TestQ34NeighborGroundTruth(t *testing.T) {
+	ds := QVHighlights(testCfg)
+	full := GroundTruth(ds, terms("A white dog inside a car, next to a woman wearing black clothes."))
+	plain := GroundTruth(ds, terms("A white dog inside a car."))
+	if len(full) == 0 {
+		t.Fatal("Q3.4 has no ground truth")
+	}
+	if len(full) > len(plain) {
+		t.Fatalf("Q3.4 (%d) cannot exceed Q3.3 (%d)", len(full), len(plain))
+	}
+}
+
+func TestCityscapesMovingCamera(t *testing.T) {
+	ds := Cityscapes(testCfg)
+	if !ds.MovingCamera {
+		t.Fatal("cityscapes must be flagged moving-camera")
+	}
+	f := ds.Videos[0].Frames[10]
+	if f.CamMotion[0] == 0 {
+		t.Fatal("cityscapes frames must carry camera motion")
+	}
+	if f.MotionEnergy() == 0 {
+		t.Fatal("moving camera must yield nonzero motion energy")
+	}
+}
+
+func TestQVHighlightsStructure(t *testing.T) {
+	ds := QVHighlights(testCfg)
+	if len(ds.Videos) != 15 {
+		t.Fatalf("qvh videos = %d want 15", len(ds.Videos))
+	}
+	// Shots must change within a video (hand-held clips).
+	v := ds.Videos[0]
+	if v.Frames[0].Shot == v.Frames[len(v.Frames)-1].Shot {
+		t.Fatal("expected shot changes")
+	}
+}
+
+func TestActivityNetStructure(t *testing.T) {
+	ds := ActivityNetQA(testCfg)
+	if len(ds.Videos) != 12 {
+		t.Fatalf("activitynet videos = %d want 12", len(ds.Videos))
+	}
+	for _, q := range ds.Queries {
+		if q.ID == "" || q.Text == "" {
+			t.Fatal("empty query")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"cityscapes", "bellevue", "qvhighlights", "beach", "activitynet"} {
+		ds, err := ByName(name, testCfg)
+		if err != nil || ds == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", testCfg); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestMotivationQueries(t *testing.T) {
+	mq := MotivationQueries()
+	for _, grade := range []string{"simple", "normal", "complex"} {
+		if len(mq[grade]) == 0 {
+			t.Errorf("missing %s queries", grade)
+		}
+	}
+	// Grades must match the parser's assessment.
+	for _, q := range mq["simple"] {
+		if query.Parse(q).Grade() != query.Simple {
+			t.Errorf("%q should parse simple", q)
+		}
+	}
+	for _, q := range mq["complex"] {
+		if query.Parse(q).Grade() != query.Complex {
+			t.Errorf("%q should parse complex", q)
+		}
+	}
+}
+
+func TestScaleControlsSize(t *testing.T) {
+	small := Bellevue(Config{Seed: 7, FPS: 1, Scale: 0.05})
+	big := Bellevue(Config{Seed: 7, FPS: 1, Scale: 0.2})
+	if small.Frames() >= big.Frames() {
+		t.Fatalf("scale must grow dataset: %d vs %d", small.Frames(), big.Frames())
+	}
+}
+
+func TestBoxesStayInUnitFrame(t *testing.T) {
+	for _, ds := range All(testCfg) {
+		for _, v := range ds.Videos {
+			for _, f := range v.Frames {
+				for _, o := range f.Objects {
+					b := o.Box
+					if b.X < 0 || b.Y < 0 || b.X+b.W > 1.0001 || b.Y+b.H > 1.0001 || b.Area() <= 0 {
+						t.Fatalf("%s: box out of frame: %+v", ds.Name, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTracksAreConsistent(t *testing.T) {
+	// A track must keep its class and attrs across frames.
+	ds := Bellevue(testCfg)
+	type info struct {
+		class string
+		attrs string
+	}
+	seen := map[int64]info{}
+	for _, f := range ds.Videos[0].Frames {
+		for _, o := range f.Objects {
+			key := info{o.Class, join(o.Attrs)}
+			if prev, ok := seen[o.Track]; ok && prev != key {
+				t.Fatalf("track %d changed identity: %+v -> %+v", o.Track, prev, key)
+			}
+			seen[o.Track] = key
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("expected many tracks, got %d", len(seen))
+	}
+}
+
+func join(s []string) string {
+	out := ""
+	for _, x := range s {
+		out += x + "|"
+	}
+	return out
+}
+
+var _ = video.Box{} // keep import if helpers change

@@ -1,0 +1,123 @@
+package datasets
+
+import "repro/internal/video"
+
+// QVHighlights generates the diverse hand-held-clip workload standing in for
+// the QVHighlights evaluation subset: fifteen 150-second videos with varied
+// everyday themes — people and pets inside cars, rooms, and outdoor scenes.
+// Camera motion is jittery and shots change every few seconds, exercising
+// the keyframe extractor's scene-change path.
+func QVHighlights(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	b := newBuilder(cfg.Seed ^ 0x45633)
+
+	// seated builds a stationary in-car or in-room subject with gentle sway.
+	seated := func(b *builder, class string, inside string, behaviors []string, attrs ...string) actor {
+		return actor{
+			life: -1,
+			obj: video.Object{
+				Track:     b.track(),
+				Class:     class,
+				Attrs:     attrs,
+				Behaviors: behaviors,
+				Inside:    inside,
+				Box:       video.Box{X: b.uniform(0.30, 0.55), Y: b.uniform(0.30, 0.45), W: 0.16, H: 0.30},
+				Vel:       [2]float64{0, 0},
+			},
+		}
+	}
+
+	type theme struct {
+		name    string
+		context []string
+		rules   []spawnRule
+	}
+
+	themes := []theme{
+		// Q3.1/Q3.2 theme: women sitting inside a car; the scripted one is
+		// red-haired in a white dress and smiling.
+		{name: "car-interior-woman", context: nil, rules: []spawnRule{
+			{every: 40, make: func(b *builder) []actor {
+				a := seated(b, "person", "car", []string{"smiling", "sitting"}, "woman", "red-hair", "white", "dress")
+				a.life = 30
+				return []actor{a}
+			}},
+			{prob: 0.05, make: func(b *builder) []actor {
+				// Distractor: non-smiling woman in dark dress.
+				a := seated(b, "person", "car", []string{"sitting"}, "woman", "dark", "dress")
+				a.life = 20
+				return []actor{a}
+			}},
+		}},
+		// Q3.3/Q3.4 theme: white dog inside a car, sometimes next to a
+		// woman in black clothing.
+		{name: "car-interior-dog", context: nil, rules: []spawnRule{
+			{every: 25, phase: 3, make: func(b *builder) []actor {
+				dog := seated(b, "dog", "car", nil, "white")
+				dog.obj.Box = video.Box{X: 0.35, Y: 0.45, W: 0.12, H: 0.14}
+				dog.life = 30
+				woman := seated(b, "person", "car", []string{"sitting"}, "woman", "black", "clothing")
+				woman.obj.Box = video.Box{X: 0.50, Y: 0.30, W: 0.14, H: 0.32}
+				woman.life = 30
+				return []actor{dog, woman}
+			}},
+			{prob: 0.04, make: func(b *builder) []actor {
+				// Distractor: brown-ish (grey) dog alone.
+				dog := seated(b, "dog", "car", nil, "grey")
+				dog.life = 15
+				return []actor{dog}
+			}},
+		}},
+		// Distractor themes: outdoor walks, room scenes with men.
+		{name: "outdoor-walk", context: []string{"outdoors"}, rules: []spawnRule{
+			{prob: 0.06, make: func(b *builder) []actor {
+				return []actor{b.walker(pick(b, []string{"light", "dark"}), "clothing", pick(b, []string{"man", "woman"}))}
+			}},
+		}},
+		{name: "room-scene", context: []string{"room"}, rules: []spawnRule{
+			{prob: 0.05, make: func(b *builder) []actor {
+				a := seated(b, "person", "", []string{"sitting"}, "man", pick(b, []string{"grey", "blue"}), "suit")
+				a.life = 25
+				return []actor{a}
+			}},
+		}},
+		{name: "street-clip", context: []string{"street"}, rules: []spawnRule{
+			{prob: 0.05, make: func(b *builder) []actor {
+				return []actor{b.crossingVehicle("car", 0.10, 0.07, pick(b, vehicleColors))}
+			}},
+		}},
+	}
+
+	const nVideos = 15
+	videos := make([]video.Video, 0, nVideos)
+	for i := 0; i < nVideos; i++ {
+		th := themes[i%len(themes)]
+		jitterSeed := uint64(i)
+		videos = append(videos, b.simulate(sceneSpec{
+			id:      i,
+			name:    th.name,
+			context: th.context,
+			cam: func(frame int) [2]float64 {
+				// Hand-held jitter, deterministic per video and frame.
+				j := float64((frame*2654435761+int(jitterSeed)*97)%17-8) / 600.0
+				return [2]float64{j, -j / 2}
+			},
+			shot:   func(frame int) int { return frame / 12 },
+			rules:  th.rules,
+			frames: cfg.frames(150),
+			fps:    cfg.FPS,
+		}))
+	}
+
+	return &Dataset{
+		Name:         "qvhighlights",
+		Videos:       videos,
+		MovingCamera: true,
+		Queries: []Query{
+			{ID: "Q3.1", Text: "A woman smiling sitting inside car."},
+			{ID: "Q3.2", Text: "A red-hair woman with white dress sitting inside a car."},
+			{ID: "Q3.3", Text: "A white dog inside a car."},
+			{ID: "Q3.4", Text: "A white dog inside a car, next to a woman wearing black clothes."},
+		},
+	}
+}

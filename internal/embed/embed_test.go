@@ -1,0 +1,210 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/query"
+	"repro/internal/video"
+	"repro/internal/vocab"
+)
+
+func testSpace() *Space { return NewSpace(64, 32, 42) }
+
+func TestNewSpaceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for projDim > dim")
+		}
+	}()
+	NewSpace(8, 16, 1)
+}
+
+func TestTermVecDeterministicAndUnit(t *testing.T) {
+	s := testSpace()
+	a := s.TermVec("car")
+	b := s.TermVec("car")
+	if !mat.AlmostEqual(a, b, 0) {
+		t.Fatal("TermVec must be cached/deterministic")
+	}
+	if n := mat.Norm(a); n < 0.999 || n > 1.001 {
+		t.Fatalf("norm = %v", n)
+	}
+	s2 := NewSpace(64, 32, 42)
+	if !mat.AlmostEqual(a, s2.TermVec("car"), 1e-6) {
+		t.Fatal("same seed spaces must agree")
+	}
+}
+
+func TestRelatedTermsShareDirection(t *testing.T) {
+	s := testSpace()
+	suv := s.TermVec("suv")
+	car := s.TermVec("car")
+	bus := s.TermVec("bus")
+	if mat.Dot(suv, car) <= mat.Dot(suv, bus) {
+		t.Fatalf("suv·car = %v should exceed suv·bus = %v", mat.Dot(suv, car), mat.Dot(suv, bus))
+	}
+	if mat.Dot(suv, car) < 0.3 {
+		t.Fatalf("suv·car too weak: %v", mat.Dot(suv, car))
+	}
+}
+
+func TestUnrelatedTermsNearOrthogonal(t *testing.T) {
+	s := testSpace()
+	if d := mat.Dot(s.TermVec("red"), s.TermVec("dog")); d > 0.35 || d < -0.35 {
+		t.Fatalf("red·dog = %v, expected near-orthogonal", d)
+	}
+}
+
+func TestMixNormalises(t *testing.T) {
+	s := testSpace()
+	v := s.Mix([]Weighted{{"car", 1}, {"red", 0.8}})
+	if n := mat.Norm(v); n < 0.999 || n > 1.001 {
+		t.Fatalf("mix norm = %v", n)
+	}
+	if mat.Dot(v, s.TermVec("car")) < 0.4 {
+		t.Fatal("mix must retain class direction")
+	}
+	zero := s.Mix(nil)
+	if mat.Norm(zero) != 0 {
+		t.Fatal("empty mix must be zero")
+	}
+}
+
+func TestProjectPreservesSimilarityOrder(t *testing.T) {
+	s := testSpace()
+	car := s.TermVec("car")
+	red := s.Mix([]Weighted{{"car", 1}, {"red", 0.8}})
+	dog := s.TermVec("dog")
+	pcar, pred, pdog := s.Project(car), s.Project(red), s.Project(dog)
+	if len(pcar) != 32 {
+		t.Fatalf("projected dim = %d", len(pcar))
+	}
+	if mat.Dot(pcar, pred) <= mat.Dot(pcar, pdog) {
+		t.Fatal("projection must preserve similarity ordering (JL property)")
+	}
+}
+
+func frameWith(obj video.Object, ctx ...string) *video.Frame {
+	return &video.Frame{VideoID: 1, Index: 5, Context: ctx, Objects: []video.Object{obj}}
+}
+
+func TestObjectEmbeddingAlignsWithQuery(t *testing.T) {
+	s := testSpace()
+	ve := &VisionEncoder{Space: s}
+	te := &TextEncoder{Space: s}
+
+	redCar := frameWith(video.Object{
+		Track: 1, Class: "car", Attrs: []string{"red"}, Behaviors: []string{"driving"},
+		Box: video.Box{X: 0.4, Y: 0.4, W: 0.12, H: 0.08},
+	}, "road")
+	blueBus := frameWith(video.Object{
+		Track: 2, Class: "bus", Attrs: []string{"blue"}, Behaviors: []string{"driving"},
+		Box: video.Box{X: 0.4, Y: 0.4, W: 0.2, H: 0.11},
+	}, "road")
+
+	q := te.FastVec(query.Parse("red car in road"))
+	simCar := mat.Dot(q, ve.ObjectEmbedding(redCar, 0))
+	simBus := mat.Dot(q, ve.ObjectEmbedding(blueBus, 0))
+	if simCar <= simBus {
+		t.Fatalf("red car (%v) must beat blue bus (%v) for a red-car query", simCar, simBus)
+	}
+}
+
+func TestObjectEmbeddingDeterministic(t *testing.T) {
+	s := testSpace()
+	ve := &VisionEncoder{Space: s}
+	f := frameWith(video.Object{Track: 3, Class: "car", Box: video.Box{X: 0.1, Y: 0.1, W: 0.1, H: 0.1}})
+	a := ve.ObjectEmbedding(f, 0)
+	b := ve.ObjectEmbedding(f, 0)
+	if !mat.AlmostEqual(a, b, 0) {
+		t.Fatal("repeated encoding must be identical")
+	}
+}
+
+func TestSmallObjectsNoisier(t *testing.T) {
+	s := testSpace()
+	ve := &VisionEncoder{Space: s}
+	clean := s.Mix([]Weighted{{"car", 1}})
+	big := frameWith(video.Object{Track: 4, Class: "car", Box: video.Box{X: 0.1, Y: 0.1, W: 0.5, H: 0.5}})
+	small := frameWith(video.Object{Track: 4, Class: "car", Box: video.Box{X: 0.1, Y: 0.1, W: 0.02, H: 0.02}})
+	// Average over observations to beat noise variance.
+	var bigSim, smallSim float32
+	const n = 20
+	for i := 0; i < n; i++ {
+		big.Index = i
+		small.Index = i
+		bigSim += mat.Dot(clean, ve.ObjectEmbedding(big, 0))
+		smallSim += mat.Dot(clean, ve.ObjectEmbedding(small, 0))
+	}
+	if smallSim >= bigSim {
+		t.Fatalf("small objects should embed noisier: big=%v small=%v", bigSim/n, smallSim/n)
+	}
+}
+
+func TestFrameEmbeddingDilutesSmallObjects(t *testing.T) {
+	s := testSpace()
+	ve := &VisionEncoder{Space: s}
+	te := &TextEncoder{Space: s}
+	q := te.FastVec(query.Parse("white dog"))
+
+	smallDog := video.Object{Track: 1, Class: "dog", Attrs: []string{"white"}, Box: video.Box{X: 0.4, Y: 0.4, W: 0.05, H: 0.05}}
+	bigTruck := video.Object{Track: 2, Class: "truck", Attrs: []string{"grey"}, Box: video.Box{X: 0.1, Y: 0.2, W: 0.5, H: 0.4}}
+	f := &video.Frame{VideoID: 1, Index: 0, Context: []string{"road"}, Objects: []video.Object{smallDog, bigTruck}}
+
+	objSim := mat.Dot(q, ve.ObjectEmbedding(f, 0))
+	frameSim := mat.Dot(q, ve.FrameEmbedding(f))
+	if frameSim >= objSim {
+		t.Fatalf("global frame embedding (%v) must dilute the small dog vs its object embedding (%v)", frameSim, objSim)
+	}
+}
+
+func TestBackgroundEmbeddingContextual(t *testing.T) {
+	s := testSpace()
+	ve := &VisionEncoder{Space: s}
+	f := &video.Frame{VideoID: 1, Index: 0, Context: []string{"road"}}
+	bg := ve.BackgroundEmbedding(f, 3)
+	if mat.Dot(bg, s.TermVec("road")) < 0.3 {
+		t.Fatal("background must reflect scene context")
+	}
+	if mat.Dot(bg, s.TermVec("dog")) > 0.5 {
+		t.Fatal("background must not look like an object")
+	}
+}
+
+func TestFastVecOmitsRelations(t *testing.T) {
+	s := testSpace()
+	te := &TextEncoder{Space: s}
+	with := te.FastVec(query.Parse("red car side by side with another car"))
+	without := te.FastVec(query.Parse("red car"))
+	if mat.Dot(with, without) < 0.95 {
+		t.Fatalf("relations must not change the fast vector materially: %v", mat.Dot(with, without))
+	}
+}
+
+func TestTokensIncludeRelations(t *testing.T) {
+	s := testSpace()
+	te := &TextEncoder{Space: s}
+	toks := te.Tokens(query.Parse("red car side by side with another car"))
+	found := false
+	for _, tok := range toks {
+		if tok.Term == "side by side" {
+			found = true
+			if tok.Kind != vocab.KindRelation {
+				t.Fatal("side by side must be a relation token")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tokens must include relations")
+	}
+}
+
+func TestKindWeights(t *testing.T) {
+	if KindWeight(vocab.KindRelation) != 0 {
+		t.Fatal("relations must have zero weight in entity embeddings")
+	}
+	if KindWeight(vocab.KindClass) <= KindWeight(vocab.KindContext) {
+		t.Fatal("class must outweigh context")
+	}
+}

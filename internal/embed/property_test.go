@@ -1,0 +1,117 @@
+package embed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/query"
+	"repro/internal/video"
+	"repro/internal/vocab"
+)
+
+// Property: every term vector is unit-norm and stable across lookups.
+func TestTermVecUnitProperty(t *testing.T) {
+	s := testSpace()
+	terms := vocab.Terms()
+	f := func(idx uint16) bool {
+		name := terms[int(idx)%len(terms)].Name
+		v := s.TermVec(name)
+		n := mat.Norm(v)
+		return n > 0.999 && n < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a query's fast vector always correlates more with an object
+// carrying its subject class than with one of a different, unrelated class.
+func TestSubjectDiscriminationProperty(t *testing.T) {
+	s := testSpace()
+	ve := &VisionEncoder{Space: s}
+	te := &TextEncoder{Space: s}
+	classes := []string{"car", "bus", "truck", "person", "dog", "bicycle"}
+	f := func(seed uint64) bool {
+		ci := int(seed % uint64(len(classes)))
+		cj := int((seed / 7) % uint64(len(classes)))
+		if ci == cj {
+			return true
+		}
+		// Average over several observations to separate signal from
+		// per-sighting noise.
+		var simI, simJ float32
+		q := te.FastVec(query.Parse(classes[ci]))
+		for k := 0; k < 8; k++ {
+			fi := &video.Frame{VideoID: 1, Index: k, Objects: []video.Object{{
+				Track: int64(seed), Class: classes[ci],
+				Box: video.Box{X: 0.3, Y: 0.3, W: 0.2, H: 0.2},
+			}}}
+			fj := &video.Frame{VideoID: 2, Index: k, Objects: []video.Object{{
+				Track: int64(seed) + 1, Class: classes[cj],
+				Box: video.Box{X: 0.3, Y: 0.3, W: 0.2, H: 0.2},
+			}}}
+			simI += mat.Dot(q, ve.ObjectEmbedding(fi, 0))
+			simJ += mat.Dot(q, ve.ObjectEmbedding(fj, 0))
+		}
+		return simI > simJ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection preserves the sign of strong similarities —
+// projected similarity ordering agrees with full-space ordering for
+// well-separated pairs (the Johnson–Lindenstrauss property the fast index
+// relies on).
+func TestProjectionOrderingProperty(t *testing.T) {
+	s := testSpace()
+	classes := []string{"car", "bus", "truck", "person", "dog"}
+	f := func(seed uint64) bool {
+		base := classes[int(seed%uint64(len(classes)))]
+		other := classes[int((seed/3)%uint64(len(classes)))]
+		if base == other {
+			return true
+		}
+		bv := s.TermVec(base)
+		near := s.Mix([]Weighted{{base, 1}, {"red", 0.5}})
+		far := s.TermVec(other)
+		fullNear, fullFar := mat.Dot(bv, near), mat.Dot(bv, far)
+		if fullNear-fullFar < 0.3 {
+			return true // not well-separated; JL gives no guarantee
+		}
+		pb, pn, pf := s.Project(bv), s.Project(near), s.Project(far)
+		return mat.Dot(pb, pn) > mat.Dot(pb, pf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FastVec is invariant to relation phrases appended to a query.
+func TestFastVecRelationInvarianceProperty(t *testing.T) {
+	s := testSpace()
+	te := &TextEncoder{Space: s}
+	bases := []string{"red car", "green bus on the road", "white dog", "person in blue jeans"}
+	rels := []string{" side by side with another car", " next to a person", ""}
+	f := func(a, b uint8) bool {
+		base := bases[int(a)%len(bases)]
+		rel := rels[int(b)%len(rels)]
+		v1 := te.FastVec(query.Parse(base))
+		v2 := te.FastVec(query.Parse(base + rel))
+		// Relation phrases may introduce new subject nouns ("another
+		// car", "a person"), which legitimately change the vector;
+		// only pure relation phrases must be invisible.
+		if rel == " side by side with another car" && base != "red car" {
+			return true
+		}
+		if rel == " next to a person" && base != "person in blue jeans" {
+			return true
+		}
+		return mat.Dot(v1, v2) > 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

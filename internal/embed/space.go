@@ -1,0 +1,144 @@
+// Package embed implements the shared vision/text embedding space and the
+// decoupled encoders of Section IV: a vision encoder that turns objects and
+// patches into query-agnostic embeddings, and a text encoder that turns
+// parsed queries into aligned vectors.
+//
+// The space substitutes for CLIP-style pre-trained encoders: every
+// vocabulary term owns a deterministic near-orthogonal unit direction
+// (related terms share direction mass per the vocabulary's relation table),
+// and an entity's embedding is the normalised weighted mixture of its term
+// directions plus observation noise. Cosine similarity between a query
+// vector and an object vector therefore tracks semantic term overlap — the
+// property every retrieval experiment in the paper depends on — without any
+// model weights.
+package embed
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/vocab"
+)
+
+// Space is the joint embedding space.
+type Space struct {
+	// Dim is the encoder output dimension D (ViT patch embeddings).
+	Dim int
+	// ProjDim is the reduced class-embedding dimension D′ stored in the
+	// vector database (Section IV-C).
+	ProjDim int
+
+	seed uint64
+	proj *mat.Matrix // Dim -> ProjDim linear projection (class head)
+
+	mu    sync.RWMutex
+	terms map[string]mat.Vec
+}
+
+// NewSpace constructs a space with embedding dimension dim and projection
+// dimension projDim, deterministic in seed.
+func NewSpace(dim, projDim int, seed uint64) *Space {
+	if dim <= 0 || projDim <= 0 || projDim > dim {
+		panic("embed: invalid space dimensions")
+	}
+	s := &Space{
+		Dim:     dim,
+		ProjDim: projDim,
+		seed:    seed,
+		terms:   make(map[string]mat.Vec),
+	}
+	// A random Gaussian projection approximately preserves inner products
+	// (Johnson–Lindenstrauss), which is why the paper can search in the
+	// reduced D′ space.
+	s.proj = mat.RandGaussian(projDim, dim, 1.0/float64(projDim), seed^0x9d2c5680)
+	return s
+}
+
+// hashTerm derives a stable per-term seed.
+func hashTerm(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64() ^ seed
+}
+
+// TermVec returns the unit embedding direction for a canonical term,
+// including its related-term mixture (so "suv" lies partway toward "car").
+// Unknown terms still receive a stable direction. The result is shared;
+// callers must not mutate it.
+func (s *Space) TermVec(name string) mat.Vec {
+	s.mu.RLock()
+	v, ok := s.terms[name]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = mat.UnitGaussianVec(s.Dim, hashTerm(s.seed, name))
+	if t, found := vocab.Lookup(name); found {
+		for _, r := range t.Related {
+			base := mat.UnitGaussianVec(s.Dim, hashTerm(s.seed, r.Name))
+			mat.Axpy(v, r.Weight, base)
+		}
+		mat.Normalize(v)
+	}
+	s.mu.Lock()
+	s.terms[name] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Weighted pairs a term with its mixture weight.
+type Weighted struct {
+	Term   string
+	Weight float32
+}
+
+// Mix returns the normalised weighted sum of term directions; the basic
+// entity-embedding operation. A nil or all-zero mix returns a zero vector.
+func (s *Space) Mix(ws []Weighted) mat.Vec {
+	out := mat.NewVec(s.Dim)
+	for _, w := range ws {
+		if w.Weight == 0 {
+			continue
+		}
+		mat.Axpy(out, w.Weight, s.TermVec(w.Term))
+	}
+	return mat.Normalize(out)
+}
+
+// Project maps a D-dim embedding into the D′ class-embedding space and
+// normalises it; both indexed vectors and query vectors pass through the
+// same projection so similarities are comparable.
+func (s *Space) Project(v mat.Vec) mat.Vec {
+	return mat.Normalize(mat.MatVec(s.proj, v))
+}
+
+// KindWeight returns the mixture weight the encoders assign a term of the
+// given kind. Classes dominate, attributes are strong, context is weak, and
+// spatial relations never enter single-entity embeddings (they are only
+// observable to the cross-modality rerank).
+func KindWeight(k vocab.Kind) float32 {
+	switch k {
+	case vocab.KindClass:
+		return 1.0
+	case vocab.KindColor, vocab.KindClothing:
+		return 0.8
+	case vocab.KindSize:
+		return 0.5
+	case vocab.KindContext:
+		return 0.3
+	case vocab.KindBehavior:
+		return 0.35
+	default: // KindRelation
+		return 0
+	}
+}
+
+// weightFor resolves a raw term name to its kind weight; unknown terms get
+// attribute weight.
+func weightFor(name string) float32 {
+	if t, ok := vocab.Lookup(name); ok {
+		return KindWeight(t.Kind)
+	}
+	return 0.8
+}

@@ -1,0 +1,48 @@
+package embed
+
+import (
+	"repro/internal/mat"
+	"repro/internal/query"
+	"repro/internal/vocab"
+)
+
+// TextEncoder turns parsed queries into embeddings aligned with the vision
+// space (the "text transformer" of Section VI-A).
+type TextEncoder struct {
+	// Space is the shared embedding space.
+	Space *Space
+}
+
+// FastVec encodes the whole query as one vector for the fast-search stage.
+// Following the paper, only the distinctive phrases enter — subject,
+// attributes and context — while cross-word relationships ("side by side",
+// "walking on the road") are deliberately omitted: their recovery is
+// delegated to the rerank stage.
+func (e *TextEncoder) FastVec(p query.Parsed) mat.Vec {
+	terms := p.FastTerms()
+	ws := make([]Weighted, 0, len(terms))
+	for _, t := range terms {
+		ws = append(ws, Weighted{t.Name, KindWeight(t.Kind)})
+	}
+	return e.Space.Mix(ws)
+}
+
+// Token is one query token for the cross-modality rerank: a term, its kind
+// and its embedding direction.
+type Token struct {
+	Term string
+	Kind vocab.Kind
+	Vec  mat.Vec
+}
+
+// Tokens encodes the query as a token sequence for the rerank stage. Unlike
+// FastVec, every term is represented — including relations and behaviours —
+// each as its own token, which is what the cross-attention layers align
+// against image region tokens.
+func (e *TextEncoder) Tokens(p query.Parsed) []Token {
+	out := make([]Token, 0, len(p.Terms))
+	for _, t := range p.Terms {
+		out = append(out, Token{Term: t.Name, Kind: t.Kind, Vec: e.Space.TermVec(t.Name)})
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package embed
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+	"repro/internal/video"
+)
+
+// VisionEncoder turns frame objects and background regions into D-dim
+// embeddings, query-agnostically (the decoupled design of Section IV-B: no
+// text is consulted during video processing).
+//
+// The embedding of an object mixes its visually apparent term directions —
+// class, attributes, behaviour pose, containment, and a weak component of
+// scene context contributed by surrounding patches through the simulated
+// multi-head-attention context mixing. Spatial relations between objects are
+// deliberately not representable here; recovering them is exactly what the
+// cross-modality rerank stage exists for.
+type VisionEncoder struct {
+	// Space is the shared embedding space.
+	Space *Space
+	// Noise is the observation noise σ (default 0.18 when zero): two
+	// sightings of the same object differ, and small/distant objects are
+	// noisier than large ones.
+	Noise float64
+	// Seed decorrelates the noise stream from other components.
+	Seed uint64
+}
+
+// DefaultNoise is the observation noise used when VisionEncoder.Noise is 0.
+const DefaultNoise = 0.18
+
+func (e *VisionEncoder) noise() float64 {
+	if e.Noise == 0 {
+		return DefaultNoise
+	}
+	return e.Noise
+}
+
+// obsSeed derives a deterministic per-observation noise seed so repeated
+// ingestion produces identical embeddings.
+func (e *VisionEncoder) obsSeed(parts ...uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(p >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64() ^ e.Seed ^ 0x5ee0_ab1e
+}
+
+// addNoise perturbs v in place with N(0, σ²) noise from a seeded stream and
+// re-normalises.
+func (e *VisionEncoder) addNoise(v mat.Vec, sigma float64, seed uint64) mat.Vec {
+	rng := rand.New(rand.NewPCG(seed, seed^0xc0ffee))
+	for i := range v {
+		v[i] += float32(rng.NormFloat64() * sigma)
+	}
+	return mat.Normalize(v)
+}
+
+// ObjectEmbedding returns the D-dim embedding for object i of frame f.
+// Smaller objects receive proportionally more noise, reproducing the
+// small-object difficulty the paper attributes to global methods — except
+// that here the object still owns its own embedding, while ZELDA-style
+// global pooling dilutes it (see FrameEmbedding).
+func (e *VisionEncoder) ObjectEmbedding(f *video.Frame, i int) mat.Vec {
+	o := &f.Objects[i]
+	ws := make([]Weighted, 0, 8)
+	ws = append(ws, Weighted{o.Class, weightFor(o.Class)})
+	for _, a := range o.Attrs {
+		ws = append(ws, Weighted{a, weightFor(a)})
+	}
+	for _, bh := range o.Behaviors {
+		ws = append(ws, Weighted{bh, weightFor(bh)})
+	}
+	if o.Inside != "" {
+		ws = append(ws, Weighted{"inside " + o.Inside, 0.6})
+	}
+	for _, c := range f.Context {
+		ws = append(ws, Weighted{c, weightFor(c)})
+	}
+	v := e.Space.Mix(ws)
+	// Small objects are harder to encode faithfully; the penalty is
+	// gentle so a distant truck is retrievable, just noisier.
+	area := o.Box.Area()
+	sigma := e.noise() * (1 + 0.01/(area+0.02))
+	return e.addNoise(v, sigma, e.obsSeed(uint64(o.Track), uint64(f.VideoID)<<32|uint64(uint32(f.Index)), uint64(i)))
+}
+
+// BackgroundEmbedding returns the embedding of an object-free patch: scene
+// context plus noise. These vectors populate the non-object patches the ViT
+// grid produces.
+func (e *VisionEncoder) BackgroundEmbedding(f *video.Frame, patch int) mat.Vec {
+	ws := make([]Weighted, 0, len(f.Context))
+	for _, c := range f.Context {
+		ws = append(ws, Weighted{c, 1})
+	}
+	v := e.Space.Mix(ws)
+	if mat.Norm(v) == 0 {
+		v = mat.NewVec(e.Space.Dim)
+	}
+	return e.addNoise(v, e.noise()*1.5, e.obsSeed(uint64(f.VideoID)<<32|uint64(uint32(f.Index)), uint64(patch), 0xba00))
+}
+
+// FrameEmbedding returns a single global embedding for the whole frame —
+// the CLIP-image-token view a ZELDA-style system indexes. Every object
+// contributes proportionally to its area, so small objects are diluted by
+// large ones and by background context; this is the mechanism behind the
+// paper's observation that global methods "struggle with small objects with
+// fine-grained differences".
+func (e *VisionEncoder) FrameEmbedding(f *video.Frame) mat.Vec {
+	out := mat.NewVec(e.Space.Dim)
+	var totalArea float64
+	for i := range f.Objects {
+		area := f.Objects[i].Box.Area()
+		totalArea += area
+		ov := e.ObjectEmbedding(f, i)
+		mat.Axpy(out, float32(area), ov)
+	}
+	// Background context occupies the remaining area.
+	bg := 1 - totalArea
+	if bg < 0.2 {
+		bg = 0.2
+	}
+	for _, c := range f.Context {
+		mat.Axpy(out, float32(bg), e.Space.TermVec(c))
+	}
+	return e.addNoise(mat.Normalize(out), e.noise()*0.5, e.obsSeed(uint64(f.VideoID)<<32|uint64(uint32(f.Index)), 0xf0a3))
+}

@@ -1,0 +1,151 @@
+package keyframe
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/video"
+)
+
+func staticVideo(n int) *video.Video {
+	v := &video.Video{ID: 1, FPS: 1}
+	for i := 0; i < n; i++ {
+		v.Frames = append(v.Frames, video.Frame{Index: i, Time: float64(i)})
+	}
+	return v
+}
+
+func TestMVMedEmptyVideo(t *testing.T) {
+	if keys := (MVMed{}).Select(&video.Video{}); keys != nil {
+		t.Fatalf("empty video: %v", keys)
+	}
+}
+
+func TestMVMedFirstFrameAlwaysKey(t *testing.T) {
+	keys := MVMed{}.Select(staticVideo(5))
+	if len(keys) == 0 || keys[0] != 0 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestMVMedTemporalFallback(t *testing.T) {
+	// A fully static video must still yield keyframes every MaxGap.
+	keys := MVMed{MaxGap: 10}.Select(staticVideo(50))
+	if len(keys) < 4 {
+		t.Fatalf("temporal fallback too sparse: %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i]-keys[i-1] > 10 {
+			t.Fatalf("gap exceeds MaxGap: %v", keys)
+		}
+	}
+}
+
+func TestMVMedDetectsMotionSpike(t *testing.T) {
+	v := staticVideo(40)
+	// Inject a large moving object at frame 20.
+	v.Frames[20].Objects = []video.Object{{
+		Class: "car", Box: video.Box{X: 0.1, Y: 0.1, W: 0.8, H: 0.8}, Vel: [2]float64{0.5, 0},
+	}}
+	keys := MVMed{MaxGap: 30}.Select(v)
+	found20, found21 := false, false
+	for _, k := range keys {
+		if k == 20 {
+			found20 = true
+		}
+		if k == 21 {
+			found21 = true
+		}
+	}
+	if !found20 {
+		t.Fatalf("motion spike at 20 not detected: %v", keys)
+	}
+	// The energy drop back at 21 is also a discontinuity but must respect
+	// MinGap (default 2), so 21 must NOT be selected.
+	if found21 {
+		t.Fatalf("MinGap violated: %v", keys)
+	}
+}
+
+func TestMVMedDetectsShotChange(t *testing.T) {
+	v := staticVideo(40)
+	for i := 25; i < 40; i++ {
+		v.Frames[i].Shot = 1
+	}
+	keys := MVMed{MaxGap: 100}.Select(v)
+	found := false
+	for _, k := range keys {
+		if k == 25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shot change at 25 not detected: %v", keys)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	keys := Uniform{Interval: 7}.Select(staticVideo(30))
+	want := []int{0, 7, 14, 21, 28}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i, w := range want {
+		if keys[i] != w {
+			t.Fatalf("keys = %v want %v", keys, want)
+		}
+	}
+}
+
+func TestUniformDefaultInterval(t *testing.T) {
+	keys := Uniform{}.Select(staticVideo(25))
+	if len(keys) != 3 { // 0, 10, 20
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestAllSelectsEverything(t *testing.T) {
+	keys := All{}.Select(staticVideo(12))
+	if len(keys) != 12 {
+		t.Fatalf("All must keep every frame: %v", keys)
+	}
+}
+
+func TestRatioOrdering(t *testing.T) {
+	// On a realistic workload: All keeps 100%, MVMed keeps a fraction.
+	ds := datasets.Bellevue(datasets.Config{Seed: 3, Scale: 0.1})
+	v := &ds.Videos[0]
+	all := Ratio(All{}, v)
+	mv := Ratio(MVMed{}, v)
+	if all != 1 {
+		t.Fatalf("All ratio = %v", all)
+	}
+	if mv <= 0 || mv >= 1 {
+		t.Fatalf("MVMed ratio = %v, want in (0,1)", mv)
+	}
+	if mv > 0.8 {
+		t.Fatalf("MVMed should compress substantially, ratio = %v", mv)
+	}
+}
+
+func TestKeysAscendingAndUnique(t *testing.T) {
+	ds := datasets.Cityscapes(datasets.Config{Seed: 3, Scale: 0.1})
+	keys := MVMed{}.Select(&ds.Videos[0])
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly ascending at %d: %v", i, keys[i-3:i+1])
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (MVMed{}).Name() != "mvmed" || (Uniform{}).Name() != "uniform" || (All{}).Name() != "all" {
+		t.Fatal("strategy names")
+	}
+}
+
+func TestRatioEmptyVideo(t *testing.T) {
+	if Ratio(All{}, &video.Video{}) != 0 {
+		t.Fatal("empty video ratio must be 0")
+	}
+}

@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix whose rows are copies of the given vectors.
+// All rows must share one length. An empty input yields a 0×0 matrix.
+func FromRows(rows []Vec) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: FromRows ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vec {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatMul returns a*b. It panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a*bᵀ, i.e. out[i][j] = dot(a.Row(i), b.Row(j)).
+// It panics if the column counts disagree.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// MatVec returns m·v as a new vector. It panics if len(v) != m.Cols.
+func MatVec(m *Matrix, v Vec) Vec {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: MatVec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVec(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// AddInPlace adds b to a element-wise. It panics on shape mismatch.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: AddInPlace shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// SoftmaxRows applies Softmax to each row in place.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		Softmax(m.Row(i))
+	}
+}
+
+// RandGaussian fills a rows×cols matrix with N(0, sigma²) entries drawn from
+// a deterministic PCG stream seeded by seed.
+func RandGaussian(rows, cols int, sigma float64, seed uint64) *Matrix {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * sigma)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// NearIdentity returns an n×n matrix equal to identity plus N(0, sigma²)
+// noise; the residual-dominant initialisation used by the cross-modality
+// transformer so that randomly initialised layers still propagate signal.
+func NearIdentity(n int, sigma float64, seed uint64) *Matrix {
+	m := RandGaussian(n, n, sigma, seed)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] += 1
+	}
+	return m
+}
+
+// GaussianVec returns a length-n vector of N(0, sigma²) entries drawn from a
+// deterministic stream seeded by seed.
+func GaussianVec(n int, sigma float64, seed uint64) Vec {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+	v := NewVec(n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64() * sigma)
+	}
+	return v
+}
+
+// UnitGaussianVec returns a unit-normalised Gaussian vector; with high
+// dimension these behave as near-orthogonal directions, which is how
+// vocabulary terms obtain distinct embedding directions.
+func UnitGaussianVec(n int, seed uint64) Vec {
+	return Normalize(GaussianVec(n, 1, seed))
+}
+
+// AlmostEqual reports whether a and b agree element-wise within tol.
+func AlmostEqual(a, b Vec, tol float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if float32(math.Abs(float64(a[i]-b[i]))) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([]Vec{{1, 2}, {3, 4}})
+	b := FromRows([]Vec{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i, w := range want {
+		approx(t, c.Data[i], w, 1e-5, "matmul")
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatMulT(t *testing.T) {
+	a := FromRows([]Vec{{1, 0}, {0, 1}})
+	b := FromRows([]Vec{{2, 3}, {4, 5}, {6, 7}})
+	c := MatMulT(a, b) // 2x3: c[i][j] = dot(a_i, b_j)
+	if c.Rows != 2 || c.Cols != 3 {
+		t.Fatalf("shape %dx%d", c.Rows, c.Cols)
+	}
+	approx(t, c.At(0, 0), 2, 1e-6, "c00")
+	approx(t, c.At(1, 2), 7, 1e-6, "c12")
+}
+
+func TestMatVec(t *testing.T) {
+	m := FromRows([]Vec{{1, 2, 3}, {4, 5, 6}})
+	v := MatVec(m, Vec{1, 1, 1})
+	approx(t, v[0], 6, 1e-6, "mv0")
+	approx(t, v[1], 15, 1e-6, "mv1")
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected ragged panic")
+		}
+	}()
+	FromRows([]Vec{{1, 2}, {1}})
+}
+
+func TestIdentityAndNearIdentity(t *testing.T) {
+	id := Identity(3)
+	v := Vec{1, 2, 3}
+	out := MatVec(id, v)
+	if !AlmostEqual(out, v, 1e-6) {
+		t.Fatalf("identity transform changed vector: %v", out)
+	}
+	ni := NearIdentity(16, 0.01, 42)
+	// Near-identity should approximately preserve a vector's direction.
+	x := UnitGaussianVec(16, 7)
+	y := Normalized(MatVec(ni, x))
+	if Cosine(x, y) < 0.95 {
+		t.Fatalf("near-identity distorted direction too much: cos=%v", Cosine(x, y))
+	}
+}
+
+func TestRandGaussianDeterminism(t *testing.T) {
+	a := RandGaussian(4, 4, 1, 99)
+	b := RandGaussian(4, 4, 1, 99)
+	c := RandGaussian(4, 4, 1, 100)
+	if !AlmostEqual(a.Data, b.Data, 0) {
+		t.Fatal("same seed must give identical matrices")
+	}
+	if AlmostEqual(a.Data, c.Data, 1e-9) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestUnitGaussianVecNearOrthogonal(t *testing.T) {
+	// In high dimension, independently seeded unit Gaussians are nearly
+	// orthogonal; this is the property the vocabulary embedding relies on.
+	const dim = 256
+	a := UnitGaussianVec(dim, 1)
+	b := UnitGaussianVec(dim, 2)
+	if c := Cosine(a, b); math.Abs(float64(c)) > 0.25 {
+		t.Fatalf("expected near-orthogonal unit Gaussians, cos=%v", c)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromRows([]Vec{{0, 0}, {1, 3}})
+	m.SoftmaxRows()
+	approx(t, m.At(0, 0), 0.5, 1e-5, "row0 uniform")
+	if m.At(1, 1) <= m.At(1, 0) {
+		t.Fatal("softmax must preserve ordering within row")
+	}
+}
+
+// Property: (A·B)·v == A·(B·v) for random small matrices.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := RandGaussian(3, 4, 1, seed)
+		b := RandGaussian(4, 5, 1, seed+1)
+		v := GaussianVec(5, 1, seed+2)
+		left := MatVec(MatMul(a, b), v)
+		right := MatVec(a, MatVec(b, v))
+		return AlmostEqual(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMulT(a, b) equals MatMul(a, transpose(b)).
+func TestMatMulTMatchesTransposeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := RandGaussian(3, 4, 1, seed)
+		b := RandGaussian(5, 4, 1, seed+9)
+		bt := NewMatrix(4, 5)
+		for i := 0; i < b.Rows; i++ {
+			for j := 0; j < b.Cols; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		return AlmostEqual(MatMulT(a, b).Data, MatMul(a, bt).Data, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package mat
+
+import "sort"
+
+// Scored pairs an item identifier with a similarity score. Higher scores are
+// better throughout the repository (vectors are unit-normalised so inner
+// product equals cosine similarity).
+type Scored struct {
+	ID    int64
+	Score float32
+}
+
+// TopK collects the k highest-scoring items from a stream using a bounded
+// min-heap. The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Scored // min-heap on Score
+}
+
+// NewTopK returns a collector retaining the k best items. k must be > 0.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("mat: NewTopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Scored, 0, k)}
+}
+
+// Len returns the number of items currently retained.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Threshold returns the lowest retained score once the collector is full,
+// and negative infinity semantics (-MaxFloat32) before that. Callers can use
+// it to skip work for candidates that cannot enter the result.
+func (t *TopK) Threshold() float32 {
+	if len(t.heap) < t.k {
+		return -3.4028235e38
+	}
+	return t.heap[0].Score
+}
+
+// Push offers an item to the collector.
+func (t *TopK) Push(id int64, score float32) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Scored{ID: id, Score: score})
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if score <= t.heap[0].Score {
+		return
+	}
+	t.heap[0] = Scored{ID: id, Score: score}
+	t.siftDown(0)
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Score <= t.heap[i].Score {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.heap[l].Score < t.heap[small].Score {
+			small = l
+		}
+		if r < n && t.heap[r].Score < t.heap[small].Score {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.heap[i], t.heap[small] = t.heap[small], t.heap[i]
+		i = small
+	}
+}
+
+// Sorted returns the retained items in descending score order, breaking ties
+// by ascending ID for determinism. The collector remains usable afterwards.
+func (t *TopK) Sorted() []Scored {
+	out := make([]Scored, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// SortScoredDesc sorts a slice of Scored in descending score order with
+// ascending-ID tie-break, in place.
+func SortScoredDesc(s []Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].ID < s[j].ID
+	})
+}

@@ -1,0 +1,110 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(3)
+	for i, s := range []float32{0.1, 0.9, 0.5, 0.7, 0.3} {
+		tk.Push(int64(i), s)
+	}
+	got := tk.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("len=%d want 3", len(got))
+	}
+	wantIDs := []int64{1, 3, 2} // scores 0.9, 0.7, 0.5
+	for i, w := range wantIDs {
+		if got[i].ID != w {
+			t.Fatalf("pos %d: got id %d want %d", i, got[i].ID, w)
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Push(1, 0.5)
+	tk.Push(2, 0.9)
+	got := tk.Sorted()
+	if len(got) != 2 || got[0].ID != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTopKThreshold(t *testing.T) {
+	tk := NewTopK(2)
+	if tk.Threshold() > -3e38 {
+		t.Fatal("empty collector must have -inf threshold")
+	}
+	tk.Push(1, 0.2)
+	tk.Push(2, 0.8)
+	if tk.Threshold() != 0.2 {
+		t.Fatalf("threshold = %v want 0.2", tk.Threshold())
+	}
+	tk.Push(3, 0.5)
+	if tk.Threshold() != 0.5 {
+		t.Fatalf("threshold after evict = %v want 0.5", tk.Threshold())
+	}
+}
+
+func TestTopKTieBreakByID(t *testing.T) {
+	tk := NewTopK(3)
+	tk.Push(5, 0.5)
+	tk.Push(2, 0.5)
+	tk.Push(9, 0.5)
+	got := tk.Sorted()
+	if got[0].ID != 2 || got[1].ID != 5 || got[2].ID != 9 {
+		t.Fatalf("tie-break order wrong: %v", got)
+	}
+}
+
+func TestNewTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k<=0")
+		}
+	}()
+	NewTopK(0)
+}
+
+// Property: TopK matches full sort + truncate on random streams.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + int(rng.Uint64()%200)
+		all := make([]Scored, n)
+		tk := NewTopK(k)
+		for i := 0; i < n; i++ {
+			s := Scored{ID: int64(i), Score: float32(rng.Float64())}
+			all[i] = s
+			tk.Push(s.ID, s.Score)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score > all[j].Score
+			}
+			return all[i].ID < all[j].ID
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Sorted()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

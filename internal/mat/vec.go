@@ -1,0 +1,204 @@
+// Package mat provides the small dense linear-algebra kernel used across the
+// repository: float32 vectors and matrices, similarity primitives, and the
+// neural-network building blocks (softmax, layer normalisation, activations)
+// needed by the encoders and the cross-modality transformer.
+//
+// Everything operates on plain slices so callers can alias into larger
+// buffers; no function retains its arguments.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float32 vector. The zero value is an empty vector.
+type Vec = []float32
+
+// NewVec returns a zeroed vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b Vec) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v Vec) float32 {
+	var s float32
+	for _, x := range v {
+		s += x * x
+	}
+	return float32(math.Sqrt(float64(s)))
+}
+
+// Normalize scales v in place to unit L2 norm and returns v.
+// A zero vector is returned unchanged.
+func Normalize(v Vec) Vec {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Normalized returns a unit-norm copy of v.
+func Normalized(v Vec) Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return Normalize(out)
+}
+
+// Cosine returns the cosine similarity between a and b.
+// If either vector is zero it returns 0.
+func Cosine(a, b Vec) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ.
+func SqDist(a, b Vec) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: SqDist length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Add stores a+b into dst and returns dst. dst may alias a or b.
+func Add(dst, a, b Vec) Vec {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst and returns dst. dst may alias a or b.
+func Sub(dst, a, b Vec) Vec {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale multiplies v in place by s and returns v.
+func Scale(v Vec, s float32) Vec {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// Axpy computes dst += alpha*x element-wise and returns dst.
+func Axpy(dst Vec, alpha float32, x Vec) Vec {
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+	return dst
+}
+
+// Clone returns a copy of v.
+func Clone(v Vec) Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Softmax rewrites v in place with the numerically stable softmax of its
+// entries and returns v. An empty vector is returned unchanged.
+func Softmax(v Vec) Vec {
+	if len(v) == 0 {
+		return v
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float32
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - max)))
+		v[i] = e
+		sum += e
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+// LayerNorm normalises v in place to zero mean and unit variance, then
+// applies elementwise gain and bias (which may be nil for identity), and
+// returns v.
+func LayerNorm(v, gain, bias Vec) Vec {
+	if len(v) == 0 {
+		return v
+	}
+	var mean float32
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float32(len(v))
+	var varsum float32
+	for _, x := range v {
+		d := x - mean
+		varsum += d * d
+	}
+	const eps = 1e-5
+	inv := 1 / float32(math.Sqrt(float64(varsum/float32(len(v))+eps)))
+	for i := range v {
+		v[i] = (v[i] - mean) * inv
+		if gain != nil {
+			v[i] *= gain[i]
+		}
+		if bias != nil {
+			v[i] += bias[i]
+		}
+	}
+	return v
+}
+
+// ReLU applies max(0,x) in place and returns v.
+func ReLU(v Vec) Vec {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place and
+// returns v.
+func GELU(v Vec) Vec {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range v {
+		x64 := float64(x)
+		v[i] = float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+	}
+	return v
+}

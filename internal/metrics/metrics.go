@@ -1,0 +1,170 @@
+// Package metrics implements the paper's evaluation measures: Average
+// Precision over ranked object retrievals with IoU-gated matching
+// (Section VII-A).
+//
+// Matching protocol. Ground truth is track-level (datasets.Instance): a
+// physical object satisfying the query during part of its lifetime. A
+// ranked result matches an instance when the instance holds a box in the
+// result's frame with IoU above the threshold (0.5, the MSCOCO convention
+// the paper follows). Each instance counts once as a true positive; a later
+// retrieval of an already-matched instance (another genuine sighting of the
+// same physical object) is ignored rather than penalised — objects really
+// do appear in many frames — but every ignored sighting still consumes a
+// slot of the fixed retrieval depth, so systems that "focus on one repeated
+// object" lose recall of everything else, which is the diversity pressure
+// the paper describes. Boxes that match no instance are false positives.
+// AveP is Σ_k Precision@k · rel(k) / R over the non-ignored ranking, the
+// discrete area under the precision–recall curve. Callers follow the
+// paper's depth protocol by truncating the ranked list to 10× the
+// ground-truth count before scoring.
+package metrics
+
+import (
+	"repro/internal/datasets"
+	"repro/internal/video"
+)
+
+// Retrieved is one ranked retrieval result, method-agnostic.
+type Retrieved struct {
+	// VideoID and FrameIdx locate the frame.
+	VideoID  int
+	FrameIdx int
+	// Box is the predicted bounding box.
+	Box video.Box
+	// Score is the method's ranking score (descending order expected).
+	Score float32
+}
+
+// DefaultIoU is the positive-match threshold used throughout (MSCOCO).
+const DefaultIoU = 0.5
+
+// Label values beyond instance indexes.
+const (
+	// LabelFP marks a false positive (no instance matched).
+	LabelFP = -1
+	// LabelDup marks a repeat sighting of an already-matched instance;
+	// ignored by precision but still consuming retrieval depth.
+	LabelDup = -2
+)
+
+// Match labels each result greedily in rank order: the matched instance
+// index, LabelFP, or LabelDup.
+func Match(results []Retrieved, gt []datasets.Instance, iouThresh float64) []int {
+	matched := make([]bool, len(gt))
+	labels := make([]int, len(results))
+	for ri, r := range results {
+		labels[ri] = LabelFP
+		bestIoU := iouThresh
+		bestInst := -1
+		dup := false
+		for gi := range gt {
+			if gt[gi].VideoID != r.VideoID {
+				continue
+			}
+			gbox, ok := gt[gi].Boxes[r.FrameIdx]
+			if !ok {
+				continue
+			}
+			if iou := r.Box.IoU(gbox); iou > bestIoU {
+				if matched[gi] {
+					dup = true
+					continue
+				}
+				bestIoU = iou
+				bestInst = gi
+			}
+		}
+		switch {
+		case bestInst >= 0:
+			matched[bestInst] = true
+			labels[ri] = bestInst
+		case dup:
+			labels[ri] = LabelDup
+		}
+	}
+	return labels
+}
+
+// AveragePrecision computes AveP of a ranked result list against the
+// instance set. An empty ground truth yields 0.
+func AveragePrecision(results []Retrieved, gt []datasets.Instance, iouThresh float64) float64 {
+	if len(gt) == 0 {
+		return 0
+	}
+	labels := Match(results, gt, iouThresh)
+	var ap float64
+	tp, rank := 0, 0
+	for _, l := range labels {
+		if l == LabelDup {
+			continue
+		}
+		rank++
+		if l >= 0 {
+			tp++
+			ap += float64(tp) / float64(rank)
+		}
+	}
+	return ap / float64(len(gt))
+}
+
+// RecallAtDepth returns the fraction of instances matched within the ranked
+// list.
+func RecallAtDepth(results []Retrieved, gt []datasets.Instance, iouThresh float64) float64 {
+	if len(gt) == 0 {
+		return 0
+	}
+	labels := Match(results, gt, iouThresh)
+	tp := 0
+	for _, l := range labels {
+		if l >= 0 {
+			tp++
+		}
+	}
+	return float64(tp) / float64(len(gt))
+}
+
+// PrecisionAtK returns the precision of the first k non-ignored results.
+func PrecisionAtK(results []Retrieved, gt []datasets.Instance, iouThresh float64, k int) float64 {
+	if k <= 0 || len(results) == 0 {
+		return 0
+	}
+	labels := Match(results, gt, iouThresh)
+	tp, rank := 0, 0
+	for _, l := range labels {
+		if l == LabelDup {
+			continue
+		}
+		rank++
+		if rank > k {
+			break
+		}
+		if l >= 0 {
+			tp++
+		}
+	}
+	if rank > k {
+		rank = k
+	}
+	if rank == 0 {
+		return 0
+	}
+	return float64(tp) / float64(rank)
+}
+
+// Depth returns the paper's retrieval depth: 10× the ground-truth count,
+// with a small floor so tiny ground truths still rank a list.
+func Depth(gt []datasets.Instance) int {
+	d := 10 * len(gt)
+	if d < 10 {
+		d = 10
+	}
+	return d
+}
+
+// Truncate clips results to depth n.
+func Truncate(results []Retrieved, n int) []Retrieved {
+	if len(results) > n {
+		return results[:n]
+	}
+	return results
+}

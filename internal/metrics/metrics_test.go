@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/video"
+)
+
+func inst(vid int, track int64, frames ...int) datasets.Instance {
+	boxes := make(map[int]video.Box, len(frames))
+	for _, f := range frames {
+		boxes[f] = video.Box{X: 0.4, Y: 0.4, W: 0.1, H: 0.1}
+	}
+	return datasets.Instance{VideoID: vid, Track: track, Boxes: boxes}
+}
+
+func hit(vid, frame int) Retrieved {
+	return Retrieved{VideoID: vid, FrameIdx: frame, Box: video.Box{X: 0.4, Y: 0.4, W: 0.1, H: 0.1}}
+}
+
+func miss(vid, frame int) Retrieved {
+	return Retrieved{VideoID: vid, FrameIdx: frame, Box: video.Box{X: 0.0, Y: 0.0, W: 0.1, H: 0.1}}
+}
+
+func TestPerfectRanking(t *testing.T) {
+	gt := []datasets.Instance{inst(1, 1, 5), inst(1, 2, 9)}
+	// Distinct frames so each result matches a different instance.
+	gt[1].Boxes = map[int]video.Box{9: {X: 0.7, Y: 0.7, W: 0.1, H: 0.1}}
+	results := []Retrieved{
+		hit(1, 5),
+		{VideoID: 1, FrameIdx: 9, Box: video.Box{X: 0.7, Y: 0.7, W: 0.1, H: 0.1}},
+	}
+	if ap := AveragePrecision(results, gt, DefaultIoU); math.Abs(ap-1) > 1e-12 {
+		t.Fatalf("perfect AP = %v", ap)
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	if AveragePrecision(nil, nil, DefaultIoU) != 0 {
+		t.Fatal("empty GT must be 0")
+	}
+	gt := []datasets.Instance{inst(1, 1, 5)}
+	if AveragePrecision(nil, gt, DefaultIoU) != 0 {
+		t.Fatal("no results must be 0")
+	}
+	if RecallAtDepth(nil, nil, DefaultIoU) != 0 {
+		t.Fatal("empty recall")
+	}
+}
+
+func TestDuplicateRetrievalsIgnoredNotPenalised(t *testing.T) {
+	gt := []datasets.Instance{inst(1, 1, 5, 6, 7)}
+	// Retrieving the same instance three times: the first is a TP, the
+	// repeats are genuine sightings and are ignored (they still consume
+	// depth, but they are not false positives).
+	results := []Retrieved{hit(1, 5), hit(1, 6), hit(1, 7)}
+	labels := Match(results, gt, DefaultIoU)
+	if labels[0] != 0 || labels[1] != LabelDup || labels[2] != LabelDup {
+		t.Fatalf("labels = %v", labels)
+	}
+	if ap := AveragePrecision(results, gt, DefaultIoU); math.Abs(ap-1) > 1e-12 {
+		t.Fatalf("single-instance AP = %v (first hit at rank 1)", ap)
+	}
+}
+
+func TestDuplicatesStillConsumeDepth(t *testing.T) {
+	// Two instances; the ranked list spends its budget re-retrieving the
+	// first, so truncation at depth loses the second — the diversity
+	// pressure of the protocol.
+	gt := []datasets.Instance{inst(1, 1, 5, 6), inst(1, 2, 50)}
+	gt[1].Boxes = map[int]video.Box{50: {X: 0.7, Y: 0.7, W: 0.1, H: 0.1}}
+	redundant := []Retrieved{hit(1, 5), hit(1, 6)} // depth-2 list wasted on one object
+	if r := RecallAtDepth(Truncate(redundant, 2), gt, DefaultIoU); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("recall = %v want 0.5", r)
+	}
+}
+
+func TestMissesDepressAP(t *testing.T) {
+	gt := []datasets.Instance{inst(1, 1, 5)}
+	// TP at rank 3: AP = (1/1) * (1/3).
+	results := []Retrieved{miss(1, 5), miss(1, 5), hit(1, 5)}
+	if ap := AveragePrecision(results, gt, DefaultIoU); math.Abs(ap-1.0/3) > 1e-12 {
+		t.Fatalf("AP = %v want 1/3", ap)
+	}
+}
+
+func TestIoUThresholdGatesMatch(t *testing.T) {
+	gt := []datasets.Instance{inst(1, 1, 5)}
+	shifted := Retrieved{VideoID: 1, FrameIdx: 5, Box: video.Box{X: 0.47, Y: 0.4, W: 0.1, H: 0.1}}
+	// IoU of a 0.07-shift on a 0.1 box: inter 0.03*0.1, union 0.017 -> ~0.176
+	if got := Match([]Retrieved{shifted}, gt, DefaultIoU)[0]; got != -1 {
+		t.Fatalf("low-IoU box must not match: %d", got)
+	}
+	if got := Match([]Retrieved{shifted}, gt, 0.1)[0]; got != 0 {
+		t.Fatalf("looser threshold should match: %d", got)
+	}
+}
+
+func TestVideoIDSeparatesInstances(t *testing.T) {
+	gt := []datasets.Instance{inst(2, 1, 5)}
+	if got := Match([]Retrieved{hit(1, 5)}, gt, DefaultIoU)[0]; got != -1 {
+		t.Fatal("different video must not match")
+	}
+}
+
+func TestBestIoUWins(t *testing.T) {
+	// Two instances in the same frame; the result overlaps both but one
+	// better.
+	a := datasets.Instance{VideoID: 1, Track: 1, Boxes: map[int]video.Box{5: {X: 0.40, Y: 0.4, W: 0.1, H: 0.1}}}
+	b := datasets.Instance{VideoID: 1, Track: 2, Boxes: map[int]video.Box{5: {X: 0.42, Y: 0.4, W: 0.1, H: 0.1}}}
+	r := Retrieved{VideoID: 1, FrameIdx: 5, Box: video.Box{X: 0.42, Y: 0.4, W: 0.1, H: 0.1}}
+	labels := Match([]Retrieved{r}, []datasets.Instance{a, b}, DefaultIoU)
+	if labels[0] != 1 {
+		t.Fatalf("should match the better-overlapping instance, got %d", labels[0])
+	}
+}
+
+func TestRecallAndPrecision(t *testing.T) {
+	gt := []datasets.Instance{inst(1, 1, 5), inst(1, 2, 50)}
+	gt[1].Boxes = map[int]video.Box{50: {X: 0.7, Y: 0.7, W: 0.1, H: 0.1}}
+	results := []Retrieved{
+		hit(1, 5),
+		miss(1, 5),
+		miss(1, 5),
+	}
+	if r := RecallAtDepth(results, gt, DefaultIoU); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+	if p := PrecisionAtK(results, gt, DefaultIoU, 1); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("p@1 = %v", p)
+	}
+	if p := PrecisionAtK(results, gt, DefaultIoU, 3); math.Abs(p-1.0/3) > 1e-12 {
+		t.Fatalf("p@3 = %v", p)
+	}
+	if p := PrecisionAtK(nil, gt, DefaultIoU, 3); p != 0 {
+		t.Fatalf("empty p@k = %v", p)
+	}
+}
+
+func TestDepthProtocol(t *testing.T) {
+	if Depth(nil) != 10 {
+		t.Fatal("floor")
+	}
+	gt := []datasets.Instance{inst(1, 1, 1), inst(1, 2, 2), inst(1, 3, 3)}
+	if Depth(gt) != 30 {
+		t.Fatalf("depth = %d", Depth(gt))
+	}
+	rs := make([]Retrieved, 50)
+	if len(Truncate(rs, 30)) != 30 || len(Truncate(rs, 100)) != 50 {
+		t.Fatal("truncate")
+	}
+}
+
+func TestRankingOrderMatters(t *testing.T) {
+	gt := []datasets.Instance{inst(1, 1, 5), inst(1, 2, 50)}
+	gt[1].Boxes = map[int]video.Box{50: {X: 0.7, Y: 0.7, W: 0.1, H: 0.1}}
+	hit2 := Retrieved{VideoID: 1, FrameIdx: 50, Box: video.Box{X: 0.7, Y: 0.7, W: 0.1, H: 0.1}}
+	good := []Retrieved{hit(1, 5), hit2, miss(1, 5)}
+	bad := []Retrieved{miss(1, 5), hit(1, 5), hit2}
+	if AveragePrecision(good, gt, DefaultIoU) <= AveragePrecision(bad, gt, DefaultIoU) {
+		t.Fatal("earlier hits must yield higher AP")
+	}
+}

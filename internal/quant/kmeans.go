@@ -1,0 +1,153 @@
+// Package quant implements vector quantization: Lloyd's k-means with
+// k-means++ seeding, and product quantization (PQ) with asymmetric-distance
+// lookup tables — the compression and coarse-indexing machinery of
+// Section V-B of the paper.
+package quant
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+)
+
+// KMeansResult holds trained centroids and the final assignment of each
+// training vector.
+type KMeansResult struct {
+	Centroids []mat.Vec
+	Assign    []int
+}
+
+// KMeans clusters data into k centroids using Lloyd's iteration (the
+// codebook trainer the paper cites) with k-means++ seeding. It runs at most
+// maxIter iterations or until assignments stabilise. If len(data) <= k each
+// point becomes its own centroid.
+func KMeans(data []mat.Vec, k, maxIter int, seed uint64) *KMeansResult {
+	if len(data) == 0 || k <= 0 {
+		return &KMeansResult{}
+	}
+	if len(data) <= k {
+		res := &KMeansResult{Assign: make([]int, len(data))}
+		for i, v := range data {
+			res.Centroids = append(res.Centroids, mat.Clone(v))
+			res.Assign[i] = i
+		}
+		return res
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x6b6d65616e73)) // "kmeans"
+	dim := len(data[0])
+
+	// k-means++ seeding.
+	centroids := make([]mat.Vec, 0, k)
+	centroids = append(centroids, mat.Clone(data[rng.IntN(len(data))]))
+	d2 := make([]float64, len(data))
+	for i, v := range data {
+		d2[i] = float64(mat.SqDist(v, centroids[0]))
+	}
+	for len(centroids) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var next int
+		if sum <= 0 {
+			next = rng.IntN(len(data))
+		} else {
+			r := rng.Float64() * sum
+			acc := 0.0
+			next = len(data) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := mat.Clone(data[next])
+		centroids = append(centroids, c)
+		for i, v := range data {
+			if nd := float64(mat.SqDist(v, c)); nd < d2[i] {
+				d2[i] = nd
+			}
+		}
+	}
+
+	// Lloyd's iterations.
+	assign := make([]int, len(data))
+	for i := range assign {
+		assign[i] = -1
+	}
+	counts := make([]int, k)
+	sums := make([]mat.Vec, k)
+	for i := range sums {
+		sums[i] = mat.NewVec(dim)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range data {
+			best, bestD := 0, mat.SqDist(v, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := mat.SqDist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, v := range data {
+			c := assign[i]
+			counts[c]++
+			mat.Add(sums[c], sums[c], v)
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster to the point farthest
+				// from its centroid.
+				far, farD := 0, float32(-1)
+				for i, v := range data {
+					if d := mat.SqDist(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], data[far])
+				continue
+			}
+			inv := 1 / float32(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] * inv
+			}
+		}
+	}
+	return &KMeansResult{Centroids: centroids, Assign: assign}
+}
+
+// NearestCentroid returns the index of the centroid closest to v in
+// Euclidean distance.
+func NearestCentroid(centroids []mat.Vec, v mat.Vec) int {
+	if len(centroids) == 0 {
+		return -1
+	}
+	best, bestD := 0, mat.SqDist(v, centroids[0])
+	for c := 1; c < len(centroids); c++ {
+		if d := mat.SqDist(v, centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// ErrNotEnoughData reports a training set too small for the requested
+// quantizer shape.
+var ErrNotEnoughData = errors.New("quant: not enough training data")

@@ -1,0 +1,123 @@
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// PQ is a product quantizer: the D′-dimensional space is split into P
+// subspaces of SubDim dimensions each, every subspace quantized
+// independently into M centroids (Section V-B). A vector is stored as P
+// one-byte-ish codes, and query similarity is computed through per-subspace
+// lookup tables (asymmetric distance computation).
+type PQ struct {
+	// P is the number of subspaces.
+	P int
+	// M is the number of centroids per subspace codebook.
+	M int
+	// SubDim is the per-subspace dimensionality m, with D′ = P·m.
+	SubDim int
+	// Codebooks[p][m] is the m-th centroid of subspace p.
+	Codebooks [][]mat.Vec
+}
+
+// Code is a PQ code: one centroid index per subspace.
+type Code []uint16
+
+// TrainPQ trains a product quantizer on data with p subspaces and m
+// centroids per subspace. The vector dimension must be divisible by p and
+// there must be at least m training vectors.
+func TrainPQ(data []mat.Vec, p, m int, seed uint64) (*PQ, error) {
+	if len(data) == 0 {
+		return nil, ErrNotEnoughData
+	}
+	dim := len(data[0])
+	if p <= 0 || dim%p != 0 {
+		return nil, fmt.Errorf("quant: dim %d not divisible by P=%d", dim, p)
+	}
+	if len(data) < m {
+		return nil, fmt.Errorf("%w: %d vectors for M=%d centroids", ErrNotEnoughData, len(data), m)
+	}
+	sub := dim / p
+	pq := &PQ{P: p, M: m, SubDim: sub, Codebooks: make([][]mat.Vec, p)}
+	buf := make([]mat.Vec, len(data))
+	for sp := 0; sp < p; sp++ {
+		for i, v := range data {
+			buf[i] = v[sp*sub : (sp+1)*sub]
+		}
+		res := KMeans(buf, m, 25, seed+uint64(sp)*1315423911)
+		pq.Codebooks[sp] = res.Centroids
+	}
+	return pq, nil
+}
+
+// Dim returns the full vector dimension the quantizer encodes.
+func (pq *PQ) Dim() int { return pq.P * pq.SubDim }
+
+// Encode quantizes v into its PQ code.
+func (pq *PQ) Encode(v mat.Vec) Code {
+	if len(v) != pq.Dim() {
+		panic(fmt.Sprintf("quant: Encode dim %d != %d", len(v), pq.Dim()))
+	}
+	code := make(Code, pq.P)
+	for sp := 0; sp < pq.P; sp++ {
+		part := v[sp*pq.SubDim : (sp+1)*pq.SubDim]
+		code[sp] = uint16(NearestCentroid(pq.Codebooks[sp], part))
+	}
+	return code
+}
+
+// Decode reconstructs the centroid concatenation for a code.
+func (pq *PQ) Decode(code Code) mat.Vec {
+	out := mat.NewVec(pq.Dim())
+	for sp := 0; sp < pq.P; sp++ {
+		copy(out[sp*pq.SubDim:(sp+1)*pq.SubDim], pq.Codebooks[sp][code[sp]])
+	}
+	return out
+}
+
+// DotTable precomputes the per-subspace inner products between the query
+// partition [q]_p and every centroid — the "distance lookup-table" of
+// Algorithm 1. table[p][m] = dot([q]_p, c_{p,m}).
+func (pq *PQ) DotTable(q mat.Vec) [][]float32 {
+	if len(q) != pq.Dim() {
+		panic(fmt.Sprintf("quant: DotTable dim %d != %d", len(q), pq.Dim()))
+	}
+	table := make([][]float32, pq.P)
+	for sp := 0; sp < pq.P; sp++ {
+		part := q[sp*pq.SubDim : (sp+1)*pq.SubDim]
+		row := make([]float32, len(pq.Codebooks[sp]))
+		for mIdx, c := range pq.Codebooks[sp] {
+			row[mIdx] = mat.Dot(part, c)
+		}
+		table[sp] = row
+	}
+	return table
+}
+
+// ApproxDot evaluates the ADC similarity of a coded vector against the
+// query whose DotTable is given: Σ_p table[p][code_p]. This is the
+// approximate score s([q]_p,[c_a]_p) ≈ s([q]_p, c_m,p) + [q]_p·[r_a]_p of
+// Algorithm 1 — the coarse term plus the residual term folded into one
+// table lookup per subspace.
+func (pq *PQ) ApproxDot(table [][]float32, code Code) float32 {
+	var s float32
+	for sp, m := range code {
+		s += table[sp][m]
+	}
+	return s
+}
+
+// QuantizationError returns the mean squared reconstruction error of the
+// quantizer over data; used by tests and calibration.
+func (pq *PQ) QuantizationError(data []mat.Vec) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range data {
+		sum += float64(mat.SqDist(v, pq.Decode(pq.Encode(v))))
+	}
+	return sum / float64(len(data))
+}

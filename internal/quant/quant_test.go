@@ -1,0 +1,212 @@
+package quant
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// clusteredData generates nPer points around each of k well-separated
+// centres.
+func clusteredData(k, nPer, dim int, spread float64, seed uint64) ([]mat.Vec, []mat.Vec) {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	centers := make([]mat.Vec, k)
+	for i := range centers {
+		centers[i] = mat.Scale(mat.UnitGaussianVec(dim, uint64(i)*7+seed), 10)
+	}
+	var data []mat.Vec
+	for i := 0; i < k; i++ {
+		for j := 0; j < nPer; j++ {
+			v := mat.Clone(centers[i])
+			for d := range v {
+				v[d] += float32(rng.NormFloat64() * spread)
+			}
+			data = append(data, v)
+		}
+	}
+	return data, centers
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	data, centers := clusteredData(4, 50, 8, 0.1, 1)
+	res := KMeans(data, 4, 50, 2)
+	if len(res.Centroids) != 4 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	// Every true centre must be close to some learned centroid.
+	for _, c := range centers {
+		best := float32(math.MaxFloat32)
+		for _, l := range res.Centroids {
+			if d := mat.SqDist(c, l); d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			t.Fatalf("a true centre was not recovered, dist² = %v", best)
+		}
+	}
+}
+
+func TestKMeansAssignConsistent(t *testing.T) {
+	data, _ := clusteredData(3, 30, 6, 0.1, 3)
+	res := KMeans(data, 3, 50, 4)
+	for i, v := range data {
+		want := NearestCentroid(res.Centroids, v)
+		if res.Assign[i] != want {
+			t.Fatalf("assignment %d inconsistent with nearest centroid", i)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if res := KMeans(nil, 4, 10, 1); len(res.Centroids) != 0 {
+		t.Fatal("empty data")
+	}
+	// Fewer points than k: every point is a centroid.
+	data := []mat.Vec{{1, 0}, {0, 1}}
+	res := KMeans(data, 5, 10, 1)
+	if len(res.Centroids) != 2 || res.Assign[0] != 0 || res.Assign[1] != 1 {
+		t.Fatalf("small-data case: %+v", res)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	data, _ := clusteredData(3, 20, 4, 0.2, 5)
+	a := KMeans(data, 3, 30, 7)
+	b := KMeans(data, 3, 30, 7)
+	for i := range a.Centroids {
+		if !mat.AlmostEqual(a.Centroids[i], b.Centroids[i], 0) {
+			t.Fatal("same seed must reproduce centroids")
+		}
+	}
+}
+
+func TestNearestCentroidEmpty(t *testing.T) {
+	if NearestCentroid(nil, mat.Vec{1}) != -1 {
+		t.Fatal("empty centroids must return -1")
+	}
+}
+
+func TestTrainPQValidation(t *testing.T) {
+	if _, err := TrainPQ(nil, 4, 16, 1); err == nil {
+		t.Fatal("empty data must error")
+	}
+	data := []mat.Vec{mat.UnitGaussianVec(10, 1)}
+	if _, err := TrainPQ(data, 3, 2, 1); err == nil {
+		t.Fatal("dim not divisible by P must error")
+	}
+	if _, err := TrainPQ(data, 2, 16, 1); err == nil {
+		t.Fatal("fewer vectors than M must error")
+	}
+}
+
+func TestPQRoundTripSmallError(t *testing.T) {
+	data, _ := clusteredData(8, 40, 16, 0.05, 11)
+	pq, err := TrainPQ(data, 4, 16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := pq.QuantizationError(data)
+	// Well-clustered data must quantise accurately.
+	if mse > 0.5 {
+		t.Fatalf("quantization MSE = %v too high", mse)
+	}
+}
+
+func TestPQEncodeDims(t *testing.T) {
+	data, _ := clusteredData(4, 30, 16, 0.1, 13)
+	pq, err := TrainPQ(data, 4, 8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := pq.Encode(data[0])
+	if len(code) != 4 {
+		t.Fatalf("code len = %d", len(code))
+	}
+	if pq.Dim() != 16 {
+		t.Fatalf("dim = %d", pq.Dim())
+	}
+	dec := pq.Decode(code)
+	if len(dec) != 16 {
+		t.Fatalf("decode len = %d", len(dec))
+	}
+}
+
+func TestADCMatchesDecodedDot(t *testing.T) {
+	data, _ := clusteredData(6, 30, 16, 0.2, 15)
+	pq, err := TrainPQ(data, 4, 12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.UnitGaussianVec(16, 77)
+	table := pq.DotTable(q)
+	for _, v := range data[:20] {
+		code := pq.Encode(v)
+		adc := pq.ApproxDot(table, code)
+		exact := mat.Dot(q, pq.Decode(code))
+		if math.Abs(float64(adc-exact)) > 1e-4 {
+			t.Fatalf("ADC %v != decoded dot %v", adc, exact)
+		}
+	}
+}
+
+func TestADCApproximatesTrueDot(t *testing.T) {
+	data, _ := clusteredData(8, 50, 16, 0.05, 17)
+	pq, err := TrainPQ(data, 4, 16, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.Normalized(data[3])
+	table := pq.DotTable(q)
+	var errSum float64
+	for _, v := range data {
+		adc := float64(pq.ApproxDot(table, pq.Encode(v)))
+		truth := float64(mat.Dot(q, v))
+		errSum += math.Abs(adc - truth)
+	}
+	if avg := errSum / float64(len(data)); avg > 0.6 {
+		t.Fatalf("mean |ADC - exact| = %v too high", avg)
+	}
+}
+
+// Property: for any vector, Decode(Encode(v)) is the nearest codebook
+// reconstruction per subspace (quantizer optimality within the codebook).
+func TestPQNearestPerSubspaceProperty(t *testing.T) {
+	data, _ := clusteredData(5, 40, 8, 0.3, 19)
+	pq, err := TrainPQ(data, 2, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		v := mat.UnitGaussianVec(8, seed)
+		code := pq.Encode(v)
+		for sp := 0; sp < pq.P; sp++ {
+			part := v[sp*pq.SubDim : (sp+1)*pq.SubDim]
+			want := NearestCentroid(pq.Codebooks[sp], part)
+			if int(code[sp]) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePanicsOnWrongDim(t *testing.T) {
+	data, _ := clusteredData(4, 20, 8, 0.2, 21)
+	pq, err := TrainPQ(data, 2, 8, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim panic")
+		}
+	}()
+	pq.Encode(mat.Vec{1, 2, 3})
+}

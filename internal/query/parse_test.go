@@ -1,0 +1,228 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+func names(ts []vocab.Term) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+func hasName(ts []vocab.Term, name string) bool {
+	for _, t := range ts {
+		if t.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseSimple(t *testing.T) {
+	p := Parse("car")
+	if len(p.Subject) != 1 || p.Subject[0].Name != "car" {
+		t.Fatalf("subject = %v", names(p.Subject))
+	}
+	if p.Grade() != Simple {
+		t.Fatalf("grade = %v want simple", p.Grade())
+	}
+}
+
+func TestParseNormal(t *testing.T) {
+	p := Parse("red car in road")
+	if !hasName(p.Subject, "car") || !hasName(p.Attrs, "red") || !hasName(p.Context, "road") {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Grade() != Normal {
+		t.Fatalf("grade = %v want normal", p.Grade())
+	}
+}
+
+func TestParseComplexRelation(t *testing.T) {
+	p := Parse("A red car side by side with another car, both positioned in the center of the road.")
+	if !hasName(p.Relations, "side by side") {
+		t.Fatalf("missing side by side: %v", names(p.Relations))
+	}
+	if !hasName(p.Relations, "center of the road") {
+		t.Fatalf("missing center of the road: %v", names(p.Relations))
+	}
+	if p.Grade() != Complex {
+		t.Fatalf("grade = %v want complex", p.Grade())
+	}
+}
+
+func TestParseComplexOpenWorldClass(t *testing.T) {
+	p := Parse("A black SUV driving in the intersection of the road")
+	if !hasName(p.Subject, "suv") {
+		t.Fatalf("missing suv: %v", names(p.Subject))
+	}
+	if !hasName(p.Relations, "driving") || !hasName(p.Context, "intersection") {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Grade() != Complex {
+		t.Fatalf("grade = %v want complex (open-world class)", p.Grade())
+	}
+}
+
+func TestParseAllTableIIQueries(t *testing.T) {
+	queries := []string{
+		"A person walking on the street.",
+		"A person in light-colored clothing walking while holding a dark bag.",
+		"A person riding a bicycle.",
+		"A person riding a bicycle, wearing a black t-shirt and blue jeans.",
+		"A red car driving in the center of the road.",
+		"A red car side by side with another car, both positioned in the center of the road.",
+		"A bus driving on the road.",
+		"A bus driving on the road with white roof and yellow-green body.",
+		"A woman smiling sitting inside car.",
+		"A red-hair woman with white dress sitting inside a car.",
+		"A white dog inside a car.",
+		"A white dog inside a car, next to a woman wearing black clothes.",
+		"A green bus driving on the road.",
+		"A green bus with the white roof driving on the road.",
+		"A truck driving on the road.",
+		"A small white truck filled with cargo driving on the road.",
+	}
+	for _, q := range queries {
+		p := Parse(q)
+		if len(p.Subject) == 0 {
+			t.Errorf("query %q parsed with no subject: %+v", q, p)
+		}
+		if len(p.Terms) < 2 {
+			t.Errorf("query %q too sparse: %v", q, names(p.Terms))
+		}
+	}
+}
+
+func TestParseSpecificGroupings(t *testing.T) {
+	p := Parse("A person in light-colored clothing walking while holding a dark bag.")
+	if !hasName(p.Attrs, "light") || !hasName(p.Attrs, "clothing") || !hasName(p.Attrs, "dark") {
+		t.Fatalf("attrs = %v", names(p.Attrs))
+	}
+	if !hasName(p.Subject, "bag") || !hasName(p.Subject, "person") {
+		t.Fatalf("subject = %v", names(p.Subject))
+	}
+	if !hasName(p.Relations, "walking") || !hasName(p.Relations, "holding") {
+		t.Fatalf("relations = %v", names(p.Relations))
+	}
+}
+
+func TestParseDeduplicates(t *testing.T) {
+	p := Parse("car car red red car")
+	if len(p.Subject) != 1 || len(p.Attrs) != 1 {
+		t.Fatalf("dedup failed: %+v", p)
+	}
+}
+
+func TestParseEmptyAndUnknown(t *testing.T) {
+	p := Parse("")
+	if len(p.Terms) != 0 {
+		t.Fatalf("empty parse: %v", names(p.Terms))
+	}
+	p = Parse("quantum flux capacitor")
+	if len(p.Terms) != 0 {
+		t.Fatalf("unknown words must be ignored: %v", names(p.Terms))
+	}
+}
+
+func TestFastTermsExcludeRelations(t *testing.T) {
+	p := Parse("a person in black suit, walking on the road")
+	ft := FastNames(p)
+	for _, n := range ft {
+		if n == "walking" {
+			t.Fatal("fast terms must not contain behaviours")
+		}
+	}
+	want := map[string]bool{"person": true, "black": true, "suit": true, "road": true}
+	if len(ft) != len(want) {
+		t.Fatalf("fast terms = %v", ft)
+	}
+	for _, n := range ft {
+		if !want[n] {
+			t.Fatalf("unexpected fast term %q", n)
+		}
+	}
+}
+
+// FastNames is a test helper that extracts names from FastTerms.
+func FastNames(p Parsed) []string { return names(p.FastTerms()) }
+
+func TestHasTermOutside(t *testing.T) {
+	p := Parse("red car")
+	allowed := map[string]bool{"car": true}
+	if !p.HasTermOutside(allowed) {
+		t.Fatal("red is outside allowed vocab")
+	}
+	allowed["red"] = true
+	if p.HasTermOutside(allowed) {
+		t.Fatal("all terms allowed now")
+	}
+}
+
+func TestGradeBehaviorWithAttrsIsNormal(t *testing.T) {
+	p := Parse("A person walking on the street.")
+	if p.Grade() != Normal {
+		t.Fatalf("grade = %v want normal", p.Grade())
+	}
+}
+
+func TestComplexityString(t *testing.T) {
+	if Simple.String() != "simple" || Normal.String() != "normal" || Complex.String() != "complex" {
+		t.Fatal("complexity names")
+	}
+}
+
+func TestTokenizePunctuation(t *testing.T) {
+	p := Parse("“car”, (bus)! truck?")
+	if len(p.Subject) < 2 { // curly quotes are not trimmed ASCII, but bus/truck must parse
+		t.Fatalf("subject = %v", names(p.Subject))
+	}
+}
+
+func TestParseActivityNetQueries(t *testing.T) {
+	cases := map[string][]string{
+		"does the car park on the meadow":                   {"car", "parked", "meadow"},
+		"is the person with a hat a man":                    {"person", "hat", "man"},
+		"is the person in the red life jacket outdoors":     {"person", "red", "life jacket", "outdoors"},
+		"is the person in a grey skirt dancing in the room": {"person", "grey", "skirt", "dancing", "room"},
+	}
+	for q, want := range cases {
+		p := Parse(q)
+		got := map[string]bool{}
+		for _, tm := range p.Terms {
+			got[tm.Name] = true
+		}
+		for _, w := range want {
+			if !got[w] {
+				t.Errorf("%q: missing term %q (got %v)", q, w, names(p.Terms))
+			}
+		}
+	}
+}
+
+func TestParsePreservesFirstSubjectOrder(t *testing.T) {
+	// The primary subject (first class term) drives head-noun anchoring;
+	// parse order must keep it first.
+	p := Parse("A white dog inside a car, next to a woman wearing black clothes.")
+	if len(p.Subject) == 0 || p.Subject[0].Name != "dog" {
+		t.Fatalf("first subject = %v", names(p.Subject))
+	}
+	p = Parse("A red car side by side with another car")
+	if p.Subject[0].Name != "car" {
+		t.Fatalf("first subject = %v", names(p.Subject))
+	}
+}
+
+func TestGradeOpenWorldWithoutRelations(t *testing.T) {
+	if Parse("a suv").Grade() != Complex {
+		t.Fatal("bare open-world class is complex")
+	}
+	if Parse("a black suv").Grade() != Complex {
+		t.Fatal("open-world class with attrs is complex")
+	}
+}

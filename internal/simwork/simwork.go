@@ -1,0 +1,35 @@
+// Package simwork provides the simulated-compute primitive shared by every
+// stand-in for GPU model inference (ViT encoders, detectors, moment
+// transformers, LLM decoding). Burn performs real dense floating-point work
+// so that measured latencies scale with the amount of inference each
+// architecture performs — the property the paper's runtime comparisons
+// depend on — while the semantic outputs come from the synthetic channels.
+//
+// One unit is one 64-dimensional dot product (~tens of nanoseconds); cost
+// constants across the repository are expressed in these units.
+package simwork
+
+var bufA, bufB [64]float32
+
+func init() {
+	for i := range bufA {
+		bufA[i] = float32(i%7) * 0.25
+		bufB[i] = float32(i%5) * 0.5
+	}
+}
+
+// Sink defeats dead-code elimination; exported so tests can observe it.
+var Sink float32
+
+// Burn performs cost units of work.
+func Burn(cost int) {
+	var acc float32
+	for c := 0; c < cost; c++ {
+		var s float32
+		for i := 0; i < 64; i++ {
+			s += bufA[i] * bufB[i]
+		}
+		acc += s
+	}
+	Sink = acc
+}

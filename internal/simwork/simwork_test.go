@@ -1,0 +1,33 @@
+package simwork
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBurnScalesWithCost(t *testing.T) {
+	// Interleave the two costs so background load affects both equally.
+	var small, large time.Duration
+	for i := 0; i < 30; i++ {
+		s := time.Now()
+		Burn(1_000)
+		small += time.Since(s)
+		s = time.Now()
+		Burn(20_000)
+		large += time.Since(s)
+	}
+	if large < small*3 {
+		t.Fatalf("20x work should take clearly longer: %v vs %v", small, large)
+	}
+}
+
+func TestBurnZeroIsNoop(t *testing.T) {
+	Burn(0) // must not panic or hang
+}
+
+func TestSinkObservable(t *testing.T) {
+	Burn(1)
+	if Sink == 0 {
+		t.Fatal("Burn must produce a nonzero accumulation")
+	}
+}

@@ -1,0 +1,210 @@
+package vectordb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot format: a little-endian binary stream.
+//
+//	magic "LOVODB1\n"
+//	uint32 collection count
+//	per collection:
+//	  uint16 name length, name bytes
+//	  uint32 dim, uint8 normalize
+//	  uint16 index-kind length, kind bytes (may be empty)
+//	  index options: 6×int64 (NList, P, M, M0, EfConstruction, Seed) + uint8 KeepRaw
+//	  uint64 vector count
+//	  per vector: int64 id, dim×float32
+//
+// Raw vectors are persisted; indexes are rebuilt on load from the recorded
+// kind and options — the same segment-load-then-index recovery model a
+// cloud-native vector database uses.
+const magic = "LOVODB1\n"
+
+// Save writes a snapshot of the database.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	// Stable order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := db.collections[n].save(bw); err != nil {
+			return fmt.Errorf("vectordb: saving %q: %w", n, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (c *Collection) save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := writeString(w, c.name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(c.schema.Dim)); err != nil {
+		return err
+	}
+	norm := uint8(0)
+	if c.schema.Normalize {
+		norm = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, norm); err != nil {
+		return err
+	}
+	if err := writeString(w, string(c.kind)); err != nil {
+		return err
+	}
+	opts := []int64{
+		int64(c.options.NList), int64(c.options.P), int64(c.options.M),
+		int64(c.options.M0), int64(c.options.EfConstruction), int64(c.options.Seed),
+	}
+	for _, o := range opts {
+		if err := binary.Write(w, binary.LittleEndian, o); err != nil {
+			return err
+		}
+	}
+	keep := uint8(0)
+	if c.options.KeepRaw {
+		keep = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, keep); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(c.ids))); err != nil {
+		return err
+	}
+	for i, id := range c.ids {
+		if err := binary.Write(w, binary.LittleEndian, id); err != nil {
+			return err
+		}
+		row := c.vector(i)
+		for _, f := range row {
+			if err := binary.Write(w, binary.LittleEndian, math.Float32bits(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot and rebuilds indexes.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("vectordb: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("vectordb: bad magic %q", head)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	db := New()
+	for ci := uint32(0); ci < count; ci++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var dim uint32
+		if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+			return nil, err
+		}
+		var norm uint8
+		if err := binary.Read(br, binary.LittleEndian, &norm); err != nil {
+			return nil, err
+		}
+		kind, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		raw := make([]int64, 6)
+		for i := range raw {
+			if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
+				return nil, err
+			}
+		}
+		var keep uint8
+		if err := binary.Read(br, binary.LittleEndian, &keep); err != nil {
+			return nil, err
+		}
+		opts := IndexOptions{
+			NList: int(raw[0]), P: int(raw[1]), M: int(raw[2]),
+			M0: int(raw[3]), EfConstruction: int(raw[4]), Seed: uint64(raw[5]),
+			KeepRaw: keep == 1,
+		}
+		col, err := db.CreateCollection(name, Schema{Dim: int(dim), Normalize: norm == 1})
+		if err != nil {
+			return nil, err
+		}
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		vec := make([]float32, dim)
+		for vi := uint64(0); vi < n; vi++ {
+			var id int64
+			if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+				return nil, err
+			}
+			for d := range vec {
+				var bits uint32
+				if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+					return nil, err
+				}
+				vec[d] = math.Float32frombits(bits)
+			}
+			if err := col.Insert(id, vec); err != nil {
+				return nil, err
+			}
+		}
+		if kind != "" {
+			if err := col.BuildIndex(IndexKind(kind), opts); err != nil {
+				return nil, fmt.Errorf("vectordb: rebuilding %q index for %q: %w", kind, name, err)
+			}
+		}
+	}
+	return db, nil
+}

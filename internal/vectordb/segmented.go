@@ -1,0 +1,215 @@
+package vectordb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+)
+
+// SegmentedCollection implements the incremental-indexing design the paper
+// lists as future work (Section IX): "leveraging segmented parallel
+// processing to reduce the overhead of full rebuilds during video updates
+// and enhancing the incremental indexing strategy for new insertions".
+//
+// Inserts land in a small mutable growing segment that is searched exactly;
+// when the growing segment reaches SealThreshold it is sealed and an index
+// is built over it in isolation — never touching previously sealed
+// segments, so ingest of new footage never triggers a full rebuild. A
+// query fans out across every sealed segment's index plus the growing
+// segment and merges the top-k. Compact() optionally merges all sealed
+// segments into one for long-term read efficiency.
+type SegmentedCollection struct {
+	name   string
+	schema Schema
+	kind   IndexKind
+	opts   IndexOptions
+	// SealThreshold is the growing-segment size that triggers a seal.
+	sealThreshold int
+
+	mu      sync.RWMutex
+	sealed  []*Collection
+	growing *Collection
+	seq     int
+}
+
+// NewSegmented creates a segmented collection. sealThreshold <= 0 defaults
+// to 4096 vectors per segment.
+func NewSegmented(name string, schema Schema, kind IndexKind, opts IndexOptions, sealThreshold int) (*SegmentedCollection, error) {
+	if schema.Dim <= 0 {
+		return nil, fmt.Errorf("%w: dim %d", ErrDimension, schema.Dim)
+	}
+	if sealThreshold <= 0 {
+		sealThreshold = 4096
+	}
+	s := &SegmentedCollection{
+		name:          name,
+		schema:        schema,
+		kind:          kind,
+		opts:          opts,
+		sealThreshold: sealThreshold,
+	}
+	s.growing = s.newSegment()
+	return s, nil
+}
+
+func (s *SegmentedCollection) newSegment() *Collection {
+	s.seq++
+	return &Collection{
+		name:   fmt.Sprintf("%s/seg-%d", s.name, s.seq),
+		schema: s.schema,
+		byID:   make(map[int64]int),
+	}
+}
+
+// Name returns the collection name.
+func (s *SegmentedCollection) Name() string { return s.name }
+
+// Len returns the total vector count across segments.
+func (s *SegmentedCollection) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.growing.Len()
+	for _, seg := range s.sealed {
+		n += seg.Len()
+	}
+	return n
+}
+
+// Segments returns (sealed, growing) segment counts.
+func (s *SegmentedCollection) Segments() (sealed int, growingLen int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sealed), s.growing.Len()
+}
+
+// Insert adds a vector to the growing segment, sealing it when full.
+// Duplicate IDs are rejected across all segments.
+func (s *SegmentedCollection) Insert(id int64, v mat.Vec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.sealed {
+		if _, dup := seg.byID[id]; dup {
+			return fmt.Errorf("%w: %d", ErrDuplicate, id)
+		}
+	}
+	if err := s.growing.Insert(id, v); err != nil {
+		return err
+	}
+	if s.growing.Len() >= s.sealThreshold {
+		return s.sealLocked()
+	}
+	return nil
+}
+
+// Seal force-seals the growing segment (e.g. at the end of an ingest
+// batch), building its index. A no-op when the growing segment is empty.
+func (s *SegmentedCollection) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealLocked()
+}
+
+func (s *SegmentedCollection) sealLocked() error {
+	if s.growing.Len() == 0 {
+		return nil
+	}
+	opts := s.opts
+	opts.Seed ^= uint64(s.seq) * 0x9e3779b9
+	if err := s.growing.BuildIndex(s.kind, opts); err != nil {
+		return fmt.Errorf("vectordb: sealing segment %s: %w", s.growing.name, err)
+	}
+	s.sealed = append(s.sealed, s.growing)
+	s.growing = s.newSegment()
+	return nil
+}
+
+// Search fans out across all segments and merges the global top-k.
+func (s *SegmentedCollection) Search(q mat.Vec, k int, p ann.Params) ([]mat.Scored, error) {
+	if len(q) != s.schema.Dim {
+		return nil, fmt.Errorf("%w: query %d != %d", ErrDimension, len(q), s.schema.Dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	s.mu.RLock()
+	segs := make([]*Collection, 0, len(s.sealed)+1)
+	segs = append(segs, s.sealed...)
+	if s.growing.Len() > 0 {
+		segs = append(segs, s.growing)
+	}
+	s.mu.RUnlock()
+
+	// Parallel fan-out: each segment searches independently (the
+	// "segmented parallel processing" of the paper's future work).
+	type result struct {
+		hits []mat.Scored
+		err  error
+	}
+	results := make([]result, len(segs))
+	var wg sync.WaitGroup
+	for i, seg := range segs {
+		wg.Add(1)
+		go func(i int, seg *Collection) {
+			defer wg.Done()
+			hits, err := seg.Search(q, k, p)
+			results[i] = result{hits, err}
+		}(i, seg)
+	}
+	wg.Wait()
+
+	top := mat.NewTopK(k)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, h := range r.hits {
+			top.Push(h.ID, h.Score)
+		}
+	}
+	return top.Sorted(), nil
+}
+
+// Compact merges every sealed segment into a single freshly indexed
+// segment; an offline maintenance operation trading one big build for
+// lower per-query fan-out.
+func (s *SegmentedCollection) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sealed) <= 1 {
+		return nil
+	}
+	merged := s.newSegment()
+	for _, seg := range s.sealed {
+		for i, id := range seg.ids {
+			if err := merged.Insert(id, seg.vector(i)); err != nil {
+				return fmt.Errorf("vectordb: compacting: %w", err)
+			}
+		}
+	}
+	opts := s.opts
+	opts.Seed ^= uint64(s.seq) * 0x9e3779b9
+	if err := merged.BuildIndex(s.kind, opts); err != nil {
+		return fmt.Errorf("vectordb: compacting index: %w", err)
+	}
+	s.sealed = []*Collection{merged}
+	return nil
+}
+
+// Stats aggregates per-segment statistics.
+func (s *SegmentedCollection) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := Stats{Name: s.name, Dim: s.schema.Dim, IndexKind: s.kind}
+	for _, seg := range s.sealed {
+		st := seg.Stats()
+		out.Count += st.Count
+		out.RawBytes += st.RawBytes
+		out.IndexBytes += st.IndexBytes
+	}
+	st := s.growing.Stats()
+	out.Count += st.Count
+	out.RawBytes += st.RawBytes
+	return out
+}

@@ -1,0 +1,315 @@
+// Package vectordb implements the embedded vector database of Section V —
+// the role Milvus plays in the paper's deployment. It manages named
+// collections of unit-normalised vectors, supports pluggable index builds
+// (flat brute force, IVF-PQ, the inverted multi-index, HNSW), incremental
+// inserts that flow into a built index, top-k inner-product search with
+// per-call parameters, usage statistics, and binary snapshot persistence.
+package vectordb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ann"
+	"repro/internal/ann/flat"
+	"repro/internal/ann/hnsw"
+	"repro/internal/ann/imi"
+	"repro/internal/ann/ivfpq"
+	"repro/internal/mat"
+)
+
+// IndexKind names an index family.
+type IndexKind string
+
+// Supported index kinds.
+const (
+	IndexFlat  IndexKind = "flat"
+	IndexIVFPQ IndexKind = "ivfpq"
+	IndexIMI   IndexKind = "imi"
+	IndexHNSW  IndexKind = "hnsw"
+)
+
+// IndexOptions is the union of per-kind build options; zero values select
+// defaults.
+type IndexOptions struct {
+	// NList is the IVF coarse-cluster count.
+	NList int
+	// P and M shape the product quantizer (IVF-PQ residuals, IMI cells).
+	P, M int
+	// KeepRaw retains raw vectors inside quantizing indexes for exact
+	// re-scoring.
+	KeepRaw bool
+	// M0 and EfConstruction shape the HNSW graph.
+	M0, EfConstruction int
+	// Seed drives training and level sampling.
+	Seed uint64
+}
+
+// Schema describes a collection.
+type Schema struct {
+	// Dim is the vector dimensionality.
+	Dim int
+	// Normalize, when set, L2-normalises vectors on insert so inner
+	// product equals cosine similarity (Section V-A).
+	Normalize bool
+}
+
+// Errors returned by the database.
+var (
+	ErrNotFound   = errors.New("vectordb: not found")
+	ErrExists     = errors.New("vectordb: already exists")
+	ErrDuplicate  = errors.New("vectordb: duplicate id")
+	ErrDimension  = errors.New("vectordb: dimension mismatch")
+	ErrEmptyBuild = errors.New("vectordb: cannot build index over empty collection")
+)
+
+// Collection is a named set of (id, vector) pairs with an optional index.
+type Collection struct {
+	name   string
+	schema Schema
+
+	mu      sync.RWMutex
+	ids     []int64
+	byID    map[int64]int
+	data    []float32 // row-major raw vectors
+	index   ann.Index
+	kind    IndexKind
+	options IndexOptions
+}
+
+// DB is a set of collections.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{collections: make(map[string]*Collection)}
+}
+
+// CreateCollection adds a new collection.
+func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) {
+	if schema.Dim <= 0 {
+		return nil, fmt.Errorf("%w: dim %d", ErrDimension, schema.Dim)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.collections[name]; ok {
+		return nil, fmt.Errorf("%w: collection %q", ErrExists, name)
+	}
+	c := &Collection{name: name, schema: schema, byID: make(map[int64]int)}
+	db.collections[name] = c
+	return c, nil
+}
+
+// Collection fetches a collection by name.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: collection %q", ErrNotFound, name)
+	}
+	return c, nil
+}
+
+// Drop removes a collection.
+func (db *DB) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.collections[name]; !ok {
+		return fmt.Errorf("%w: collection %q", ErrNotFound, name)
+	}
+	delete(db.collections, name)
+	return nil
+}
+
+// Names lists collection names sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the collection's name.
+func (c *Collection) Name() string { return c.name }
+
+// Schema returns the collection's schema.
+func (c *Collection) Schema() Schema { return c.schema }
+
+// Len returns the number of stored vectors.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ids)
+}
+
+// Insert stores one vector. If an index is built, the vector also enters
+// the index.
+func (c *Collection) Insert(id int64, v mat.Vec) error {
+	if len(v) != c.schema.Dim {
+		return fmt.Errorf("%w: %d != %d", ErrDimension, len(v), c.schema.Dim)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicate, id)
+	}
+	w := mat.Clone(v)
+	if c.schema.Normalize {
+		mat.Normalize(w)
+	}
+	c.byID[id] = len(c.ids)
+	c.ids = append(c.ids, id)
+	c.data = append(c.data, w...)
+	if c.index != nil {
+		if err := c.index.Add(id, w); err != nil {
+			return fmt.Errorf("vectordb: index insert: %w", err)
+		}
+	}
+	return nil
+}
+
+// InsertBatch stores aligned ids and vectors, stopping at the first error.
+func (c *Collection) InsertBatch(ids []int64, vecs []mat.Vec) error {
+	if len(ids) != len(vecs) {
+		return errors.New("vectordb: ids/vecs length mismatch")
+	}
+	for i := range ids {
+		if err := c.Insert(ids[i], vecs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vector returns row i of the raw store (caller must hold the lock).
+func (c *Collection) vector(i int) mat.Vec {
+	return c.data[i*c.schema.Dim : (i+1)*c.schema.Dim]
+}
+
+// Vector fetches a stored vector by id.
+func (c *Collection) Vector(id int64) (mat.Vec, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	i, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return mat.Clone(c.vector(i)), nil
+}
+
+// BuildIndex constructs (or replaces) the collection's index.
+func (c *Collection) BuildIndex(kind IndexKind, opts IndexOptions) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ids) == 0 {
+		return ErrEmptyBuild
+	}
+	vecs := make([]mat.Vec, len(c.ids))
+	for i := range c.ids {
+		vecs[i] = c.vector(i)
+	}
+	var (
+		ix  ann.Index
+		err error
+	)
+	switch kind {
+	case IndexFlat:
+		fl := flat.New(c.schema.Dim)
+		for i, id := range c.ids {
+			if err := fl.Add(id, vecs[i]); err != nil {
+				return err
+			}
+		}
+		ix = fl
+	case IndexIVFPQ:
+		ix, err = ivfpq.Build(c.ids, vecs, ivfpq.Config{
+			NList: opts.NList, P: opts.P, M: opts.M, KeepRaw: opts.KeepRaw, Seed: opts.Seed,
+		})
+	case IndexIMI:
+		ix, err = imi.Build(c.ids, vecs, imi.Config{
+			P: opts.P, M: opts.M, KeepRaw: opts.KeepRaw, Seed: opts.Seed,
+		})
+	case IndexHNSW:
+		hn := hnsw.New(c.schema.Dim, hnsw.Config{M: opts.M0, EfConstruction: opts.EfConstruction, Seed: opts.Seed})
+		for i, id := range c.ids {
+			if err := hn.Add(id, vecs[i]); err != nil {
+				return err
+			}
+		}
+		ix = hn
+	default:
+		return fmt.Errorf("vectordb: unknown index kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	c.index, c.kind, c.options = ix, kind, opts
+	return nil
+}
+
+// IndexKind returns the built index kind, or "" when unindexed.
+func (c *Collection) IndexKind() IndexKind {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.kind
+}
+
+// Search returns the k most similar stored vectors. Unindexed collections
+// fall back to an exact scan over raw vectors.
+func (c *Collection) Search(q mat.Vec, k int, p ann.Params) ([]mat.Scored, error) {
+	if len(q) != c.schema.Dim {
+		return nil, fmt.Errorf("%w: query %d != %d", ErrDimension, len(q), c.schema.Dim)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.index != nil {
+		return c.index.Search(q, k, p), nil
+	}
+	if k <= 0 || len(c.ids) == 0 {
+		return nil, nil
+	}
+	top := mat.NewTopK(k)
+	for i, id := range c.ids {
+		top.Push(id, mat.Dot(q, c.vector(i)))
+	}
+	return top.Sorted(), nil
+}
+
+// Stats summarises a collection for the storage experiments.
+type Stats struct {
+	Name      string
+	Count     int
+	Dim       int
+	IndexKind IndexKind
+	// RawBytes is the raw vector storage footprint.
+	RawBytes int64
+	// IndexBytes is the index's resident estimate.
+	IndexBytes int64
+}
+
+// Stats returns current statistics.
+func (c *Collection) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := Stats{
+		Name:      c.name,
+		Count:     len(c.ids),
+		Dim:       c.schema.Dim,
+		IndexKind: c.kind,
+		RawBytes:  int64(len(c.data))*4 + int64(len(c.ids))*8,
+	}
+	if c.index != nil {
+		s.IndexBytes = c.index.Memory()
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+// Package video models the synthetic video substrate: frames of typed,
+// moving objects observed by a fixed or moving camera.
+//
+// The paper evaluates on real corpora (Cityscapes, Bellevue, QVHighlights,
+// Beach); none of its measurements depend on pixel content, only on which
+// objects with which attributes appear where and when, and on the volume of
+// per-frame work each system performs. This package therefore represents a
+// frame as its ground-truth scene description — object classes, attribute
+// term sets, bounding boxes, velocities, scene context and a macroblock
+// motion field — which the encoders, detectors and keyframe extractor
+// observe through restricted, noisy channels.
+package video
+
+import "math"
+
+// Box is an axis-aligned bounding box in normalised frame coordinates:
+// X, Y is the top-left corner and W, H the extent, all in [0, 1].
+type Box struct {
+	X, Y, W, H float64
+}
+
+// Area returns the box area (0 for degenerate boxes).
+func (b Box) Area() float64 {
+	if b.W <= 0 || b.H <= 0 {
+		return 0
+	}
+	return b.W * b.H
+}
+
+// Center returns the box centre point.
+func (b Box) Center() (float64, float64) {
+	return b.X + b.W/2, b.Y + b.H/2
+}
+
+// IoU returns the intersection-over-union of b and o; 0 when either is
+// degenerate or they do not overlap.
+func (b Box) IoU(o Box) float64 {
+	ix := math.Max(b.X, o.X)
+	iy := math.Max(b.Y, o.Y)
+	ix2 := math.Min(b.X+b.W, o.X+o.W)
+	iy2 := math.Min(b.Y+b.H, o.Y+o.H)
+	iw, ih := ix2-ix, iy2-iy
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := iw * ih
+	union := b.Area() + o.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Clip constrains the box to the unit frame, preserving as much of its
+// extent as fits.
+func (b Box) Clip() Box {
+	if b.X < 0 {
+		b.W += b.X
+		b.X = 0
+	}
+	if b.Y < 0 {
+		b.H += b.Y
+		b.Y = 0
+	}
+	if b.X+b.W > 1 {
+		b.W = 1 - b.X
+	}
+	if b.Y+b.H > 1 {
+		b.H = 1 - b.Y
+	}
+	if b.W < 0 {
+		b.W = 0
+	}
+	if b.H < 0 {
+		b.H = 0
+	}
+	return b
+}
+
+// Translate returns the box moved by (dx, dy).
+func (b Box) Translate(dx, dy float64) Box {
+	b.X += dx
+	b.Y += dy
+	return b
+}
+
+// CenterDist returns the Euclidean distance between the box centres.
+func (b Box) CenterDist(o Box) float64 {
+	bx, by := b.Center()
+	ox, oy := o.Center()
+	return math.Hypot(bx-ox, by-oy)
+}
+
+// Contains reports whether the centre of o lies inside b.
+func (b Box) Contains(o Box) bool {
+	cx, cy := o.Center()
+	return cx >= b.X && cx <= b.X+b.W && cy >= b.Y && cy <= b.Y+b.H
+}

@@ -1,0 +1,279 @@
+package video
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/vocab"
+)
+
+// Object is one physical object as observed in one frame.
+type Object struct {
+	// Track uniquely identifies the physical object across frames of the
+	// whole dataset; every observation of the same object shares it.
+	Track int64
+	// Class is the object's true class term ("car", "suv", "woman"-less:
+	// subtypes such as woman/man are attribute terms on a "person").
+	Class string
+	// Attrs lists static visual attribute terms: colours, size, clothing,
+	// subtype ("woman"), part attributes ("white roof"), load ("cargo").
+	// Composite objects (a cyclist, a person carrying a bag) carry the
+	// secondary class as an attribute, matching how a detector would box
+	// the ensemble.
+	Attrs []string
+	// Behaviors lists current behaviour terms ("walking"; "smiling" and
+	// "sitting" may hold simultaneously); visually apparent through pose
+	// and motion.
+	Behaviors []string
+	// Inside names a containing class ("car" when sitting inside a car),
+	// or "" when unconstrained.
+	Inside string
+	// Box is the object's bounding box in this frame.
+	Box Box
+	// Vel is the normalised velocity in frame-widths per second.
+	Vel [2]float64
+}
+
+// Frame is one video frame: a scene snapshot.
+type Frame struct {
+	// VideoID identifies the containing video within the dataset.
+	VideoID int
+	// Index is the frame's position within its video.
+	Index int
+	// Time is the capture time in seconds from the video start.
+	Time float64
+	// Shot increments at scene changes; the MVmed-style keyframe
+	// extractor detects these through motion-vector discontinuities.
+	Shot int
+	// Context lists scene-level context terms ("road", "intersection").
+	Context []string
+	// CamMotion is the global camera motion in frame-widths per second
+	// (zero for fixed surveillance cameras).
+	CamMotion [2]float64
+	// Objects are the visible objects.
+	Objects []Object
+}
+
+// Video is an ordered frame sequence.
+type Video struct {
+	ID     int
+	Name   string
+	FPS    float64
+	Frames []Frame
+}
+
+// Duration returns the video length in seconds.
+func (v *Video) Duration() float64 {
+	if v.FPS <= 0 {
+		return 0
+	}
+	return float64(len(v.Frames)) / v.FPS
+}
+
+// vehicleClasses are classes that participate in road-layout relations.
+var vehicleClasses = map[string]bool{"car": true, "suv": true, "bus": true, "truck": true}
+
+// IsVehicle reports whether class is a road vehicle.
+func IsVehicle(class string) bool { return vehicleClasses[class] }
+
+// Relation-extraction thresholds, in normalised frame units.
+const (
+	centerBand   = 0.12 // |cx-0.5| tolerance for "center of the road"
+	sideBySideDY = 0.08 // vertical alignment for "side by side"
+	sideBySideDX = 0.28 // maximum horizontal separation for "side by side"
+	nextToDist   = 0.18 // centre distance for "next to"
+	holdingDist  = 0.10 // person-to-bag distance for "holding"
+)
+
+// ObjectTerms returns the complete ground-truth term set for object i of f:
+// class, static attributes, behaviour, containment, scene context, and the
+// spatial relations that hold in this frame. This is the oracle every
+// perception channel in the repository derives its (restricted, noisy)
+// observations from, and the set ground-truth query matching evaluates
+// against.
+func (f *Frame) ObjectTerms(i int) []string {
+	o := &f.Objects[i]
+	terms := make([]string, 0, len(o.Attrs)+len(f.Context)+6)
+	terms = append(terms, o.Class)
+	terms = append(terms, o.Attrs...)
+	terms = append(terms, o.Behaviors...)
+	if o.Inside != "" {
+		terms = append(terms, "inside "+o.Inside)
+	}
+	terms = append(terms, f.Context...)
+	terms = append(terms, f.spatialRelations(i)...)
+	sort.Strings(terms)
+	return dedupSorted(terms)
+}
+
+// spatialRelations derives the relation terms holding for object i.
+func (f *Frame) spatialRelations(i int) []string {
+	o := &f.Objects[i]
+	var out []string
+	if IsVehicle(o.Class) {
+		cx, _ := o.Box.Center()
+		if math.Abs(cx-0.5) <= centerBand {
+			out = append(out, "center of the road")
+		}
+	}
+	for j := range f.Objects {
+		if j == i {
+			continue
+		}
+		p := &f.Objects[j]
+		// "side by side": two vehicles laterally aligned.
+		if IsVehicle(o.Class) && IsVehicle(p.Class) {
+			ocx, ocy := o.Box.Center()
+			pcx, pcy := p.Box.Center()
+			if math.Abs(ocy-pcy) <= sideBySideDY && math.Abs(ocx-pcx) <= sideBySideDX && o.Box.IoU(p.Box) < 0.3 {
+				out = append(out, "side by side")
+			}
+		}
+		// "next to": general proximity between distinct objects.
+		if o.Box.CenterDist(p.Box) <= nextToDist {
+			out = append(out, "next to")
+		}
+		// "holding": a person adjacent to a separate bag object.
+		if o.Class == "person" && p.Class == "bag" && o.Box.CenterDist(p.Box) <= holdingDist {
+			out = append(out, "holding")
+		}
+	}
+	for _, a := range o.Attrs {
+		switch a {
+		case "cargo":
+			// Loaded trucks expose the relation form of Q4.4.
+			out = append(out, "filled with")
+		case "bag":
+			// Composite person+bag objects are carrying the bag.
+			if o.Class == "person" {
+				out = append(out, "holding")
+			}
+		}
+	}
+	return out
+}
+
+// PrimarySubject returns the first class-kind term of an ordered query term
+// list — the query's grammatical subject — or "" when the query names no
+// class.
+func PrimarySubject(queryTerms []string) string {
+	for _, t := range queryTerms {
+		if term, ok := vocab.Lookup(t); ok && term.Kind == vocab.KindClass {
+			return term.Name
+		}
+	}
+	return ""
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MatchesTerms reports whether object i of f satisfies every query term,
+// i.e. whether the query's term set is a subset of the object's ground-truth
+// term set.
+func (f *Frame) MatchesTerms(i int, queryTerms []string) bool {
+	have := f.ObjectTerms(i)
+	set := make(map[string]bool, len(have))
+	for _, t := range have {
+		set[t] = true
+	}
+	for _, t := range queryTerms {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbors returns the indices of objects related to object i through a
+// proximity relation ("next to" distance or vehicle side-by-side alignment).
+func (f *Frame) Neighbors(i int) []int {
+	o := &f.Objects[i]
+	var out []int
+	for j := range f.Objects {
+		if j == i {
+			continue
+		}
+		p := &f.Objects[j]
+		if o.Box.CenterDist(p.Box) <= nextToDist {
+			out = append(out, j)
+			continue
+		}
+		if IsVehicle(o.Class) && IsVehicle(p.Class) {
+			ocx, ocy := o.Box.Center()
+			pcx, pcy := p.Box.Center()
+			if math.Abs(ocy-pcy) <= sideBySideDY && math.Abs(ocx-pcx) <= sideBySideDX {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// MatchesTermsRelational extends MatchesTerms with neighbour completion:
+// query terms not satisfied by object i itself may be satisfied by a single
+// related neighbour, provided the query names a proximity relation and i
+// carries it. This gives queries such as "a white dog ... next to a woman
+// wearing black clothes" (Q3.4) their intended semantics — the dog is the
+// subject, the woman terms describe the neighbour. The object itself must
+// be the query's primary subject (its first class term): the woman in that
+// scene is not a white dog, however close she sits.
+func (f *Frame) MatchesTermsRelational(i int, queryTerms []string) bool {
+	have := f.ObjectTerms(i)
+	set := make(map[string]bool, len(have))
+	for _, t := range have {
+		set[t] = true
+	}
+	if primary := PrimarySubject(queryTerms); primary != "" && !set[primary] {
+		return false
+	}
+	var missing []string
+	for _, t := range queryTerms {
+		if !set[t] {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) == 0 {
+		return true
+	}
+	// Neighbour completion applies only to relational queries: the query
+	// must name a proximity relation, and the subject must actually
+	// stand in it. Without this guard, any object adjacent to a true
+	// match would inherit the match ("a car next to a green bus" is not
+	// itself a green bus).
+	queryRelational := false
+	for _, t := range queryTerms {
+		if t == "next to" || t == "side by side" {
+			queryRelational = true
+			break
+		}
+	}
+	if !queryRelational || (!set["next to"] && !set["side by side"]) {
+		return false
+	}
+	for _, j := range f.Neighbors(i) {
+		nb := f.ObjectTerms(j)
+		nbset := make(map[string]bool, len(nb))
+		for _, t := range nb {
+			nbset[t] = true
+		}
+		all := true
+		for _, t := range missing {
+			if !nbset[t] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

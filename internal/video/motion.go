@@ -1,0 +1,59 @@
+package video
+
+import "math"
+
+// MotionField computes a macroblock motion-vector field for the frame, the
+// compressed-domain signal the MVmed-style keyframe extractor consumes
+// (Section IV-A of the paper). The frame is divided into cols×rows blocks;
+// each block's vector is the camera motion plus the velocity of whichever
+// objects cover the block centre.
+func (f *Frame) MotionField(cols, rows int) [][2]float64 {
+	field := make([][2]float64, cols*rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cx := (float64(c) + 0.5) / float64(cols)
+			cy := (float64(r) + 0.5) / float64(rows)
+			v := f.CamMotion
+			for i := range f.Objects {
+				b := f.Objects[i].Box
+				if cx >= b.X && cx <= b.X+b.W && cy >= b.Y && cy <= b.Y+b.H {
+					v[0] += f.Objects[i].Vel[0]
+					v[1] += f.Objects[i].Vel[1]
+				}
+			}
+			field[r*cols+c] = v
+		}
+	}
+	return field
+}
+
+// MotionEnergy returns the mean motion-vector magnitude over a 32×18
+// macroblock grid (16-pixel blocks at 512×288 analysis resolution — fine
+// enough that ordinary vehicles and pedestrians cover several block
+// centres). Scene shifts and activity changes move this value, marking
+// keyframe candidates.
+func (f *Frame) MotionEnergy() float64 {
+	const cols, rows = 32, 18
+	field := f.MotionField(cols, rows)
+	var sum float64
+	for _, v := range field {
+		sum += math.Hypot(v[0], v[1])
+	}
+	return sum / float64(len(field))
+}
+
+// Step advances every object of the frame by dt seconds and returns the new
+// frame (a deep copy with updated boxes); generators use it to produce
+// smooth trajectories. Boxes are clipped to the unit frame.
+func (f *Frame) Step(dt float64) Frame {
+	next := *f
+	next.Index = f.Index + 1
+	next.Time = f.Time + dt
+	next.Objects = make([]Object, len(f.Objects))
+	copy(next.Objects, f.Objects)
+	for i := range next.Objects {
+		o := &next.Objects[i]
+		o.Box = o.Box.Translate(o.Vel[0]*dt-f.CamMotion[0]*dt, o.Vel[1]*dt-f.CamMotion[1]*dt).Clip()
+	}
+	return next
+}

@@ -1,0 +1,137 @@
+package vocab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupCanonical(t *testing.T) {
+	tm, ok := Lookup("car")
+	if !ok || tm.Kind != KindClass || !tm.COCO {
+		t.Fatalf("car lookup: %+v ok=%v", tm, ok)
+	}
+}
+
+func TestLookupSynonym(t *testing.T) {
+	tm, ok := Lookup("automobile")
+	if !ok || tm.Name != "car" {
+		t.Fatalf("automobile should resolve to car, got %+v ok=%v", tm, ok)
+	}
+	tm, ok = Lookup("light-colored")
+	if !ok || tm.Name != "light" {
+		t.Fatalf("light-colored should resolve to light, got %+v", tm)
+	}
+}
+
+func TestLookupCaseAndSpace(t *testing.T) {
+	tm, ok := Lookup("  SUV ")
+	if !ok || tm.Name != "suv" || tm.COCO {
+		t.Fatalf("SUV lookup: %+v ok=%v", tm, ok)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("zeppelin"); ok {
+		t.Fatal("zeppelin should be unknown")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustLookup("nonexistent-term")
+}
+
+func TestTermsSortedAndUnique(t *testing.T) {
+	terms := Terms()
+	if len(terms) < 40 {
+		t.Fatalf("expected a substantial vocabulary, got %d terms", len(terms))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, tm := range terms {
+		if tm.Name <= prev && prev != "" {
+			t.Fatalf("terms not sorted: %q after %q", tm.Name, prev)
+		}
+		if seen[tm.Name] {
+			t.Fatalf("duplicate term %q", tm.Name)
+		}
+		seen[tm.Name] = true
+		prev = tm.Name
+	}
+}
+
+func TestPhrasesLongestFirst(t *testing.T) {
+	ph := Phrases()
+	if len(ph) == 0 {
+		t.Fatal("expected multiword phrases")
+	}
+	for i := 1; i < len(ph); i++ {
+		if strings.Count(ph[i], " ") > strings.Count(ph[i-1], " ") {
+			t.Fatalf("phrases not longest-first: %q before %q", ph[i-1], ph[i])
+		}
+	}
+	found := false
+	for _, p := range ph {
+		if p == "side by side" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("side by side missing from phrases")
+	}
+}
+
+func TestCOCOClasses(t *testing.T) {
+	classes := COCOClasses()
+	want := map[string]bool{"person": true, "car": true, "bus": true, "truck": true, "bicycle": true, "dog": true, "bag": true}
+	if len(classes) != len(want) {
+		t.Fatalf("COCO classes = %v", classes)
+	}
+	for _, c := range classes {
+		if !want[c] {
+			t.Fatalf("unexpected COCO class %q", c)
+		}
+	}
+}
+
+func TestClosestCOCO(t *testing.T) {
+	cases := map[string]string{
+		"car":    "car",    // already predefined
+		"suv":    "car",    // degrades to nearest ancestor
+		"woman":  "person", // degrades
+		"man":    "person",
+		"red":    "", // not a class
+		"absent": "", // unknown
+	}
+	for in, want := range cases {
+		if got := ClosestCOCO(in); got != want {
+			t.Errorf("ClosestCOCO(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRelatedTermsResolve(t *testing.T) {
+	for _, tm := range Terms() {
+		for _, r := range tm.Related {
+			if _, ok := Lookup(r.Name); !ok {
+				t.Errorf("term %q relates to unknown %q", tm.Name, r.Name)
+			}
+			if r.Weight <= 0 || r.Weight >= 1 {
+				t.Errorf("term %q relation weight %v out of (0,1)", tm.Name, r.Weight)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindClass.String() != "class" || KindRelation.String() != "relation" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}

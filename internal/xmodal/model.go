@@ -1,0 +1,349 @@
+package xmodal
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/embed"
+	"repro/internal/mat"
+	"repro/internal/video"
+	"repro/internal/vocab"
+)
+
+// Config shapes the cross-modality transformer.
+type Config struct {
+	// Heads is the attention head count; zero defaults to 4.
+	Heads int
+	// EnhancerLayers is the feature-enhancer depth; zero defaults to 2.
+	EnhancerLayers int
+	// DecoderLayers is the decoder depth; zero defaults to 1.
+	DecoderLayers int
+	// WeightNoise is the σ of the near-identity weight perturbation;
+	// zero defaults to 0.02.
+	WeightNoise float64
+	// TokenNoise is the per-region-token observation noise σ; zero
+	// defaults to 0.05.
+	TokenNoise float64
+	// RelationDropout is the probability a relation token goes
+	// unobserved; zero defaults to 0.08. Rerank is strong, not perfect.
+	RelationDropout float64
+	// Seed drives weights and noise.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heads == 0 {
+		c.Heads = 4
+	}
+	if c.EnhancerLayers == 0 {
+		c.EnhancerLayers = 1
+	}
+	if c.DecoderLayers == 0 {
+		c.DecoderLayers = 1
+	}
+	if c.WeightNoise == 0 {
+		c.WeightNoise = 0.02
+	}
+	if c.TokenNoise == 0 {
+		c.TokenNoise = 0.05
+	}
+	if c.RelationDropout == 0 {
+		c.RelationDropout = 0.08
+	}
+	return c
+}
+
+// Model is the cross-modality transformer.
+type Model struct {
+	space    *embed.Space
+	cfg      Config
+	enhancer []*enhancerLayer
+	decoder  []*enhancerLayer
+	posProj  *mat.Matrix // 8 -> D positional projection
+}
+
+// New builds a model over the shared embedding space.
+func New(space *embed.Space, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{space: space, cfg: cfg}
+	for i := 0; i < cfg.EnhancerLayers; i++ {
+		m.enhancer = append(m.enhancer, newEnhancerLayer(space.Dim, cfg.Heads, cfg.WeightNoise, cfg.Seed+uint64(i)*7919))
+	}
+	for i := 0; i < cfg.DecoderLayers; i++ {
+		m.decoder = append(m.decoder, newEnhancerLayer(space.Dim, cfg.Heads, cfg.WeightNoise, cfg.Seed+0xdec0+uint64(i)*104729))
+	}
+	m.posProj = mat.RandGaussian(space.Dim, 8, 1.0/8, cfg.Seed^0x905e)
+	return m
+}
+
+// Grounding is one grounded object in a reranked frame.
+type Grounding struct {
+	// ObjectIdx indexes the frame's object list.
+	ObjectIdx int
+	// Box is the grounded bounding box.
+	Box video.Box
+	// Score is the cross-modality alignment score; higher is better.
+	Score float32
+}
+
+// posEncoding returns the box positional feature: sinusoids of the centre,
+// width and height projected into the embedding dimension.
+func (m *Model) posEncoding(b video.Box) mat.Vec {
+	cx, cy := b.Center()
+	raw := mat.Vec{
+		float32(math.Sin(2 * math.Pi * cx)), float32(math.Cos(2 * math.Pi * cx)),
+		float32(math.Sin(2 * math.Pi * cy)), float32(math.Cos(2 * math.Pi * cy)),
+		float32(b.W), float32(b.H),
+		float32(math.Sin(4 * math.Pi * cx)), float32(math.Cos(4 * math.Pi * cy)),
+	}
+	return mat.MatVec(m.posProj, raw)
+}
+
+func tokenSeed(seed uint64, track int64, frame int, term string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	put(seed)
+	put(uint64(track))
+	put(uint64(uint32(frame)))
+	_, _ = h.Write([]byte(term))
+	return h.Sum64()
+}
+
+// regionTok is one image-side token: a unit feature vector plus an evidence
+// weight. Weights survive the transformer's layer norms by applying at
+// scoring time: a term observed on a neighbour (weight 0.85) can never beat
+// the same term observed on the object itself.
+type regionTok struct {
+	vec    mat.Vec
+	weight float32
+}
+
+// regionTokens extracts the fine-grained token set for object i of frame f:
+// one noisy token per ground-truth term (including spatial relations, which
+// single-object embeddings cannot carry), neighbour terms at reduced weight
+// (supporting relational queries such as Q3.4), and a box positional
+// component folded into every token.
+func (m *Model) regionTokens(f *video.Frame, i int) []regionTok {
+	o := &f.Objects[i]
+	pos := m.posEncoding(o.Box)
+	var toks []regionTok
+
+	appendTok := func(term string, weight float32) {
+		seed := tokenSeed(m.cfg.Seed, o.Track, f.Index, term)
+		rng := rand.New(rand.NewPCG(seed, seed^0x70c5))
+		base := m.space.TermVec(term)
+		v := mat.NewVec(m.space.Dim)
+		mat.Axpy(v, 1, base)
+		mat.Axpy(v, 0.12, pos)
+		for d := range v {
+			v[d] += float32(rng.NormFloat64() * m.cfg.TokenNoise)
+		}
+		toks = append(toks, regionTok{vec: mat.Normalize(v), weight: weight})
+	}
+
+	for _, term := range f.ObjectTerms(i) {
+		if isRelationTerm(term) {
+			seed := tokenSeed(m.cfg.Seed, o.Track, f.Index, "drop:"+term)
+			rng := rand.New(rand.NewPCG(seed, seed^0xd20b))
+			if rng.Float64() < m.cfg.RelationDropout {
+				continue
+			}
+		}
+		appendTok(term, 1)
+	}
+	// Neighbour context: the two nearest related objects contribute
+	// their class and appearance terms at reduced weight, bounding the
+	// token budget while still supporting relational queries like Q3.4.
+	neighbors := f.Neighbors(i)
+	if len(neighbors) > 2 {
+		sort.Slice(neighbors, func(a, b int) bool {
+			return o.Box.CenterDist(f.Objects[neighbors[a]].Box) < o.Box.CenterDist(f.Objects[neighbors[b]].Box)
+		})
+		neighbors = neighbors[:2]
+	}
+	seenNb := make(map[string]bool)
+	for _, j := range neighbors {
+		nb := &f.Objects[j]
+		for _, term := range append([]string{nb.Class}, nb.Attrs...) {
+			if !seenNb[term] {
+				seenNb[term] = true
+				appendTok(term, 0.85)
+			}
+		}
+	}
+	return toks
+}
+
+// textTokenWeight returns the importance of a query token in the MaxSim
+// aggregation. Fine distinctions — attributes and spatial relations — carry
+// the most discriminative power (they are what the rerank stage exists to
+// recover); the primary subject anchors the grounding; scene context, which
+// every candidate frame shares, carries little.
+func textTokenWeight(k vocab.Kind, primary bool) float32 {
+	if primary {
+		return 1.6
+	}
+	switch k {
+	case vocab.KindColor, vocab.KindSize, vocab.KindClothing:
+		return 1.2
+	case vocab.KindRelation:
+		return 1.3
+	case vocab.KindBehavior:
+		return 0.8
+	case vocab.KindContext:
+		return 0.6
+	default:
+		return 1.0
+	}
+}
+
+// firstClassIdx locates the query's primary subject token.
+func firstClassIdx(toks []embed.Token) int {
+	for i, t := range toks {
+		if t.Kind == vocab.KindClass {
+			return i
+		}
+	}
+	return -1
+}
+
+func isRelationTerm(term string) bool {
+	switch term {
+	case "side by side", "next to", "center of the road", "holding", "filled with":
+		return true
+	}
+	return false
+}
+
+// GroundFrame scores every object of the frame against the query tokens and
+// returns groundings sorted by descending score.
+//
+// This is stage 2 of Algorithm 2: region and text tokens pass through the
+// feature-enhancer's bidirectional cross-attention and the decoder, then
+// each object scores as the mean over text tokens of its best-aligned
+// region token — every query term must find visual support, so missing
+// attributes or relations depress the score.
+func (m *Model) GroundFrame(f *video.Frame, toks []embed.Token) []Grounding {
+	if len(toks) == 0 || len(f.Objects) == 0 {
+		return nil
+	}
+	// Assemble the frame's region-token matrix with object attribution
+	// and per-token evidence weights.
+	var owners []int
+	var weights []float32
+	var rows []mat.Vec
+	for i := range f.Objects {
+		rt := m.regionTokens(f, i)
+		for _, tok := range rt {
+			owners = append(owners, i)
+			weights = append(weights, tok.weight)
+			rows = append(rows, tok.vec)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	xi := mat.FromRows(rows)
+	trows := make([]mat.Vec, len(toks))
+	tweights := make([]float32, len(toks))
+	primaryIdx := firstClassIdx(toks)
+	for i, t := range toks {
+		trows[i] = t.Vec
+		tweights[i] = textTokenWeight(t.Kind, i == primaryIdx)
+	}
+	xt := mat.FromRows(trows)
+
+	for _, l := range m.enhancer {
+		xi, xt = l.apply(xi, xt)
+	}
+	for _, l := range m.decoder {
+		xi, xt = l.apply(xi, xt)
+	}
+
+	// Per-object MaxSim aggregation over the enhanced features, on
+	// cosine similarity: layer norm fixes row norms to √D, so raw dot
+	// products would be dominated by shared structure.
+	for i := 0; i < xi.Rows; i++ {
+		mat.Normalize(xi.Row(i))
+	}
+	for i := 0; i < xt.Rows; i++ {
+		mat.Normalize(xt.Row(i))
+	}
+	sim := mat.MatMulT(xt, xi) // (text tokens) × (region tokens)
+	nObj := len(f.Objects)
+	scores := make([]float32, nObj)
+	wsums := make([]float32, nObj)
+	primaryBest := make([]float32, nObj)
+	for ti := 0; ti < sim.Rows; ti++ {
+		row := sim.Row(ti)
+		best := make([]float32, nObj)
+		seen := make([]bool, nObj)
+		for ri, s := range row {
+			s *= weights[ri]
+			o := owners[ri]
+			if !seen[o] || s > best[o] {
+				best[o], seen[o] = s, true
+			}
+		}
+		tw := tweights[ti]
+		for o := 0; o < nObj; o++ {
+			if seen[o] {
+				scores[o] += tw * best[o]
+				wsums[o] += tw
+				if ti == primaryIdx {
+					primaryBest[o] = best[o]
+				}
+			}
+		}
+	}
+	out := make([]Grounding, 0, nObj)
+	for o := 0; o < nObj; o++ {
+		if wsums[o] == 0 {
+			continue
+		}
+		score := scores[o] / wsums[o]
+		// Head-noun anchoring: an object whose own evidence for the
+		// query's primary subject is weak (neighbour-level at best) is
+		// a poor grounding however well its other terms align — the
+		// woman next to the white dog is not the dog.
+		if primaryIdx >= 0 {
+			if factor := primaryBest[o] / 0.85; factor < 1 {
+				if factor < 0 {
+					factor = 0
+				}
+				score *= factor
+			}
+		}
+		out = append(out, Grounding{
+			ObjectIdx: o,
+			Box:       f.Objects[o].Box,
+			Score:     score,
+		})
+	}
+	// Sort descending, deterministic tie-break on object index.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Score > out[i].Score ||
+				(out[j].Score == out[i].Score && out[j].ObjectIdx < out[i].ObjectIdx) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// TokenWork estimates the attention work (token-pair products) GroundFrame
+// performs for a frame with n region tokens and t text tokens; used by the
+// rerank-scalability experiment.
+func (m *Model) TokenWork(n, t int) int {
+	layers := len(m.enhancer) + len(m.decoder)
+	return layers * n * t * m.space.Dim
+}

@@ -1,0 +1,170 @@
+// Package lovo is the public API of the LOVO reproduction: an efficient
+// complex-object query system for large-scale video datasets (ICDE 2025).
+//
+// LOVO performs one-time, query-agnostic feature extraction over video
+// keyframes, stores compact patch-level class embeddings under a
+// product-quantized inverted multi-index in an embedded vector database
+// (with bounding boxes and frame IDs in a relational side-store joined by
+// patch ID), and answers natural-language object queries with a two-stage
+// strategy: approximate nearest-neighbour fast search followed by a
+// cross-modality transformer rerank.
+//
+// Quickstart:
+//
+//	sys, _ := lovo.Open(lovo.Options{Seed: 1})
+//	ds, _ := lovo.LoadDataset("bellevue", lovo.DatasetConfig{Seed: 1, Scale: 0.2})
+//	_ = sys.IngestDataset(ds)
+//	_ = sys.BuildIndex()
+//	res, _ := sys.Query("A red car driving in the center of the road.", lovo.QueryOptions{})
+//	for _, obj := range res.Objects {
+//		fmt.Println(obj.VideoID, obj.FrameIdx, obj.Box, obj.Score)
+//	}
+//
+// Videos here are synthetic scene descriptions (see internal/video and
+// DESIGN.md): the repository reproduces the paper's system behaviour and
+// evaluation shape without GPU encoders or raw footage.
+package lovo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/keyframe"
+	"repro/internal/vectordb"
+	"repro/internal/video"
+)
+
+// Re-exported data types. These alias internal types so downstream code
+// only imports this package.
+type (
+	// Video is an ordered sequence of frames.
+	Video = video.Video
+	// Frame is one scene snapshot.
+	Frame = video.Frame
+	// Object is one object observation within a frame.
+	Object = video.Object
+	// Box is a normalised bounding box.
+	Box = video.Box
+	// Result is a ranked query answer with stage timings.
+	Result = core.Result
+	// ResultObject is one retrieved object.
+	ResultObject = core.ResultObject
+	// QueryOptions tunes a single query (rerank/ANNS ablations, depths).
+	QueryOptions = core.QueryOptions
+	// IngestStats reports Video Summary counters and timings.
+	IngestStats = core.IngestStats
+	// Dataset is a generated benchmark workload.
+	Dataset = datasets.Dataset
+	// DatasetConfig controls workload generation (seed, fps, scale).
+	DatasetConfig = datasets.Config
+	// DatasetQuery is one benchmark query of a dataset.
+	DatasetQuery = datasets.Query
+)
+
+// Options configure a LOVO system.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical systems.
+	Seed uint64
+	// Index selects the vector index: "imi" (default, the paper's
+	// inverted multi-index), "ivfpq", "hnsw" or "flat".
+	Index string
+	// Keyframes selects the extraction strategy: "mvmed" (default),
+	// "uniform" or "all" (the w/o-keyframe ablation).
+	Keyframes string
+	// FastK is the fast-search candidate count (default 100).
+	FastK int
+	// TopN is the number of reranked frames returned (default 10).
+	TopN int
+	// NProbe is the number of clusters probed per subspace (default 8).
+	NProbe int
+	// Dim and ProjDim set the embedding dimensions D and D′ (defaults
+	// 64 and 32).
+	Dim, ProjDim int
+	// Streaming enables segmented incremental indexing: each BuildIndex
+	// seals the current segment instead of rebuilding, so continuously
+	// arriving footage never pays a full-index rebuild (the paper's
+	// Section IX future work).
+	Streaming bool
+	// SegmentSize is the streaming seal threshold (default 4096 vectors).
+	SegmentSize int
+}
+
+// System is a LOVO instance.
+type System struct {
+	inner *core.System
+}
+
+// Open constructs a system.
+func Open(opts Options) (*System, error) {
+	cfg := core.Config{
+		Seed:        opts.Seed,
+		FastK:       opts.FastK,
+		TopN:        opts.TopN,
+		NProbe:      opts.NProbe,
+		Dim:         opts.Dim,
+		ProjDim:     opts.ProjDim,
+		Streaming:   opts.Streaming,
+		SegmentSize: opts.SegmentSize,
+	}
+	switch opts.Index {
+	case "", "imi":
+		cfg.Index = vectordb.IndexIMI
+	case "ivfpq":
+		cfg.Index = vectordb.IndexIVFPQ
+	case "hnsw":
+		cfg.Index = vectordb.IndexHNSW
+	case "flat", "bf":
+		cfg.Index = vectordb.IndexFlat
+	default:
+		return nil, fmt.Errorf("lovo: unknown index %q", opts.Index)
+	}
+	switch opts.Keyframes {
+	case "", "mvmed":
+		cfg.Keyframe = keyframe.MVMed{}
+	case "uniform":
+		cfg.Keyframe = keyframe.Uniform{}
+	case "all":
+		cfg.Keyframe = keyframe.All{}
+	default:
+		return nil, fmt.Errorf("lovo: unknown keyframe strategy %q", opts.Keyframes)
+	}
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+// Ingest runs one-time Video Summary over a video.
+func (s *System) Ingest(v *Video) error { return s.inner.Ingest(v) }
+
+// IngestDataset ingests every video of a dataset.
+func (s *System) IngestDataset(ds *Dataset) error {
+	for i := range ds.Videos {
+		if err := s.inner.Ingest(&ds.Videos[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndex constructs the vector index over everything ingested.
+func (s *System) BuildIndex() error { return s.inner.BuildIndex() }
+
+// Query answers a natural-language object query (Algorithm 2).
+func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	return s.inner.Query(text, opts)
+}
+
+// Stats returns ingest statistics.
+func (s *System) Stats() IngestStats { return s.inner.Stats() }
+
+// Core exposes the underlying system for experiment harnesses.
+func (s *System) Core() *core.System { return s.inner }
+
+// LoadDataset generates a named benchmark dataset: "cityscapes",
+// "bellevue", "qvhighlights", "beach" or "activitynet".
+func LoadDataset(name string, cfg DatasetConfig) (*Dataset, error) {
+	return datasets.ByName(name, cfg)
+}

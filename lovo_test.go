@@ -1,0 +1,106 @@
+package lovo
+
+import "testing"
+
+func TestOpenDefaults(t *testing.T) {
+	s, err := Open(Options{Seed: 1})
+	if err != nil || s == nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{Index: "btree"}); err == nil {
+		t.Fatal("unknown index must error")
+	}
+	if _, err := Open(Options{Keyframes: "psychic"}); err == nil {
+		t.Fatal("unknown keyframe strategy must error")
+	}
+}
+
+func TestEndToEndQuickstart(t *testing.T) {
+	s, err := Open(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset("bellevue", DatasetConfig{Seed: 7, Scale: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("A red car driving in the center of the road.", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) == 0 {
+		t.Fatal("quickstart query returned nothing")
+	}
+	st := s.Stats()
+	if st.Frames == 0 || st.Tokens == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestOpenAllIndexKinds(t *testing.T) {
+	ds, err := LoadDataset("beach", DatasetConfig{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"flat", "ivfpq", "imi", "hnsw"} {
+		s, err := Open(Options{Seed: 1, Index: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.IngestDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BuildIndex(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		res, err := s.Query("A truck driving on the road.", QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(res.Objects) == 0 {
+			t.Fatalf("%s: empty answer", kind)
+		}
+	}
+}
+
+func TestLoadDatasetUnknown(t *testing.T) {
+	if _, err := LoadDataset("hollywood", DatasetConfig{}); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestStreamingPublicAPI(t *testing.T) {
+	s, err := Open(Options{Seed: 2, Streaming: true, SegmentSize: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset("beach", DatasetConfig{Seed: 2, Scale: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("A truck driving on the road.", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) == 0 {
+		t.Fatal("streaming query returned nothing")
+	}
+	if s.Core().Segmented() == nil {
+		t.Fatal("streaming store missing")
+	}
+}
