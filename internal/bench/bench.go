@@ -24,6 +24,9 @@ type Options struct {
 	// Quick further shrinks sweeps for use inside unit tests and smoke
 	// benchmarks.
 	Quick bool
+	// Workers caps the worker counts the concurrency sweep measures
+	// (the "throughput" experiment). Zero sweeps up to max(4, NumCPU).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

@@ -13,6 +13,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"table3", "table4", "table5", "table7",
+		"throughput",
 	}
 	have := Experiments()
 	set := map[string]bool{}
@@ -48,6 +49,9 @@ func TestTableFormatting(t *testing.T) {
 // structural and (where stable) directional properties the paper reports.
 
 func TestFig2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system comparison too slow for -short")
+	}
 	tbl, err := Run("fig2", quickOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +84,9 @@ func TestFig2Shapes(t *testing.T) {
 }
 
 func TestFig6LOVOWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full baseline sweep too slow for -short")
+	}
 	tbl, err := Run("fig6", quickOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +106,9 @@ func TestFig6LOVOWins(t *testing.T) {
 }
 
 func TestFig8SearchOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline latency sweep too slow for -short")
+	}
 	tbl, err := Run("fig8", quickOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +135,29 @@ func TestFig11bStorageGrows(t *testing.T) {
 	}
 	if len(tbl.Rows) < 2 {
 		t.Fatal("need at least two sizes")
+	}
+}
+
+func TestThroughputStructure(t *testing.T) {
+	// Cap the sweep at 2 workers so the smoke run stays fast everywhere.
+	opts := quickOpts
+	opts.Workers = 2
+	tbl, err := Run("throughput", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two stages (query, ingest) × the {1, 2} worker sweep.
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[0] != "query" && row[0] != "ingest" {
+			t.Fatalf("unknown stage %q", row[0])
+		}
+	}
+	// The 1-worker baseline rows must report speedup 1.00x.
+	if tbl.Rows[0][5] != "1.00x" || tbl.Rows[2][5] != "1.00x" {
+		t.Fatalf("baseline speedup rows: %v / %v", tbl.Rows[0], tbl.Rows[2])
 	}
 }
 

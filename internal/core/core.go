@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/ann"
@@ -32,10 +33,28 @@ import (
 	"repro/internal/xmodal"
 )
 
+// Field widths of the packed patch ID. Exceeding any of them would silently
+// corrupt the join key shared by the vector and relational stores, so
+// PackPatchID refuses out-of-range coordinates.
+const (
+	MaxVideoID  = 1<<16 - 1 // 16-bit video field
+	MaxFrameIdx = 1<<28 - 1 // 28-bit frame field
+	MaxPatch    = 1<<12 - 1 // 12-bit patch field
+)
+
 // PackPatchID encodes (video, frame, patch) into the shared join key linking
 // the vector database to the relational store: 16 bits of video, 28 of
-// frame, 12 of patch.
+// frame, 12 of patch. Coordinates outside those field widths would alias
+// other patches' keys, so it panics on out-of-range input; Ingest validates
+// video data up front and returns an error before reaching this point.
 func PackPatchID(videoID, frameIdx, patch int) int64 {
+	if videoID < 0 || videoID > MaxVideoID ||
+		frameIdx < 0 || frameIdx > MaxFrameIdx ||
+		patch < 0 || patch > MaxPatch {
+		panic(fmt.Sprintf(
+			"core: patch ID out of range: video %d (0..%d), frame %d (0..%d), patch %d (0..%d)",
+			videoID, MaxVideoID, frameIdx, MaxFrameIdx, patch, MaxPatch))
+	}
 	return int64(videoID)<<40 | int64(frameIdx)<<12 | int64(patch)
 }
 
@@ -85,6 +104,11 @@ type Config struct {
 	Streaming bool
 	// SegmentSize is the streaming seal threshold (default 4096).
 	SegmentSize int
+	// Workers bounds the goroutines the concurrent execution engine uses
+	// for keyframe encoding during Ingest and for the stage-2 rerank
+	// fan-out. Zero means runtime.NumCPU(); 1 forces the serial paths.
+	// Results are byte-identical at every setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +184,13 @@ type System struct {
 	meta    *relational.Store
 	patches *relational.Table
 
+	// mu guards the mutable system state below. The substrate stores
+	// (vector collection, relational table, embedding space) carry their
+	// own locks, so queries may run concurrently with ingest: Query takes
+	// read locks only, Ingest and BuildIndex take the write lock briefly
+	// around state mutation — never across encoding or index builds.
+	mu sync.RWMutex
+
 	// keyframes retains the scene description of every indexed keyframe;
 	// the rerank stage re-examines these, as the paper's rerank reloads
 	// keyframe images from storage.
@@ -201,6 +232,10 @@ func patchSchema() relational.Schema {
 // New constructs a LOVO system.
 func New(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
+	if patches := cfg.GridW * cfg.GridH; patches > vit.MaxGridPatches {
+		return nil, fmt.Errorf("core: %dx%d patch grid (%d patches) exceeds the %d-patch budget of the packed patch ID",
+			cfg.GridW, cfg.GridH, patches, vit.MaxGridPatches)
+	}
 	space := embed.NewSpace(cfg.Dim, cfg.ProjDim, cfg.Seed^0x5bace)
 	s := &System{
 		cfg:    cfg,
@@ -243,17 +278,44 @@ func New(cfg Config) (*System, error) {
 // Ingest runs Video Summary over one video: keyframe extraction, patch
 // encoding, and vector-collection construction. Call BuildIndex after the
 // last video (or keep ingesting — post-build inserts flow into the index).
+//
+// Keyframe encoding — the ViT forward pass that dominates one-time video
+// processing — fans out across cfg.Workers goroutines; vector and
+// relational inserts then happen in keyframe order on the calling
+// goroutine, so the stored state is byte-identical to a serial ingest.
+// Ingest is safe to call while other goroutines run Query.
 func (s *System) Ingest(v *video.Video) error {
+	if v.ID < 0 || v.ID > MaxVideoID {
+		return fmt.Errorf("core: video ID %d outside the %d-bit patch-ID field (0..%d)", v.ID, 16, MaxVideoID)
+	}
 	start := time.Now()
 	keys := s.cfg.Keyframe.Select(v)
 	for _, fi := range keys {
+		if idx := v.Frames[fi].Index; idx < 0 || idx > MaxFrameIdx {
+			return fmt.Errorf("core: frame index %d outside the %d-bit patch-ID field (0..%d)", idx, 28, MaxFrameIdx)
+		}
+	}
+
+	// Stage 1 (parallel): encode every selected keyframe.
+	encoded := make([][]vit.Token, len(keys))
+	parallelFor(len(keys), resolveWorkers(s.cfg.Workers), func(i int) {
+		encoded[i] = vit.EncodeFrame(s.vitCfg, &v.Frames[keys[i]])
+	})
+
+	// Stage 2 (serial, deterministic order): route tokens to the stores.
+	// A vector becomes searchable the moment it enters the collection, so
+	// everything a concurrent Query dereferences for a hit — the keyframe
+	// and the relational row behind the metadata join — must be committed
+	// before the vector itself.
+	for i, fi := range keys {
 		f := &v.Frames[fi]
-		tokens := vit.EncodeFrame(s.vitCfg, f)
-		for _, tok := range tokens {
+		fc := *f
+		s.mu.Lock()
+		s.keyframes[frameKey{v.ID, f.Index}] = &fc
+		s.stats.Keyframes++
+		s.mu.Unlock()
+		for _, tok := range encoded[i] {
 			pid := PackPatchID(v.ID, f.Index, tok.Patch)
-			if err := s.insertVector(pid, tok.Class); err != nil {
-				return fmt.Errorf("core: inserting patch vector: %w", err)
-			}
 			row := relational.Row{
 				pid, int64(v.ID), int64(f.Index), int64(tok.Patch),
 				tok.Box.X, tok.Box.Y, tok.Box.W, tok.Box.H,
@@ -262,15 +324,19 @@ func (s *System) Ingest(v *video.Video) error {
 			if err := s.patches.Insert(row); err != nil {
 				return fmt.Errorf("core: inserting patch metadata: %w", err)
 			}
-			s.stats.Tokens++
+			if err := s.insertVector(pid, tok.Class); err != nil {
+				return fmt.Errorf("core: inserting patch vector: %w", err)
+			}
 		}
-		fc := *f
-		s.keyframes[frameKey{v.ID, f.Index}] = &fc
-		s.stats.Keyframes++
+		s.mu.Lock()
+		s.stats.Tokens += len(encoded[i])
+		s.mu.Unlock()
 	}
+	s.mu.Lock()
 	s.stats.Videos++
 	s.stats.Frames += len(v.Frames)
 	s.stats.Processing += time.Since(start)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -294,9 +360,18 @@ func (s *System) BuildIndex() error {
 	} else if err := s.col.BuildIndex(s.cfg.Index, s.cfg.IndexOptions); err != nil {
 		return fmt.Errorf("core: building %s index: %w", s.cfg.Index, err)
 	}
+	s.mu.Lock()
 	s.stats.Indexing += time.Since(start)
 	s.built = true
+	s.mu.Unlock()
 	return nil
+}
+
+// Built reports whether BuildIndex has completed at least once.
+func (s *System) Built() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.built
 }
 
 // searchVectors runs fast search against the configured store.
@@ -318,8 +393,12 @@ func (s *System) Entities() int {
 // Segmented exposes the streaming-mode store (nil in monolithic mode).
 func (s *System) Segmented() *vectordb.SegmentedCollection { return s.seg }
 
-// Stats returns accumulated ingest statistics.
-func (s *System) Stats() IngestStats { return s.stats }
+// Stats returns a snapshot of the accumulated ingest statistics.
+func (s *System) Stats() IngestStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
 
 // Collection exposes the underlying vector collection (stats, experiments).
 func (s *System) Collection() *vectordb.Collection { return s.col }
@@ -329,7 +408,11 @@ func (s *System) Collection() *vectordb.Collection { return s.col }
 func (s *System) DB() *vectordb.DB { return s.db }
 
 // Keyframe returns the retained keyframe for (video, frame), if indexed.
+// The frame is stored once at ingest and never mutated, so sharing the
+// pointer across goroutines is safe.
 func (s *System) Keyframe(videoID, frameIdx int) (*video.Frame, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, ok := s.keyframes[frameKey{videoID, frameIdx}]
 	return f, ok
 }

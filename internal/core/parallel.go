@@ -1,0 +1,49 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers normalises a worker-count knob: zero (and negatives) mean
+// "use every core".
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines. Iterations are handed out dynamically so uneven per-item cost
+// doesn't idle workers. With workers <= 1 (or n <= 1) it degenerates to the
+// plain serial loop on the calling goroutine, so the serial path stays the
+// literal baseline the determinism tests compare against.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

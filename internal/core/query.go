@@ -24,6 +24,10 @@ type QueryOptions struct {
 	Exhaustive bool
 	// RerankFrames overrides the stage-2 frame budget.
 	RerankFrames int
+	// Workers overrides the stage-2 rerank fan-out width for this query
+	// (zero inherits Config.Workers, which defaults to runtime.NumCPU();
+	// 1 forces the serial rerank). Output is identical at every setting.
+	Workers int
 }
 
 // ResultObject is one retrieved object.
@@ -161,12 +165,26 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 	}
 	rstart := time.Now()
 	toks := s.text.Tokens(parsed)
-	var reranked []ResultObject
-	frameBest := make(map[frameKey]float32)
-	for _, cand := range frameOrder {
-		f, ok := s.keyframes[cand.key]
+	workers := opts.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	// Each candidate frame grounds independently, so the transformer
+	// forward passes — the dominant cost of Algorithm 2 — fan out across
+	// the worker pool. Per-candidate outputs land in a slot indexed by
+	// candidate position and merge in that order below, so the reranked
+	// list and frame-best map are byte-identical to the serial loop.
+	type rerankSlot struct {
+		objs    []ResultObject
+		best    float32
+		grounds bool
+	}
+	slots := make([]rerankSlot, len(frameOrder))
+	parallelFor(len(frameOrder), resolveWorkers(workers), func(i int) {
+		cand := frameOrder[i]
+		f, ok := s.Keyframe(cand.key.video, cand.key.frame)
 		if !ok {
-			continue
+			return
 		}
 		groundings := s.model.GroundFrame(f, toks)
 		for gi, g := range groundings {
@@ -179,7 +197,7 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 			if gi >= 4 || (gi > 0 && g.Score < groundings[gi-1].Score-0.02) {
 				break
 			}
-			reranked = append(reranked, ResultObject{
+			slots[i].objs = append(slots[i].objs, ResultObject{
 				VideoID:  cand.key.video,
 				FrameIdx: cand.key.frame,
 				Box:      g.Box,
@@ -188,7 +206,16 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 			})
 		}
 		if len(groundings) > 0 {
-			frameBest[cand.key] = groundings[0].Score
+			slots[i].best = groundings[0].Score
+			slots[i].grounds = true
+		}
+	})
+	var reranked []ResultObject
+	frameBest := make(map[frameKey]float32)
+	for i, cand := range frameOrder {
+		reranked = append(reranked, slots[i].objs...)
+		if slots[i].grounds {
+			frameBest[cand.key] = slots[i].best
 		}
 	}
 	// Rank frames by their best grounding, keep the top-n frames, then
@@ -232,6 +259,40 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 	res.Objects = kept
 	res.Rerank = time.Since(rstart)
 	return res, nil
+}
+
+// QueryBatch answers many queries concurrently across at most clients
+// goroutines (zero inherits Config.Workers, which defaults to
+// runtime.NumCPU()). Results align with texts; each result is identical to
+// what a lone Query call would return. The first failing query (lowest
+// index) aborts the batch with its error once in-flight queries drain.
+//
+// QueryBatch is the concurrent-clients surface: it is safe to call from
+// many goroutines and while ingest continues on another goroutine.
+func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*Result, error) {
+	if clients == 0 {
+		clients = s.cfg.Workers
+	}
+	clients = resolveWorkers(clients)
+	// Batch-level concurrency already saturates the cores, so unless the
+	// caller explicitly widened the per-query rerank, run each query's
+	// stage 2 serially — nested NumCPU-wide pools would oversubscribe
+	// the CPU with no throughput to show for it. Results are identical
+	// at every width.
+	if opts.Workers == 0 && clients > 1 {
+		opts.Workers = 1
+	}
+	results := make([]*Result, len(texts))
+	errs := make([]error, len(texts))
+	parallelFor(len(texts), clients, func(i int) {
+		results[i], errs[i] = s.Query(texts[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d (%q): %w", i, texts[i], err)
+		}
+	}
+	return results, nil
 }
 
 // dedupByFrameBox removes near-duplicate fast-search hits: multiple patches

@@ -9,6 +9,11 @@
 // constants across the repository are expressed in these units.
 package simwork
 
+import (
+	"math"
+	"sync/atomic"
+)
+
 var bufA, bufB [64]float32
 
 func init() {
@@ -18,11 +23,19 @@ func init() {
 	}
 }
 
-// Sink defeats dead-code elimination; exported so tests can observe it.
-var Sink float32
+// sink defeats dead-code elimination. Burn runs concurrently under the
+// parallel ingest/rerank engine, so the store must be atomic.
+var sink atomic.Uint32
 
-// Burn performs cost units of work.
+// Sink returns the last nonzero Burn accumulation; exported so tests can
+// observe that Burn's work is not eliminated.
+func Sink() float32 { return math.Float32frombits(sink.Load()) }
+
+// Burn performs cost units of work. It is safe to call from many goroutines.
 func Burn(cost int) {
+	if cost <= 0 {
+		return
+	}
 	var acc float32
 	for c := 0; c < cost; c++ {
 		var s float32
@@ -31,5 +44,5 @@ func Burn(cost int) {
 		}
 		acc += s
 	}
-	Sink = acc
+	sink.Store(math.Float32bits(acc))
 }

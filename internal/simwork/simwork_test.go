@@ -27,7 +27,26 @@ func TestBurnZeroIsNoop(t *testing.T) {
 
 func TestSinkObservable(t *testing.T) {
 	Burn(1)
-	if Sink == 0 {
+	if Sink() == 0 {
 		t.Fatal("Burn must produce a nonzero accumulation")
+	}
+}
+
+func TestBurnConcurrent(t *testing.T) {
+	// Run under -race: concurrent Burn calls must not race on the sink.
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				Burn(100)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if Sink() == 0 {
+		t.Fatal("concurrent Burn must still accumulate")
 	}
 }

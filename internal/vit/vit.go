@@ -195,6 +195,12 @@ func EncodeFrame(cfg Config, f *video.Frame) []Token {
 // within the 12-bit patch field of core.PackPatchID.
 const centerAnchorOffset = 2048
 
+// MaxGridPatches is the largest GridW*GridH a Config may use: regular patch
+// indices must stay below centerAnchorOffset so centre-sampled anchor tokens
+// cannot collide with them, and the anchor range itself tops out at
+// 2*centerAnchorOffset-1, the last value of the 12-bit packed patch field.
+const MaxGridPatches = centerAnchorOffset
+
 // refineBox applies the trained-head error model: the true box perturbed by
 // bounded jitter proportional to its size, clipped to the frame.
 func refineBox(b video.Box, jitter float64, rng *rand.Rand) video.Box {

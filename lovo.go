@@ -88,6 +88,11 @@ type Options struct {
 	Streaming bool
 	// SegmentSize is the streaming seal threshold (default 4096 vectors).
 	SegmentSize int
+	// Workers bounds the goroutines of the concurrent execution engine:
+	// keyframe encoding during ingest, the stage-2 rerank fan-out, and
+	// the default QueryBatch client pool. Zero means runtime.NumCPU();
+	// 1 forces the serial paths. Results are identical at every setting.
+	Workers int
 }
 
 // System is a LOVO instance.
@@ -106,6 +111,7 @@ func Open(opts Options) (*System, error) {
 		ProjDim:     opts.ProjDim,
 		Streaming:   opts.Streaming,
 		SegmentSize: opts.SegmentSize,
+		Workers:     opts.Workers,
 	}
 	switch opts.Index {
 	case "", "imi":
@@ -152,9 +158,18 @@ func (s *System) IngestDataset(ds *Dataset) error {
 // BuildIndex constructs the vector index over everything ingested.
 func (s *System) BuildIndex() error { return s.inner.BuildIndex() }
 
-// Query answers a natural-language object query (Algorithm 2).
+// Query answers a natural-language object query (Algorithm 2). Queries may
+// run from many goroutines concurrently, including while Ingest continues.
 func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 	return s.inner.Query(text, opts)
+}
+
+// QueryBatch answers many queries concurrently across at most clients
+// goroutines (zero uses the system's Workers setting, which defaults to
+// runtime.NumCPU()). Results align with texts, and each equals what a lone
+// Query call would return; the first failing query aborts the batch.
+func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*Result, error) {
+	return s.inner.QueryBatch(texts, opts, clients)
 }
 
 // Stats returns ingest statistics.

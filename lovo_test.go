@@ -1,6 +1,9 @@
 package lovo
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestOpenDefaults(t *testing.T) {
 	s, err := Open(Options{Seed: 1})
@@ -68,6 +71,43 @@ func TestOpenAllIndexKinds(t *testing.T) {
 		}
 		if len(res.Objects) == 0 {
 			t.Fatalf("%s: empty answer", kind)
+		}
+	}
+}
+
+func TestQueryBatchPublicAPI(t *testing.T) {
+	s, err := Open(Options{Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset("bellevue", DatasetConfig{Seed: 7, Scale: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"A red car driving in the center of the road.",
+		"A bus driving on the road.",
+	}
+	batch, err := s.QueryBatch(texts, QueryOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(texts) {
+		t.Fatalf("batch returned %d results for %d texts", len(batch), len(texts))
+	}
+	for i, text := range texts {
+		lone, err := s.Query(text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lone.Objects, batch[i].Objects) {
+			t.Fatalf("batch result %d (%q) diverges from lone query", i, text)
 		}
 	}
 }
