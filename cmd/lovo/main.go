@@ -31,10 +31,13 @@ func main() {
 		noRerank = flag.Bool("no-rerank", false, "disable cross-modality rerank")
 		stats    = flag.Bool("stats", false, "print ingest statistics and exit")
 		benchAll = flag.Bool("bench", false, "run the dataset's benchmark queries")
+		shards   = flag.Int("shards", 0, "partition across N scatter-gather shards (0/1 = single system)")
+		saveFile = flag.String("save", "", "after ingest and indexing, write a system snapshot to this file")
+		loadFile = flag.String("load", "", "restore a snapshot written by -save instead of re-ingesting (open with the saver's -seed/-index/-shards)")
 	)
 	flag.Parse()
 
-	sys, err := lovo.Open(lovo.Options{Seed: *seed, Index: *index, Keyframes: *keyfr, TopN: *topn})
+	sys, err := lovo.Open(lovo.Options{Seed: *seed, Index: *index, Keyframes: *keyfr, TopN: *topn, Shards: *shards})
 	if err != nil {
 		fatal(err)
 	}
@@ -42,13 +45,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("ingesting %s: %d videos, %d frames, %.0f s of footage...\n",
-		ds.Name, len(ds.Videos), ds.Frames(), ds.Duration())
-	if err := sys.IngestDataset(ds); err != nil {
-		fatal(err)
-	}
-	if err := sys.BuildIndex(); err != nil {
-		fatal(err)
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fatal(err)
+		}
+		err = sys.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored snapshot %s (skipping ingest of %s)\n", *loadFile, ds.Name)
+	} else {
+		fmt.Printf("ingesting %s: %d videos, %d frames, %.0f s of footage...\n",
+			ds.Name, len(ds.Videos), ds.Frames(), ds.Duration())
+		if err := sys.IngestDataset(ds); err != nil {
+			fatal(err)
+		}
+		if err := sys.BuildIndex(); err != nil {
+			fatal(err)
+		}
+		if *saveFile != "" {
+			f, err := os.Create(*saveFile)
+			if err != nil {
+				fatal(err)
+			}
+			err = sys.Save(f)
+			if err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("snapshot written to %s\n", *saveFile)
+		}
 	}
 	st := sys.Stats()
 	fmt.Printf("summary: %d keyframes, %d indexed patch vectors, processing %s, indexing %s\n\n",

@@ -1,0 +1,94 @@
+// Command lovod serves LOVO queries over HTTP: it ingests a benchmark
+// dataset into a sharded scatter-gather engine at boot, then answers
+// natural-language object queries as JSON, fronted by an LRU result cache.
+//
+// Usage:
+//
+//	lovod -dataset bellevue -scale 0.1 -shards 4 -addr 127.0.0.1:8077
+//
+//	curl localhost:8077/healthz
+//	curl -X POST localhost:8077/query \
+//	  -d '{"query": "A red car driving in the center of the road."}'
+//	curl -X POST localhost:8077/query/batch \
+//	  -d '{"queries": ["A truck driving on the road.", "A person walking on the street."]}'
+//	curl localhost:8077/stats
+//	curl localhost:8077/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/vectordb"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "bellevue", "dataset: cityscapes|bellevue|qvhighlights|beach|activitynet")
+		scale   = flag.Float64("scale", 0.15, "dataset duration scale (1.0 = paper-sized)")
+		seed    = flag.Uint64("seed", 7, "workload and system seed")
+		shards  = flag.Int("shards", 4, "shard count (videos partition by ID modulo shards)")
+		index   = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat")
+		cache   = flag.Int("cache", 256, "query-result cache capacity in entries (0 disables)")
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "per-shard worker pool (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	kind, err := indexKind(*index)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := shard.New(*shards, core.Config{Seed: *seed, Index: kind, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := datasets.ByName(*dataset, datasets.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("ingesting %s across %d shards: %d videos, %d frames, %.0f s of footage",
+		ds.Name, eng.Shards(), len(ds.Videos), ds.Frames(), ds.Duration())
+	if err := eng.IngestDataset(ds); err != nil {
+		fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		fatal(err)
+	}
+	st := eng.Stats()
+	log.Printf("ready: %d keyframes, %d indexed patch vectors (aggregate shard-time: processing %s, indexing %s)",
+		st.Keyframes, st.Tokens, st.Processing.Round(1e6), st.Indexing.Round(1e6))
+
+	srv := server.New(eng, server.Config{CacheSize: *cache, Shards: eng.Shards()})
+	log.Printf("serving on %s (POST /query, POST /query/batch, GET /stats /healthz /metrics)", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func indexKind(name string) (vectordb.IndexKind, error) {
+	switch name {
+	case "", "imi":
+		return vectordb.IndexIMI, nil
+	case "ivfpq":
+		return vectordb.IndexIVFPQ, nil
+	case "hnsw":
+		return vectordb.IndexHNSW, nil
+	case "flat", "bf":
+		return vectordb.IndexFlat, nil
+	default:
+		return "", fmt.Errorf("unknown index %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lovod:", err)
+	os.Exit(1)
+}

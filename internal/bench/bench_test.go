@@ -13,7 +13,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"table3", "table4", "table5", "table7",
-		"throughput",
+		"throughput", "sharding",
 	}
 	have := Experiments()
 	set := map[string]bool{}
@@ -198,6 +198,24 @@ func TestTable7Structure(t *testing.T) {
 	}
 	if len(tbl.Rows) != 3 || len(tbl.Header) != 5 {
 		t.Fatalf("shape: %d rows, %d cols", len(tbl.Rows), len(tbl.Header))
+	}
+}
+
+func TestShardingStructure(t *testing.T) {
+	tbl, err := Run("sharding", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode sweeps shard counts {1, 2}.
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "1" || tbl.Rows[1][0] != "2" {
+		t.Fatalf("shard sweep: %v / %v", tbl.Rows[0], tbl.Rows[1])
+	}
+	// The 1-shard baseline row must report speedup 1.00x.
+	if tbl.Rows[0][7] != "1.00x" {
+		t.Fatalf("baseline speedup: %v", tbl.Rows[0])
 	}
 }
 

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ann"
@@ -198,6 +199,12 @@ type System struct {
 
 	stats IngestStats
 	built bool
+
+	// ingestGen counts completed mutations (Ingest, BuildIndex, snapshot
+	// loads). Serving tiers use it to invalidate query-result caches: a
+	// cached answer is valid only while the generation it was computed
+	// under still matches.
+	ingestGen atomic.Uint64
 }
 
 // IngestStats accumulates Video Summary metrics.
@@ -298,7 +305,7 @@ func (s *System) Ingest(v *video.Video) error {
 
 	// Stage 1 (parallel): encode every selected keyframe.
 	encoded := make([][]vit.Token, len(keys))
-	parallelFor(len(keys), resolveWorkers(s.cfg.Workers), func(i int) {
+	ParallelFor(len(keys), ResolveWorkers(s.cfg.Workers), func(i int) {
 		encoded[i] = vit.EncodeFrame(s.vitCfg, &v.Frames[keys[i]])
 	})
 
@@ -337,6 +344,7 @@ func (s *System) Ingest(v *video.Video) error {
 	s.stats.Frames += len(v.Frames)
 	s.stats.Processing += time.Since(start)
 	s.mu.Unlock()
+	s.ingestGen.Add(1)
 	return nil
 }
 
@@ -364,8 +372,19 @@ func (s *System) BuildIndex() error {
 	s.stats.Indexing += time.Since(start)
 	s.built = true
 	s.mu.Unlock()
+	s.ingestGen.Add(1)
 	return nil
 }
+
+// IngestGen returns the mutation generation: it increments on every
+// completed Ingest, BuildIndex and LoadSnapshot. Cached query results are
+// valid only while the generation is unchanged.
+func (s *System) IngestGen() uint64 { return s.ingestGen.Load() }
+
+// Config returns the system configuration with defaults resolved — the
+// authoritative FastK/TopN/RerankFrames values a scatter-gather engine
+// needs to mirror the single-system query path exactly.
+func (s *System) Config() Config { return s.cfg }
 
 // Built reports whether BuildIndex has completed at least once.
 func (s *System) Built() bool {
@@ -374,20 +393,28 @@ func (s *System) Built() bool {
 	return s.built
 }
 
-// searchVectors runs fast search against the configured store.
+// searchVectors runs fast search against the configured store. The store
+// pointers are read under the lock so LoadSnapshot's store swap cannot
+// race a concurrent query.
 func (s *System) searchVectors(q []float32, k int, p ann.Params) ([]mat.Scored, error) {
-	if s.seg != nil {
-		return s.seg.Search(q, k, p)
+	s.mu.RLock()
+	col, seg := s.col, s.seg
+	s.mu.RUnlock()
+	if seg != nil {
+		return seg.Search(q, k, p)
 	}
-	return s.col.Search(q, k, p)
+	return col.Search(q, k, p)
 }
 
 // Entities returns the number of indexed patch vectors.
 func (s *System) Entities() int {
-	if s.seg != nil {
-		return s.seg.Len()
+	s.mu.RLock()
+	col, seg := s.col, s.seg
+	s.mu.RUnlock()
+	if seg != nil {
+		return seg.Len()
 	}
-	return s.col.Len()
+	return col.Len()
 }
 
 // Segmented exposes the streaming-mode store (nil in monolithic mode).
@@ -401,11 +428,19 @@ func (s *System) Stats() IngestStats {
 }
 
 // Collection exposes the underlying vector collection (stats, experiments).
-func (s *System) Collection() *vectordb.Collection { return s.col }
+func (s *System) Collection() *vectordb.Collection {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.col
+}
 
 // DB exposes the underlying vector database, e.g. for snapshot persistence
 // (vectordb.DB.Save / vectordb.Load).
-func (s *System) DB() *vectordb.DB { return s.db }
+func (s *System) DB() *vectordb.DB {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db
+}
 
 // Keyframe returns the retained keyframe for (video, frame), if indexed.
 // The frame is stored once at ingest and never mutated, so sharing the

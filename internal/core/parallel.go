@@ -6,21 +6,21 @@ import (
 	"sync/atomic"
 )
 
-// resolveWorkers normalises a worker-count knob: zero (and negatives) mean
+// ResolveWorkers normalises a worker-count knob: zero (and negatives) mean
 // "use every core".
-func resolveWorkers(w int) int {
+func ResolveWorkers(w int) int {
 	if w <= 0 {
 		return runtime.NumCPU()
 	}
 	return w
 }
 
-// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// ParallelFor runs fn(i) for every i in [0, n) across at most workers
 // goroutines. Iterations are handed out dynamically so uneven per-item cost
 // doesn't idle workers. With workers <= 1 (or n <= 1) it degenerates to the
 // plain serial loop on the calling goroutine, so the serial path stays the
 // literal baseline the determinism tests compare against.
-func parallelFor(n, workers int, fn func(i int)) {
+func ParallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -60,25 +61,56 @@ type Result struct {
 // Total returns the user-perceived search latency.
 func (r *Result) Total() time.Duration { return r.FastSearch + r.Rerank }
 
-// Query executes the two-stage strategy of Algorithm 2.
-func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+// ErrNoRecognisedTerms marks a query whose text contains no vocabulary
+// term at all — the caller's input is unanswerable, not a system failure.
+// Serving tiers test with errors.Is to map it to a client error.
+var ErrNoRecognisedTerms = errors.New("query contains no recognised terms")
+
+// FrameRef identifies one candidate keyframe for the stage-2 rerank plus
+// the best fast-search hit that nominated it. It is the unit of work a
+// scatter-gather engine routes back to the shard owning the keyframe.
+type FrameRef struct {
+	VideoID  int
+	FrameIdx int
+	// PatchID is the best (first, in canonical hit order) fast-search hit
+	// of this frame; rerank-promoted objects inherit it.
+	PatchID int64
+}
+
+// Grounding is the stage-2 output for one candidate frame: the objects the
+// cross-modality model grounded (plateau-limited) and the frame's best
+// score, which drives the final frame ranking.
+type Grounding struct {
+	Ref     FrameRef
+	Objects []ResultObject
+	Best    float32
+	// Grounds reports whether the frame produced any grounding at all;
+	// frames that ground nothing never enter the final ranking.
+	Grounds bool
+}
+
+// FastHits is the stage-1 output: the joined fast-search hits in canonical
+// order — descending score, ascending patch ID — which every index kind
+// produces and which the scatter-gather merge preserves.
+type FastHits struct {
+	Objects []ResultObject
+	Elapsed time.Duration
+}
+
+// FastSearch runs stage 1 of Algorithm 2: encode the query, fast-search the
+// vector index for the top-fastK patches, and join the hits against the
+// relational store. Hits are returned in canonical (score desc, patch ID
+// asc) order. Safe to call concurrently with Ingest.
+func (s *System) FastSearch(text string, opts QueryOptions) (*FastHits, error) {
 	fastK := opts.FastK
 	if fastK == 0 {
 		fastK = s.cfg.FastK
 	}
-	topN := opts.TopN
-	if topN == 0 {
-		topN = s.cfg.TopN
-	}
-
-	res := &Result{}
 	start := time.Now()
-
-	// Stage 1: encode the query and fast-search the index.
 	parsed := query.Parse(text)
 	qvec := s.text.FastVec(parsed)
 	if mat.Norm(qvec) == 0 {
-		return nil, fmt.Errorf("core: query %q contains no recognised terms", text)
+		return nil, fmt.Errorf("core: query %q: %w", text, ErrNoRecognisedTerms)
 	}
 	qproj := s.space.Project(qvec)
 	hits, err := s.searchVectors(qproj, fastK, ann.Params{
@@ -89,140 +121,170 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: fast search: %w", err)
 	}
-
-	// Join hits against the relational store and collect candidate
-	// frames in first-hit (best-score) order.
-	type candidate struct {
-		key  frameKey
-		best mat.Scored
-	}
-	var frameOrder []candidate
-	seen := make(map[frameKey]bool)
-	fastObjects := make([]ResultObject, 0, len(hits))
+	objects := make([]ResultObject, 0, len(hits))
 	for _, h := range hits {
 		row, err := s.patches.Get(h.ID)
 		if err != nil {
 			return nil, fmt.Errorf("core: metadata join for patch %d: %w", h.ID, err)
 		}
-		vid := int(row[1].(int64))
-		fi := int(row[2].(int64))
-		box := video.Box{X: row[4].(float64), Y: row[5].(float64), W: row[6].(float64), H: row[7].(float64)}
-		fastObjects = append(fastObjects, ResultObject{
-			VideoID: vid, FrameIdx: fi, Box: box, Score: h.Score, PatchID: h.ID,
+		objects = append(objects, ResultObject{
+			VideoID:  int(row[1].(int64)),
+			FrameIdx: int(row[2].(int64)),
+			Box:      video.Box{X: row[4].(float64), Y: row[5].(float64), W: row[6].(float64), H: row[7].(float64)},
+			Score:    h.Score,
+			PatchID:  h.ID,
 		})
-		k := frameKey{vid, fi}
-		if !seen[k] {
-			seen[k] = true
-			frameOrder = append(frameOrder, candidate{key: k, best: h})
+	}
+	return &FastHits{Objects: objects, Elapsed: time.Since(start)}, nil
+}
+
+// MergeHits folds many canonical hit lists (e.g. one per shard) into one
+// global canonical list truncated to fastK: descending score, with ties
+// broken by ascending patch ID. Merging each shard's exact local top-fastK
+// this way reproduces the monolithic exact top-fastK bit for bit — any hit
+// in the global cut has fewer than fastK hits above it globally, hence
+// fewer than fastK above it in its own shard.
+func MergeHits(lists [][]ResultObject, fastK int) []ResultObject {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]ResultObject, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
 		}
+		return merged[i].PatchID < merged[j].PatchID
+	})
+	if fastK > 0 && len(merged) > fastK {
+		merged = merged[:fastK]
 	}
-	res.FastSearch = time.Since(start)
-	res.CandidateFrames = len(frameOrder)
+	return merged
+}
 
-	if opts.DisableRerank {
-		res.Objects = truncateObjects(dedupByFrameBox(fastObjects), fastK)
-		return res, nil
+// CandidateFrames collapses a canonical hit list to its distinct frames in
+// first-hit order, so each frame carries its best hit's patch ID.
+func CandidateFrames(hits []ResultObject) []FrameRef {
+	seen := make(map[frameKey]bool)
+	var refs []FrameRef
+	for _, h := range hits {
+		k := frameKey{h.VideoID, h.FrameIdx}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		refs = append(refs, FrameRef{VideoID: h.VideoID, FrameIdx: h.FrameIdx, PatchID: h.PatchID})
 	}
+	return refs
+}
 
-	// Stage 2: cross-modality rerank over the candidate frames, bounded
-	// by the rerank budget so its cost stays independent of dataset
-	// size (Section VII-D). The budget is spent on temporally diverse
-	// moments: adjacent keyframes almost surely show the same objects,
-	// so a candidate within a few frames of an already-selected one is
-	// deferred until the distinct moments are exhausted.
-	rerankFrames := opts.RerankFrames
-	if rerankFrames == 0 {
-		rerankFrames = s.cfg.RerankFrames
+// SelectForRerank bounds the candidate frames to the stage-2 budget so the
+// rerank cost stays independent of dataset size (Section VII-D). The budget
+// is spent on temporally diverse moments: adjacent keyframes almost surely
+// show the same objects, so a candidate within a few frames of an
+// already-selected one is deferred until the distinct moments are
+// exhausted.
+func SelectForRerank(refs []FrameRef, budget int) []FrameRef {
+	if budget <= 0 || len(refs) <= budget {
+		return refs
 	}
-	if len(frameOrder) > rerankFrames {
-		const spacing = 4
-		selected := make([]candidate, 0, rerankFrames)
-		var deferred []candidate
-		for _, cand := range frameOrder {
-			close := false
-			for _, sel := range selected {
-				if sel.key.video == cand.key.video && abs(sel.key.frame-cand.key.frame) <= spacing {
-					close = true
-					break
-				}
-			}
-			if close {
-				deferred = append(deferred, cand)
-				continue
-			}
-			selected = append(selected, cand)
-			if len(selected) == rerankFrames {
+	const spacing = 4
+	selected := make([]FrameRef, 0, budget)
+	var deferred []FrameRef
+	for _, cand := range refs {
+		close := false
+		for _, sel := range selected {
+			if sel.VideoID == cand.VideoID && abs(sel.FrameIdx-cand.FrameIdx) <= spacing {
+				close = true
 				break
 			}
 		}
-		for _, cand := range deferred {
-			if len(selected) == rerankFrames {
-				break
-			}
-			selected = append(selected, cand)
+		if close {
+			deferred = append(deferred, cand)
+			continue
 		}
-		frameOrder = selected
+		selected = append(selected, cand)
+		if len(selected) == budget {
+			break
+		}
 	}
-	rstart := time.Now()
+	for _, cand := range deferred {
+		if len(selected) == budget {
+			break
+		}
+		selected = append(selected, cand)
+	}
+	return selected
+}
+
+// GroundCandidates runs stage 2 over the given candidate frames: each
+// frame's retained keyframe is grounded against the query by the
+// cross-modality transformer, fanning out across at most workers
+// goroutines. Groundings align with refs. Frames this system does not own
+// (no retained keyframe) come back with Grounds=false, so a scatter-gather
+// engine may safely route only the refs a shard owns.
+func (s *System) GroundCandidates(text string, refs []FrameRef, workers int) []Grounding {
+	parsed := query.Parse(text)
 	toks := s.text.Tokens(parsed)
-	workers := opts.Workers
 	if workers == 0 {
 		workers = s.cfg.Workers
 	}
 	// Each candidate frame grounds independently, so the transformer
 	// forward passes — the dominant cost of Algorithm 2 — fan out across
-	// the worker pool. Per-candidate outputs land in a slot indexed by
-	// candidate position and merge in that order below, so the reranked
-	// list and frame-best map are byte-identical to the serial loop.
-	type rerankSlot struct {
-		objs    []ResultObject
-		best    float32
-		grounds bool
-	}
-	slots := make([]rerankSlot, len(frameOrder))
-	parallelFor(len(frameOrder), resolveWorkers(workers), func(i int) {
-		cand := frameOrder[i]
-		f, ok := s.Keyframe(cand.key.video, cand.key.frame)
+	// the worker pool. Outputs land in a slot indexed by candidate
+	// position, so the result is byte-identical to the serial loop.
+	out := make([]Grounding, len(refs))
+	ParallelFor(len(refs), ResolveWorkers(workers), func(i int) {
+		ref := refs[i]
+		out[i].Ref = ref
+		f, ok := s.Keyframe(ref.VideoID, ref.FrameIdx)
 		if !ok {
 			return
 		}
 		groundings := s.model.GroundFrame(f, toks)
 		for gi, g := range groundings {
-			// Beyond the best grounding, a frame contributes
-			// further objects only while they form a plateau of
-			// near-equal scores (several pedestrians all walking,
-			// both cars of a side-by-side pair); a clear drop
-			// means the remaining objects don't match and would
-			// only inject false positives.
+			// Beyond the best grounding, a frame contributes further
+			// objects only while they form a plateau of near-equal
+			// scores (several pedestrians all walking, both cars of a
+			// side-by-side pair); a clear drop means the remaining
+			// objects don't match and would only inject false
+			// positives.
 			if gi >= 4 || (gi > 0 && g.Score < groundings[gi-1].Score-0.02) {
 				break
 			}
-			slots[i].objs = append(slots[i].objs, ResultObject{
-				VideoID:  cand.key.video,
-				FrameIdx: cand.key.frame,
+			out[i].Objects = append(out[i].Objects, ResultObject{
+				VideoID:  ref.VideoID,
+				FrameIdx: ref.FrameIdx,
 				Box:      g.Box,
 				Score:    g.Score,
-				PatchID:  cand.best.ID,
+				PatchID:  ref.PatchID,
 			})
 		}
 		if len(groundings) > 0 {
-			slots[i].best = groundings[0].Score
-			slots[i].grounds = true
+			out[i].Best = groundings[0].Score
+			out[i].Grounds = true
 		}
 	})
-	var reranked []ResultObject
-	frameBest := make(map[frameKey]float32)
-	for i, cand := range frameOrder {
-		reranked = append(reranked, slots[i].objs...)
-		if slots[i].grounds {
-			frameBest[cand.key] = slots[i].best
-		}
-	}
-	// Rank frames by their best grounding, keep the top-n frames, then
-	// rank objects within (Algorithm 2 returns top-n frames with boxes).
+	return out
+}
+
+// RankGroundings produces the final answer from stage-2 groundings: frames
+// ranked by their best grounding, the top-n frames kept, objects within
+// ranked by score with deterministic (video, frame, patch ID) tie-breaks —
+// Algorithm 2 returns top-n frames with boxes.
+func RankGroundings(groundings []Grounding, topN int) []ResultObject {
 	type fs struct {
 		key   frameKey
 		score float32
+	}
+	frameBest := make(map[frameKey]float32, len(groundings))
+	for _, g := range groundings {
+		if g.Grounds {
+			frameBest[frameKey{g.Ref.VideoID, g.Ref.FrameIdx}] = g.Best
+		}
 	}
 	ranked := make([]fs, 0, len(frameBest))
 	for k, v := range frameBest {
@@ -242,9 +304,11 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 		keep[ranked[i].key] = true
 	}
 	var kept []ResultObject
-	for _, o := range reranked {
-		if keep[frameKey{o.VideoID, o.FrameIdx}] {
-			kept = append(kept, o)
+	for _, g := range groundings {
+		for _, o := range g.Objects {
+			if keep[frameKey{o.VideoID, o.FrameIdx}] {
+				kept = append(kept, o)
+			}
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -254,9 +318,49 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 		if kept[i].VideoID != kept[j].VideoID {
 			return kept[i].VideoID < kept[j].VideoID
 		}
-		return kept[i].FrameIdx < kept[j].FrameIdx
+		if kept[i].FrameIdx != kept[j].FrameIdx {
+			return kept[i].FrameIdx < kept[j].FrameIdx
+		}
+		return kept[i].PatchID < kept[j].PatchID
 	})
-	res.Objects = kept
+	return kept
+}
+
+// Query executes the two-stage strategy of Algorithm 2 by composing the
+// stage functions above — the same functions shard.Engine composes across
+// shards, so a one-shard engine answers byte-identically to this path.
+func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	fastK := opts.FastK
+	if fastK == 0 {
+		fastK = s.cfg.FastK
+	}
+	topN := opts.TopN
+	if topN == 0 {
+		topN = s.cfg.TopN
+	}
+
+	res := &Result{}
+	fh, err := s.FastSearch(text, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.FastSearch = fh.Elapsed
+	refs := CandidateFrames(fh.Objects)
+	res.CandidateFrames = len(refs)
+
+	if opts.DisableRerank {
+		res.Objects = DedupHits(fh.Objects, fastK)
+		return res, nil
+	}
+
+	rerankFrames := opts.RerankFrames
+	if rerankFrames == 0 {
+		rerankFrames = s.cfg.RerankFrames
+	}
+	rstart := time.Now()
+	refs = SelectForRerank(refs, rerankFrames)
+	groundings := s.GroundCandidates(text, refs, opts.Workers)
+	res.Objects = RankGroundings(groundings, topN)
 	res.Rerank = time.Since(rstart)
 	return res, nil
 }
@@ -273,7 +377,7 @@ func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*
 	if clients == 0 {
 		clients = s.cfg.Workers
 	}
-	clients = resolveWorkers(clients)
+	clients = ResolveWorkers(clients)
 	// Batch-level concurrency already saturates the cores, so unless the
 	// caller explicitly widened the per-query rerank, run each query's
 	// stage 2 serially — nested NumCPU-wide pools would oversubscribe
@@ -284,7 +388,7 @@ func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*
 	}
 	results := make([]*Result, len(texts))
 	errs := make([]error, len(texts))
-	parallelFor(len(texts), clients, func(i int) {
+	ParallelFor(len(texts), clients, func(i int) {
 		results[i], errs[i] = s.Query(texts[i], opts)
 	})
 	for i, err := range errs {
@@ -295,10 +399,11 @@ func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*
 	return results, nil
 }
 
-// dedupByFrameBox removes near-duplicate fast-search hits: multiple patches
-// of one object predict nearly identical boxes, which would otherwise flood
-// the un-reranked result list.
-func dedupByFrameBox(objs []ResultObject) []ResultObject {
+// DedupHits removes near-duplicate fast-search hits and truncates to limit:
+// multiple patches of one object predict nearly identical boxes, which
+// would otherwise flood the un-reranked result list (the "w/o Rerank"
+// ablation path).
+func DedupHits(objs []ResultObject, limit int) []ResultObject {
 	var out []ResultObject
 	for _, o := range objs {
 		dup := false
@@ -312,14 +417,10 @@ func dedupByFrameBox(objs []ResultObject) []ResultObject {
 			out = append(out, o)
 		}
 	}
-	return out
-}
-
-func truncateObjects(objs []ResultObject, n int) []ResultObject {
-	if len(objs) > n {
-		return objs[:n]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
 	}
-	return objs
+	return out
 }
 
 func abs(x int) int {

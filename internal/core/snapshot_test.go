@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func TestSystemSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 17}
+	ds := datasets.Bellevue(datasets.Config{Seed: 17, Scale: 0.05})
+	orig := buildSystem(t, ds, cfg)
+
+	var buf bytes.Buffer
+	if err := orig.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Entities() != orig.Entities() {
+		t.Fatalf("entities %d != %d", restored.Entities(), orig.Entities())
+	}
+	if !restored.Built() {
+		t.Fatal("restored system must report built")
+	}
+	if restored.Stats() != orig.Stats() {
+		t.Fatalf("stats %+v != %+v", restored.Stats(), orig.Stats())
+	}
+
+	// Every benchmark query answers byte-identically — vectors, metadata
+	// join and keyframes all survived the round trip.
+	for _, q := range ds.Queries {
+		want, err := orig.Query(q.Text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Query(q.Text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) {
+			t.Fatalf("%s: restored system answers diverge\n got: %+v\nwant: %+v", q.ID, got.Objects, want.Objects)
+		}
+	}
+
+	// The restored system keeps working: more footage, rebuild, query.
+	extra := datasets.Bellevue(datasets.Config{Seed: 18, Scale: 0.03})
+	v := extra.Videos[0]
+	v.ID = 7
+	if err := restored.Ingest(&v); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Query(ds.Queries[0].Text, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemSnapshotErrors(t *testing.T) {
+	// Streaming systems have no snapshot.
+	s, err := New(Config{Seed: 1, Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveSnapshot(&buf); err == nil {
+		t.Fatal("streaming save must error")
+	}
+	if err := s.LoadSnapshot(&buf); err == nil {
+		t.Fatal("streaming load must error")
+	}
+
+	// Bad magic.
+	m, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadSnapshot(bytes.NewReader([]byte("NOTASNAP\n"))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+
+	// Dimension mismatch.
+	ds := datasets.Bellevue(datasets.Config{Seed: 1, Scale: 0.03})
+	orig := buildSystem(t, ds, Config{Seed: 1})
+	buf.Reset()
+	if err := orig.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := New(Config{Seed: 1, ProjDim: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+
+	// Non-empty target.
+	full := buildSystem(t, ds, Config{Seed: 1})
+	if err := full.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading into a non-empty system must error")
+	}
+}

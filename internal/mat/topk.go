@@ -11,10 +11,26 @@ type Scored struct {
 }
 
 // TopK collects the k highest-scoring items from a stream using a bounded
-// min-heap. The zero value is not usable; construct with NewTopK.
+// min-heap. The heap orders by the same canonical total order Sorted
+// reports — descending score with ascending-ID tie-break — so the retained
+// set is exactly the canonical top-k whatever the arrival order. That
+// invariant is what lets a scatter-gather merge of per-shard exact top-k
+// lists reproduce the monolithic exact top-k bit for bit even when distinct
+// items carry equal scores (common here: the same synthetic object observed
+// in two frames encodes identically). The zero value is not usable;
+// construct with NewTopK.
 type TopK struct {
 	k    int
-	heap []Scored // min-heap on Score
+	heap []Scored // min-heap: worst item in canonical order at the root
+}
+
+// worse reports whether a ranks strictly below b in the canonical order
+// (descending score, ascending ID).
+func worse(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
 }
 
 // NewTopK returns a collector retaining the k best items. k must be > 0.
@@ -45,17 +61,18 @@ func (t *TopK) Push(id int64, score float32) {
 		t.siftUp(len(t.heap) - 1)
 		return
 	}
-	if score <= t.heap[0].Score {
+	cand := Scored{ID: id, Score: score}
+	if !worse(t.heap[0], cand) {
 		return
 	}
-	t.heap[0] = Scored{ID: id, Score: score}
+	t.heap[0] = cand
 	t.siftDown(0)
 }
 
 func (t *TopK) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].Score <= t.heap[i].Score {
+		if !worse(t.heap[i], t.heap[parent]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -67,18 +84,18 @@ func (t *TopK) siftDown(i int) {
 	n := len(t.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && t.heap[l].Score < t.heap[small].Score {
-			small = l
+		worst := i
+		if l < n && worse(t.heap[l], t.heap[worst]) {
+			worst = l
 		}
-		if r < n && t.heap[r].Score < t.heap[small].Score {
-			small = r
+		if r < n && worse(t.heap[r], t.heap[worst]) {
+			worst = r
 		}
-		if small == i {
+		if worst == i {
 			return
 		}
-		t.heap[i], t.heap[small] = t.heap[small], t.heap[i]
-		i = small
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
 	}
 }
 

@@ -108,3 +108,27 @@ func TestTopKMatchesSortProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTopKCanonicalUnderTies: with equal scores at the k boundary, the
+// retained set must be the canonical top-k (lowest IDs win) regardless of
+// arrival order — the invariant scatter-gather sharding relies on.
+func TestTopKCanonicalUnderTies(t *testing.T) {
+	orders := [][]int64{
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{3, 5, 1, 4, 2},
+	}
+	for _, order := range orders {
+		tk := NewTopK(3)
+		for _, id := range order {
+			tk.Push(id, 0.5) // all tied
+		}
+		got := tk.Sorted()
+		want := []int64{1, 2, 3}
+		for i, s := range got {
+			if s.ID != want[i] {
+				t.Fatalf("order %v: retained %v, want IDs %v", order, got, want)
+			}
+		}
+	}
+}

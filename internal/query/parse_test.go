@@ -1,6 +1,7 @@
 package query
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/vocab"
@@ -224,5 +225,91 @@ func TestGradeOpenWorldWithoutRelations(t *testing.T) {
 	}
 	if Parse("a black suv").Grade() != Complex {
 		t.Fatal("open-world class with attrs is complex")
+	}
+}
+
+// --- Edge cases: degenerate and adversarial inputs ---
+
+func TestParseEmptyVariants(t *testing.T) {
+	for _, q := range []string{"", "   ", "\t\n  \n"} {
+		p := Parse(q)
+		if len(p.Terms) != 0 || len(p.Subject) != 0 || len(p.Relations) != 0 {
+			t.Errorf("empty-ish query %q parsed to %+v", q, p)
+		}
+		if p.Grade() != Simple {
+			t.Errorf("empty query %q grades %v", q, p.Grade())
+		}
+	}
+}
+
+func TestParsePunctuationOnly(t *testing.T) {
+	for _, q := range []string{"?!.,;:", "... --- !!!", "()[]\"'", ", . , ."} {
+		p := Parse(q)
+		if len(p.Terms) != 0 {
+			t.Errorf("punctuation-only query %q parsed terms %v", q, names(p.Terms))
+		}
+	}
+}
+
+func TestParseVeryLongSentence(t *testing.T) {
+	// A sentence hundreds of tokens long must parse without blowup and
+	// dedup to the same terms as one occurrence.
+	unit := "A red car driving in the center of the road, side by side with another car. "
+	long := strings.Repeat(unit, 200)
+	p := Parse(long)
+	want := Parse(unit)
+	if len(p.Terms) != len(want.Terms) {
+		t.Fatalf("long sentence terms %v != single occurrence %v", names(p.Terms), names(want.Terms))
+	}
+	for i, tm := range p.Terms {
+		if tm.Name != want.Terms[i].Name {
+			t.Fatalf("term %d: %q != %q", i, tm.Name, want.Terms[i].Name)
+		}
+	}
+	if p.Grade() != want.Grade() {
+		t.Fatalf("long sentence grade %v != %v", p.Grade(), want.Grade())
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	variants := []string{
+		"A RED CAR DRIVING IN THE CENTER OF THE ROAD.",
+		"a red car driving in the center of the road.",
+		"A Red Car Driving In The Center Of The Road.",
+		"a ReD cAr DrIvInG iN tHe CeNtEr Of ThE rOaD.",
+	}
+	want := Parse(variants[1])
+	if len(want.Terms) == 0 {
+		t.Fatal("baseline parse empty")
+	}
+	for _, q := range variants {
+		p := Parse(q)
+		if len(p.Terms) != len(want.Terms) {
+			t.Fatalf("%q: terms %v, want %v", q, names(p.Terms), names(want.Terms))
+		}
+		for i, tm := range p.Terms {
+			if tm.Name != want.Terms[i].Name {
+				t.Fatalf("%q: term %d is %q, want %q", q, i, tm.Name, want.Terms[i].Name)
+			}
+		}
+		if p.Grade() != want.Grade() {
+			t.Fatalf("%q: grade %v, want %v", q, p.Grade(), want.Grade())
+		}
+	}
+	// Multi-word phrases must match across cases too.
+	if !hasName(Parse("SIDE BY SIDE cars").Relations, "side by side") {
+		t.Fatal("upper-case phrase must match the vocabulary")
+	}
+}
+
+func TestParseHyphenAndTrailingPunctuation(t *testing.T) {
+	// In-word hyphens survive tokenisation; wrapping punctuation is
+	// trimmed even when stacked.
+	p := Parse("((a light-colored truck!!)).")
+	if !hasName(p.Subject, "truck") {
+		t.Fatalf("subject = %v", names(p.Subject))
+	}
+	if !hasName(p.Attrs, "light") {
+		t.Fatalf("attrs = %v", names(p.Attrs))
 	}
 }

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheKey canonicalises (query text, options) into the cache key. Every
+// field that changes the answer participates; Workers does not (results are
+// identical at every width, by the engine's determinism contract).
+func cacheKey(text string, opts core.QueryOptions) string {
+	return fmt.Sprintf("%s\x00k=%d n=%d r=%t e=%t f=%d",
+		text, opts.FastK, opts.TopN, opts.DisableRerank, opts.Exhaustive, opts.RerankFrames)
+}
+
+// resultCache is a bounded LRU over query results, stamped with the
+// backend's ingest generation: an entry computed under an older generation
+// is stale — new footage may have changed the answer — and is dropped on
+// lookup, which is how ingest invalidates the cache without a callback.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recent
+	items   map[string]*list.Element
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key string
+	gen uint64
+	res *core.Result
+}
+
+// newResultCache builds a cache holding at most capacity entries;
+// capacity <= 0 disables caching entirely.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key if present and computed under the
+// current generation. Results are shared pointers; callers must not mutate.
+func (c *resultCache) get(key string, gen uint64) (*core.Result, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		// Stale: the corpus changed since this answer was computed.
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.res, true
+}
+
+// put stores a result computed under gen, evicting the least-recently-used
+// entry when full.
+func (c *resultCache) put(key string, gen uint64, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.gen = gen
+		ent.res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// CacheStats is a counters snapshot for /stats and /metrics.
+type CacheStats struct {
+	Capacity int    `json:"capacity"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity: c.cap,
+		Entries:  c.ll.Len(),
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Evicted:  c.evicted,
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, exponential
+// from 100µs to 10s — wide enough to cover a cache hit and a cold
+// exhaustive scan on the same axis.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // counts[i] observations <= latencyBuckets[i]; one extra for +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += sec
+	h.count++
+	h.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the owning bucket; 0 when empty.
+func (h *histogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBuckets[i-1]
+		}
+		hi := 2 * lo // +Inf bucket: extrapolate
+		if i < len(latencyBuckets) {
+			hi = latencyBuckets[i]
+		}
+		if c == 0 {
+			return lo
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// writeProm renders the histogram in Prometheus text exposition format.
+func (h *histogram) writeProm(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(ub), cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// promFloat formats a float the way Prometheus expects (no exponent for
+// the magnitudes we use, trailing zeros trimmed).
+func promFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// serverMetrics aggregates the serving-tier counters exposed at /metrics.
+type serverMetrics struct {
+	queries      atomic.Uint64 // /query requests answered (cache hits included)
+	batchQueries atomic.Uint64 // individual queries served via /query/batch
+	errors       atomic.Uint64 // requests rejected or failed
+	latency      *histogram    // per-query serve latency (cache hits included)
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{latency: newHistogram()}
+}
+
+func counter(w io.Writer, name string, v uint64) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+}
+
+func gauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
+}

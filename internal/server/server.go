@@ -1,0 +1,361 @@
+// Package server is LOVO's network serving tier: a net/http JSON API over a
+// query backend — the sharded scatter-gather engine or a single core.System
+// — fronted by a bounded LRU query-result cache and text-format metrics.
+//
+// Endpoints:
+//
+//	POST /query        {"query": "...", "options": {...}} -> ranked objects
+//	POST /query/batch  {"queries": [...], "options": {...}} -> per-query results
+//	GET  /stats        ingest, cache and latency statistics as JSON
+//	GET  /healthz      liveness (always 200 once listening; reports built)
+//	GET  /metrics      Prometheus text-format counters and latency histogram
+//
+// The cache keys on (query text, options) and stamps every entry with the
+// backend's ingest generation, so any ingest or index build anywhere in the
+// engine invalidates stale answers on their next lookup.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Backend answers queries for the server: both *core.System and
+// *shard.Engine satisfy it.
+type Backend interface {
+	Query(text string, opts core.QueryOptions) (*core.Result, error)
+	QueryBatch(texts []string, opts core.QueryOptions, clients int) ([]*core.Result, error)
+	Stats() core.IngestStats
+	Entities() int
+	Built() bool
+	IngestGen() uint64
+}
+
+// Config tunes the serving tier.
+type Config struct {
+	// CacheSize bounds the LRU query-result cache in entries; 0 disables
+	// caching.
+	CacheSize int
+	// Shards is reported in /stats (informational; the backend hides its
+	// own partitioning).
+	Shards int
+}
+
+// Server is the HTTP serving tier. It implements http.Handler.
+type Server struct {
+	backend Backend
+	cfg     Config
+	cache   *resultCache
+	metrics *serverMetrics
+	mux     *http.ServeMux
+	started time.Time
+
+	// inflight counts /query requests currently executing, to pick the
+	// per-request rerank width.
+	inflight atomic.Int64
+}
+
+// New constructs a server over backend.
+func New(backend Backend, cfg Config) *Server {
+	s := &Server{
+		backend: backend,
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: newServerMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/batch", s.handleBatch)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// QueryOptionsJSON is the wire form of core.QueryOptions.
+type QueryOptionsJSON struct {
+	FastK         int  `json:"fast_k,omitempty"`
+	TopN          int  `json:"top_n,omitempty"`
+	DisableRerank bool `json:"disable_rerank,omitempty"`
+	Exhaustive    bool `json:"exhaustive,omitempty"`
+	RerankFrames  int  `json:"rerank_frames,omitempty"`
+}
+
+func (o QueryOptionsJSON) toCore() core.QueryOptions {
+	return core.QueryOptions{
+		FastK:         o.FastK,
+		TopN:          o.TopN,
+		DisableRerank: o.DisableRerank,
+		Exhaustive:    o.Exhaustive,
+		RerankFrames:  o.RerankFrames,
+	}
+}
+
+// BoxJSON is a bounding box on the wire.
+type BoxJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	W float64 `json:"w"`
+	H float64 `json:"h"`
+}
+
+// ObjectJSON is one retrieved object on the wire.
+type ObjectJSON struct {
+	VideoID  int     `json:"video_id"`
+	FrameIdx int     `json:"frame_idx"`
+	Box      BoxJSON `json:"box"`
+	Score    float32 `json:"score"`
+	PatchID  int64   `json:"patch_id"`
+}
+
+// QueryResponse is the answer to one query.
+type QueryResponse struct {
+	Objects         []ObjectJSON `json:"objects"`
+	CandidateFrames int          `json:"candidate_frames"`
+	FastSearchMs    float64      `json:"fast_search_ms"`
+	RerankMs        float64      `json:"rerank_ms"`
+	Cached          bool         `json:"cached"`
+}
+
+type queryRequest struct {
+	Query   string           `json:"query"`
+	Options QueryOptionsJSON `json:"options"`
+}
+
+type batchRequest struct {
+	Queries []string         `json:"queries"`
+	Options QueryOptionsJSON `json:"options"`
+}
+
+type batchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+func toResponse(res *core.Result, cached bool) QueryResponse {
+	objs := make([]ObjectJSON, len(res.Objects))
+	for i, o := range res.Objects {
+		objs[i] = ObjectJSON{
+			VideoID:  o.VideoID,
+			FrameIdx: o.FrameIdx,
+			Box:      BoxJSON{X: o.Box.X, Y: o.Box.Y, W: o.Box.W, H: o.Box.H},
+			Score:    o.Score,
+			PatchID:  o.PatchID,
+		}
+	}
+	return QueryResponse{
+		Objects:         objs,
+		CandidateFrames: res.CandidateFrames,
+		FastSearchMs:    float64(res.FastSearch.Microseconds()) / 1000,
+		RerankMs:        float64(res.Rerank.Microseconds()) / 1000,
+		Cached:          cached,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.fail(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	if !s.backend.Built() {
+		s.fail(w, http.StatusServiceUnavailable, "index not built yet")
+		return
+	}
+	opts := req.Options.toCore()
+	// The same guard QueryBatch applies between its clients, applied
+	// between HTTP requests: a lone query gets the full parallel rerank,
+	// but once requests overlap, per-query NumCPU-wide grounding pools
+	// would only oversubscribe the cores. Results are identical at every
+	// width.
+	if s.inflight.Add(1) > 1 {
+		opts.Workers = 1
+	}
+	defer s.inflight.Add(-1)
+	start := time.Now()
+	res, cached, err := s.query(req.Query, opts)
+	if err != nil {
+		s.fail(w, queryErrStatus(err), "%v", err)
+		return
+	}
+	s.metrics.latency.observe(time.Since(start))
+	s.metrics.queries.Add(1)
+	writeJSON(w, http.StatusOK, toResponse(res, cached))
+}
+
+// query serves one query through the cache.
+func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, bool, error) {
+	key := cacheKey(text, opts)
+	gen := s.backend.IngestGen()
+	if res, ok := s.cache.get(key, gen); ok {
+		return res, true, nil
+	}
+	res, err := s.backend.Query(text, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.put(key, gen, res)
+	return res, false, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for _, q := range req.Queries {
+		if strings.TrimSpace(q) == "" {
+			s.fail(w, http.StatusBadRequest, "empty query in batch")
+			return
+		}
+	}
+	if !s.backend.Built() {
+		s.fail(w, http.StatusServiceUnavailable, "index not built yet")
+		return
+	}
+	opts := req.Options.toCore()
+	gen := s.backend.IngestGen()
+
+	// Serve what the cache can, batch the rest through the backend's
+	// concurrent client pool.
+	start := time.Now()
+	out := make([]QueryResponse, len(req.Queries))
+	var missTexts []string
+	var missIdx []int
+	for i, q := range req.Queries {
+		if res, ok := s.cache.get(cacheKey(q, opts), gen); ok {
+			out[i] = toResponse(res, true)
+			continue
+		}
+		missTexts = append(missTexts, q)
+		missIdx = append(missIdx, i)
+	}
+	if len(missTexts) > 0 {
+		results, err := s.backend.QueryBatch(missTexts, opts, 0)
+		if err != nil {
+			s.fail(w, queryErrStatus(err), "%v", err)
+			return
+		}
+		for j, res := range results {
+			s.cache.put(cacheKey(missTexts[j], opts), gen, res)
+			out[missIdx[j]] = toResponse(res, false)
+		}
+	}
+	elapsed := time.Since(start)
+	// Attribute the batch wall-clock evenly: per-query percentiles from
+	// batches would otherwise understate tail latency.
+	per := elapsed / time.Duration(len(req.Queries))
+	for range req.Queries {
+		s.metrics.latency.observe(per)
+	}
+	s.metrics.batchQueries.Add(uint64(len(req.Queries)))
+	writeJSON(w, http.StatusOK, batchResponse{Results: out})
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Ingest        core.IngestStats `json:"ingest"`
+	Entities      int              `json:"entities"`
+	Built         bool             `json:"built"`
+	Shards        int              `json:"shards"`
+	IngestGen     uint64           `json:"ingest_gen"`
+	Cache         CacheStats       `json:"cache"`
+	QueriesTotal  uint64           `json:"queries_total"`
+	BatchTotal    uint64           `json:"batch_queries_total"`
+	ErrorsTotal   uint64           `json:"errors_total"`
+	LatencyP50Ms  float64          `json:"latency_p50_ms"`
+	LatencyP99Ms  float64          `json:"latency_p99_ms"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Ingest:        s.backend.Stats(),
+		Entities:      s.backend.Entities(),
+		Built:         s.backend.Built(),
+		Shards:        s.cfg.Shards,
+		IngestGen:     s.backend.IngestGen(),
+		Cache:         s.cache.stats(),
+		QueriesTotal:  s.metrics.queries.Load(),
+		BatchTotal:    s.metrics.batchQueries.Load(),
+		ErrorsTotal:   s.metrics.errors.Load(),
+		LatencyP50Ms:  s.metrics.latency.quantile(0.50) * 1000,
+		LatencyP99Ms:  s.metrics.latency.quantile(0.99) * 1000,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"built":    s.backend.Built(),
+		"entities": s.backend.Entities(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	cs := s.cache.stats()
+	counter(w, "lovod_queries_total", s.metrics.queries.Load())
+	counter(w, "lovod_batch_queries_total", s.metrics.batchQueries.Load())
+	counter(w, "lovod_errors_total", s.metrics.errors.Load())
+	counter(w, "lovod_cache_hits_total", cs.Hits)
+	counter(w, "lovod_cache_misses_total", cs.Misses)
+	counter(w, "lovod_cache_evictions_total", cs.Evicted)
+	gauge(w, "lovod_cache_entries", float64(cs.Entries))
+	gauge(w, "lovod_index_entities", float64(s.backend.Entities()))
+	gauge(w, "lovod_ingest_generation", float64(s.backend.IngestGen()))
+	s.metrics.latency.writeProm(w, "lovod_query_latency_seconds")
+}
+
+// queryErrStatus maps a backend query error to an HTTP status: queries with
+// no recognised vocabulary are the client's problem, everything else is
+// ours.
+func queryErrStatus(err error) int {
+	if errors.Is(err, core.ErrNoRecognisedTerms) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,336 @@
+// Package shard implements LOVO's horizontal scaling tier: a scatter-gather
+// engine over N independent core.System shards partitioned by video ID.
+//
+// LOVO's one-time, query-agnostic extraction makes the corpus trivially
+// partitionable — a video's keyframes, patch vectors and relational rows
+// never reference another video — so each shard runs the full single-system
+// pipeline over its slice of the corpus. Queries scatter both stages:
+// stage-1 fast search runs on every shard and the per-shard hit lists merge
+// into the global top-fastK (descending score, ascending patch ID — the
+// same canonical order every index kind produces), and stage-2 rerank
+// candidates route back to the shard owning each keyframe. Because the
+// engine composes the exact stage functions core.System.Query composes, a
+// one-shard engine answers byte-identically to the single-system path, and
+// an N-shard engine under exact search differs only in index approximation,
+// not in merge logic.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/video"
+)
+
+// Engine is a sharded LOVO deployment: N core systems behind one
+// scatter-gather query path. All methods are safe for concurrent use;
+// queries may run while ingest continues, exactly as on a single system.
+type Engine struct {
+	shards []*core.System
+	cfg    core.Config // defaults resolved by the first shard
+}
+
+// New constructs an engine with n shards, each a full core.System built
+// from cfg (equal seeds, so every shard encodes identically and a keyframe
+// grounds to the same score regardless of which shard owns it).
+func New(n int, cfg core.Config) (*Engine, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	e := &Engine{shards: make([]*core.System, n)}
+	for i := range e.shards {
+		s, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard: creating shard %d: %w", i, err)
+		}
+		e.shards[i] = s
+	}
+	e.cfg = e.shards[0].Config()
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard exposes one underlying system (stats, experiments).
+func (e *Engine) Shard(i int) *core.System { return e.shards[i] }
+
+// owner maps a video ID to its shard: videos partition by ID modulo N.
+func (e *Engine) owner(videoID int) int {
+	o := videoID % len(e.shards)
+	if o < 0 {
+		o += len(e.shards)
+	}
+	return o
+}
+
+// Ingest routes one video to its owning shard.
+func (e *Engine) Ingest(v *video.Video) error {
+	return e.shards[e.owner(v.ID)].Ingest(v)
+}
+
+// IngestDataset fans the dataset out across shards in parallel: each shard
+// ingests its own videos in dataset order on one goroutine, so per-shard
+// state is byte-identical to a serial ingest of that shard's slice.
+func (e *Engine) IngestDataset(ds *datasets.Dataset) error {
+	byShard := make([][]*video.Video, len(e.shards))
+	for i := range ds.Videos {
+		v := &ds.Videos[i]
+		o := e.owner(v.ID)
+		byShard[o] = append(byShard[o], v)
+	}
+	errs := make([]error, len(e.shards))
+	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
+		for _, v := range byShard[i] {
+			if err := e.shards[i].Ingest(v); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+		}
+	})
+	return firstErr(errs)
+}
+
+// BuildIndex builds every non-empty shard's index in parallel. Empty shards
+// (fewer videos than shards) are skipped — they answer queries with zero
+// hits either way.
+func (e *Engine) BuildIndex() error {
+	errs := make([]error, len(e.shards))
+	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
+		if e.shards[i].Entities() == 0 {
+			return
+		}
+		if err := e.shards[i].BuildIndex(); err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+		}
+	})
+	return firstErr(errs)
+}
+
+// Query answers a natural-language object query with both stages scattered:
+// every shard fast-searches its local index, the hit lists merge into the
+// deterministic global top-fastK, and each candidate frame reranks on the
+// shard that owns its keyframe. The final ranking runs the same
+// core.RankGroundings the single-system path runs.
+func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
+	fastK := opts.FastK
+	if fastK == 0 {
+		fastK = e.cfg.FastK
+	}
+	topN := opts.TopN
+	if topN == 0 {
+		topN = e.cfg.TopN
+	}
+	res := &core.Result{}
+
+	// Stage 1 scatter: local top-fastK per shard, merged to global top-fastK.
+	lists := make([][]core.ResultObject, len(e.shards))
+	errs := make([]error, len(e.shards))
+	start := time.Now()
+	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
+		fh, err := e.shards[i].FastSearch(text, opts)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		lists[i] = fh.Objects
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	merged := core.MergeHits(lists, fastK)
+	refs := core.CandidateFrames(merged)
+	res.CandidateFrames = len(refs)
+	res.FastSearch = time.Since(start)
+
+	if opts.DisableRerank {
+		res.Objects = core.DedupHits(merged, fastK)
+		return res, nil
+	}
+
+	// Stage 2 scatter: ground each candidate on its owning shard, then
+	// reassemble groundings in global candidate order so the final
+	// ranking sees exactly what a single system would.
+	rerankFrames := opts.RerankFrames
+	if rerankFrames == 0 {
+		rerankFrames = e.cfg.RerankFrames
+	}
+	rstart := time.Now()
+	refs = core.SelectForRerank(refs, rerankFrames)
+	type routed struct {
+		refs []core.FrameRef
+		pos  []int
+	}
+	byShard := make([]routed, len(e.shards))
+	for pos, ref := range refs {
+		o := e.owner(ref.VideoID)
+		byShard[o].refs = append(byShard[o].refs, ref)
+		byShard[o].pos = append(byShard[o].pos, pos)
+	}
+	groundings := make([]core.Grounding, len(refs))
+	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
+		if len(byShard[i].refs) == 0 {
+			return
+		}
+		gs := e.shards[i].GroundCandidates(text, byShard[i].refs, opts.Workers)
+		for j, g := range gs {
+			groundings[byShard[i].pos[j]] = g
+		}
+	})
+	res.Objects = core.RankGroundings(groundings, topN)
+	res.Rerank = time.Since(rstart)
+	return res, nil
+}
+
+// QueryBatch answers many queries concurrently across at most clients
+// goroutines (zero inherits Config.Workers, which defaults to
+// runtime.NumCPU()). Results align with texts; the first failing query
+// aborts the batch with its error once in-flight queries drain.
+func (e *Engine) QueryBatch(texts []string, opts core.QueryOptions, clients int) ([]*core.Result, error) {
+	if clients == 0 {
+		clients = e.cfg.Workers
+	}
+	clients = core.ResolveWorkers(clients)
+	// As on a single system: with many concurrent clients, per-query
+	// rerank parallelism would only oversubscribe the cores.
+	if opts.Workers == 0 && clients > 1 {
+		opts.Workers = 1
+	}
+	results := make([]*core.Result, len(texts))
+	errs := make([]error, len(texts))
+	core.ParallelFor(len(texts), clients, func(i int) {
+		results[i], errs[i] = e.Query(texts[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: batch query %d (%q): %w", i, texts[i], err)
+		}
+	}
+	return results, nil
+}
+
+// Stats aggregates ingest statistics across shards. Counter fields sum;
+// duration fields sum too, so they report aggregate shard-time, not
+// wall-clock (shards ingest in parallel).
+func (e *Engine) Stats() core.IngestStats {
+	var agg core.IngestStats
+	for _, s := range e.shards {
+		st := s.Stats()
+		agg.Videos += st.Videos
+		agg.Frames += st.Frames
+		agg.Keyframes += st.Keyframes
+		agg.Tokens += st.Tokens
+		agg.Processing += st.Processing
+		agg.Indexing += st.Indexing
+	}
+	return agg
+}
+
+// Entities returns the total indexed patch vectors across shards.
+func (e *Engine) Entities() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.Entities()
+	}
+	return n
+}
+
+// Built reports whether every non-empty shard has built its index.
+func (e *Engine) Built() bool {
+	for _, s := range e.shards {
+		if s.Entities() > 0 && !s.Built() {
+			return false
+		}
+	}
+	return true
+}
+
+// IngestGen sums the shard mutation generations; any ingest or index build
+// anywhere advances it, which is all a result cache needs.
+func (e *Engine) IngestGen() uint64 {
+	var g uint64
+	for _, s := range e.shards {
+		g += s.IngestGen()
+	}
+	return g
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot format: magic, shard count, then each shard's system snapshot
+// in shard order, length-prefixed (uint64) — the per-system loader reads
+// through buffered decoders that may consume past their own section, so
+// each shard gets a bounded segment of the stream.
+const snapMagic = "LOVOSHD1\n"
+
+// SaveSnapshot persists every shard's full state. Must not run
+// concurrently with ingest or index builds.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(e.shards))); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for i, s := range e.shards {
+		buf.Reset()
+		if err := s.SaveSnapshot(&buf); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot restores a snapshot written by SaveSnapshot into this
+// freshly-constructed engine. The shard count and Config must match the
+// saver's.
+func (e *Engine) LoadSnapshot(r io.Reader) error {
+	head := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return fmt.Errorf("shard: reading snapshot magic: %w", err)
+	}
+	if string(head) != snapMagic {
+		return fmt.Errorf("shard: bad snapshot magic %q", head)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(e.shards) {
+		return fmt.Errorf("shard: snapshot has %d shards, engine has %d", n, len(e.shards))
+	}
+	for i, s := range e.shards {
+		var size uint64
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return fmt.Errorf("shard %d: reading snapshot size: %w", i, err)
+		}
+		seg := io.LimitReader(r, int64(size))
+		if err := s.LoadSnapshot(seg); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		// The shard loader's buffered readers may leave a tail unread.
+		if _, err := io.Copy(io.Discard, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package shard
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/vectordb"
+)
+
+// queryMix returns the dataset's benchmark query texts.
+func queryMix(ds *datasets.Dataset) []string {
+	texts := make([]string, len(ds.Queries))
+	for i, q := range ds.Queries {
+		texts[i] = q.Text
+	}
+	return texts
+}
+
+// objectsOf strips timings so results compare on content only.
+func objectsOf(results []*core.Result) [][]core.ResultObject {
+	out := make([][]core.ResultObject, len(results))
+	for i, r := range results {
+		out[i] = r.Objects
+	}
+	return out
+}
+
+// TestShardedQueryMatchesSingleSystem is the scatter-gather determinism
+// proof: a 4-shard engine under exact search returns byte-identical top-k
+// (objects, scores, boxes, patch IDs — and the candidate-frame count) to
+// the monolithic single-system path on the same dataset and seed. The flat
+// index makes both sides' stage-1 top-fastK exact, so the only thing under
+// test is the merge and routing logic itself.
+func TestShardedQueryMatchesSingleSystem(t *testing.T) {
+	const seed = 7
+	cfg := core.Config{Seed: seed, Index: vectordb.IndexFlat}
+	// QVHighlights generates 15 distinct clips, so all four shards own
+	// videos — single-video corpora would leave three shards empty and
+	// prove nothing about the merge.
+	ds := datasets.QVHighlights(datasets.Config{Seed: seed, Scale: 0.04})
+
+	single, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Videos {
+		if err := single.Ingest(&ds.Videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := single.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := New(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := eng.Entities(), single.Entities(); got != want {
+		t.Fatalf("sharded entities = %d, single = %d", got, want)
+	}
+
+	queries := ds.Queries
+	if testing.Short() {
+		queries = queries[:2]
+	}
+	for _, q := range queries {
+		for _, opts := range []core.QueryOptions{
+			{},
+			{DisableRerank: true},
+			{FastK: 40, TopN: 5},
+		} {
+			want, err := single.Query(q.Text, opts)
+			if err != nil {
+				t.Fatalf("%s single: %v", q.ID, err)
+			}
+			got, err := eng.Query(q.Text, opts)
+			if err != nil {
+				t.Fatalf("%s sharded: %v", q.ID, err)
+			}
+			if !reflect.DeepEqual(got.Objects, want.Objects) {
+				t.Errorf("%s opts %+v: sharded objects diverge\n got: %+v\nwant: %+v",
+					q.ID, opts, got.Objects, want.Objects)
+			}
+			if got.CandidateFrames != want.CandidateFrames {
+				t.Errorf("%s opts %+v: candidate frames %d != %d",
+					q.ID, opts, got.CandidateFrames, want.CandidateFrames)
+			}
+		}
+	}
+}
+
+// TestOneShardMatchesSingleSystemDefaultIndex pins the N=1 guarantee on the
+// default (approximate) IMI index: a one-shard engine is the single-system
+// path, bit for bit, whatever the index kind.
+func TestOneShardMatchesSingleSystemDefaultIndex(t *testing.T) {
+	const seed = 11
+	cfg := core.Config{Seed: seed}
+	ds := datasets.Cityscapes(datasets.Config{Seed: seed, Scale: 0.04})
+
+	single, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Videos {
+		if err := single.Ingest(&ds.Videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.Queries
+	if testing.Short() {
+		queries = queries[:2]
+	}
+	for _, q := range queries {
+		want, err := single.Query(q.Text, core.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Query(q.Text, core.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) {
+			t.Errorf("%s: one-shard engine diverges from single system", q.ID)
+		}
+	}
+}
+
+// TestMoreShardsThanVideos exercises empty shards: BuildIndex must skip
+// them and queries must still merge correctly.
+func TestMoreShardsThanVideos(t *testing.T) {
+	ds := datasets.Bellevue(datasets.Config{Seed: 3, Scale: 0.05})
+	n := len(ds.Videos) + 3
+	eng, err := New(n, core.Config{Seed: 3, Index: vectordb.IndexFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Built() {
+		t.Fatal("engine must report built")
+	}
+	res, err := eng.Query(ds.Queries[0].Text, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) == 0 {
+		t.Fatal("no results from sparse engine")
+	}
+}
+
+func TestQueryBatchMatchesLoneQueries(t *testing.T) {
+	ds := datasets.ActivityNetQA(datasets.Config{Seed: 5, Scale: 0.04})
+	eng, err := New(2, core.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	texts := queryMix(ds)
+	batch, err := eng.QueryBatch(texts, core.QueryOptions{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone := make([]*core.Result, len(texts))
+	for i, q := range texts {
+		lone[i], err = eng.Query(q, core.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(objectsOf(batch), objectsOf(lone)) {
+		t.Fatal("batch results diverge from lone queries")
+	}
+}
+
+func TestUnknownTermsError(t *testing.T) {
+	eng, err := New(2, core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := datasets.Bellevue(datasets.Config{Seed: 1, Scale: 0.05})
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query("zorgon blaxt", core.QueryOptions{}); err == nil {
+		t.Fatal("unparseable query must error")
+	}
+}
+
+// TestConcurrentQueriesDuringIngest races queries against ongoing ingest
+// and rebuilds across shards (run with -race).
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	ds := datasets.QVHighlights(datasets.Config{Seed: 9, Scale: 0.04})
+	eng, err := New(3, core.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := (len(ds.Videos) + 1) / 2
+	for i := 0; i < half; i++ {
+		if err := eng.Ingest(&ds.Videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	gen := eng.IngestGen()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := half; i < len(ds.Videos); i++ {
+			if err := eng.Ingest(&ds.Videos[i]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := eng.BuildIndex(); err != nil {
+			t.Error(err)
+		}
+	}()
+	texts := queryMix(ds)
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := eng.Query(texts[(c+i)%len(texts)], core.QueryOptions{Workers: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if eng.IngestGen() <= gen {
+		t.Fatal("ingest generation must advance across ingest and rebuild")
+	}
+	st := eng.Stats()
+	if st.Videos != len(ds.Videos) {
+		t.Fatalf("stats videos = %d want %d", st.Videos, len(ds.Videos))
+	}
+}
+
+func TestNewRejectsZeroShards(t *testing.T) {
+	if _, err := New(0, core.Config{}); err == nil {
+		t.Fatal("zero shards must error")
+	}
+}
+
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	cfg := core.Config{Seed: 21}
+	ds := datasets.ActivityNetQA(datasets.Config{Seed: 21, Scale: 0.04})
+	orig, err := New(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched shard count is rejected.
+	mismatch, err := New(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mismatch.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("shard-count mismatch must error")
+	}
+
+	restored, err := New(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Entities() != orig.Entities() || !restored.Built() {
+		t.Fatalf("restored engine: %d entities (want %d), built=%t",
+			restored.Entities(), orig.Entities(), restored.Built())
+	}
+	for _, q := range ds.Queries[:3] {
+		want, err := orig.Query(q.Text, core.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Query(q.Text, core.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) {
+			t.Fatalf("%s: restored engine answers diverge", q.ID)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // Snapshot format: a little-endian binary stream.
@@ -37,14 +38,7 @@ func (db *DB) Save(w io.Writer) error {
 	for n := range db.collections {
 		names = append(names, n)
 	}
-	// Stable order.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names) // stable snapshot order
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
 		return err
 	}

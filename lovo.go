@@ -27,10 +27,12 @@ package lovo
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/keyframe"
+	"repro/internal/shard"
 	"repro/internal/vectordb"
 	"repro/internal/video"
 )
@@ -93,11 +95,21 @@ type Options struct {
 	// the default QueryBatch client pool. Zero means runtime.NumCPU();
 	// 1 forces the serial paths. Results are identical at every setting.
 	Workers int
+	// Shards partitions the corpus across N independent shard systems by
+	// video ID and answers queries by scatter-gather: every shard
+	// fast-searches its local index, hits merge into the deterministic
+	// global top-k (score, then patch ID), and candidate frames rerank
+	// on the shard owning their keyframes. Zero or one keeps the
+	// single-system path; a one-shard engine answers byte-identically to
+	// it. Ingest of a dataset fans out across shards in parallel.
+	Shards int
 }
 
-// System is a LOVO instance.
+// System is a LOVO instance: a single core system, or a sharded
+// scatter-gather engine when Options.Shards > 1.
 type System struct {
-	inner *core.System
+	inner  *core.System  // nil when sharded
+	engine *shard.Engine // nil when unsharded
 }
 
 // Open constructs a system.
@@ -135,6 +147,13 @@ func Open(opts Options) (*System, error) {
 	default:
 		return nil, fmt.Errorf("lovo: unknown keyframe strategy %q", opts.Keyframes)
 	}
+	if opts.Shards > 1 {
+		engine, err := shard.New(opts.Shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &System{engine: engine}, nil
+	}
 	inner, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -142,11 +161,21 @@ func Open(opts Options) (*System, error) {
 	return &System{inner: inner}, nil
 }
 
-// Ingest runs one-time Video Summary over a video.
-func (s *System) Ingest(v *Video) error { return s.inner.Ingest(v) }
+// Ingest runs one-time Video Summary over a video. On a sharded system the
+// video routes to the shard owning its ID.
+func (s *System) Ingest(v *Video) error {
+	if s.engine != nil {
+		return s.engine.Ingest(v)
+	}
+	return s.inner.Ingest(v)
+}
 
-// IngestDataset ingests every video of a dataset.
+// IngestDataset ingests every video of a dataset. On a sharded system the
+// dataset fans out across shards in parallel.
 func (s *System) IngestDataset(ds *Dataset) error {
+	if s.engine != nil {
+		return s.engine.IngestDataset(ds)
+	}
 	for i := range ds.Videos {
 		if err := s.inner.Ingest(&ds.Videos[i]); err != nil {
 			return err
@@ -155,12 +184,23 @@ func (s *System) IngestDataset(ds *Dataset) error {
 	return nil
 }
 
-// BuildIndex constructs the vector index over everything ingested.
-func (s *System) BuildIndex() error { return s.inner.BuildIndex() }
+// BuildIndex constructs the vector index over everything ingested (every
+// non-empty shard's index, in parallel, when sharded).
+func (s *System) BuildIndex() error {
+	if s.engine != nil {
+		return s.engine.BuildIndex()
+	}
+	return s.inner.BuildIndex()
+}
 
 // Query answers a natural-language object query (Algorithm 2). Queries may
 // run from many goroutines concurrently, including while Ingest continues.
+// On a sharded system both stages scatter and the merged answer is
+// deterministic — byte-identical to the single-system path for one shard.
 func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	if s.engine != nil {
+		return s.engine.Query(text, opts)
+	}
 	return s.inner.Query(text, opts)
 }
 
@@ -169,14 +209,50 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 // runtime.NumCPU()). Results align with texts, and each equals what a lone
 // Query call would return; the first failing query aborts the batch.
 func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*Result, error) {
+	if s.engine != nil {
+		return s.engine.QueryBatch(texts, opts, clients)
+	}
 	return s.inner.QueryBatch(texts, opts, clients)
 }
 
-// Stats returns ingest statistics.
-func (s *System) Stats() IngestStats { return s.inner.Stats() }
+// Stats returns ingest statistics (aggregated across shards when sharded).
+func (s *System) Stats() IngestStats {
+	if s.engine != nil {
+		return s.engine.Stats()
+	}
+	return s.inner.Stats()
+}
 
-// Core exposes the underlying system for experiment harnesses.
+// Core exposes the underlying system for experiment harnesses. It is nil
+// on a sharded system — use Engine there.
 func (s *System) Core() *core.System { return s.inner }
+
+// Engine exposes the scatter-gather engine of a sharded system (nil when
+// Options.Shards <= 1). It satisfies the serving tier's Backend interface,
+// so it can be mounted directly behind internal/server.
+func (s *System) Engine() *shard.Engine { return s.engine }
+
+// Save persists the full system state — patch vectors with the index
+// recipe, relational metadata, keyframes and stats — so a later Load
+// serves queries without re-running Video Summary. Unsupported in
+// streaming mode. Must not run concurrently with Ingest or BuildIndex.
+func (s *System) Save(w io.Writer) error {
+	if s.engine != nil {
+		return s.engine.SaveSnapshot(w)
+	}
+	return s.inner.SaveSnapshot(w)
+}
+
+// Load restores a snapshot written by Save into this freshly-opened,
+// empty system. Open with the same Options as the saver (seed, dimensions
+// and shard count must match; the index is rebuilt from the recorded
+// recipe).
+func (s *System) Load(r io.Reader) error {
+	if s.engine != nil {
+		return s.engine.LoadSnapshot(r)
+	}
+	return s.inner.LoadSnapshot(r)
+}
 
 // LoadDataset generates a named benchmark dataset: "cityscapes",
 // "bellevue", "qvhighlights", "beach" or "activitynet".

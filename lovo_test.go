@@ -144,3 +144,47 @@ func TestStreamingPublicAPI(t *testing.T) {
 		t.Fatal("streaming store missing")
 	}
 }
+
+func TestShardedPublicAPI(t *testing.T) {
+	ds, err := LoadDataset("bellevue", DatasetConfig{Seed: 4, Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(shards int) *System {
+		s, err := Open(Options{Seed: 4, Index: "flat", Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.IngestDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BuildIndex(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	single := open(1)
+	sharded := open(3)
+	if single.Engine() != nil {
+		t.Fatal("unsharded system must not expose an engine")
+	}
+	if sharded.Engine() == nil || sharded.Core() != nil {
+		t.Fatal("sharded system must expose the engine, not a core system")
+	}
+	if sharded.Stats().Keyframes != single.Stats().Keyframes {
+		t.Fatalf("sharded keyframes %d != %d", sharded.Stats().Keyframes, single.Stats().Keyframes)
+	}
+	for _, q := range ds.Queries {
+		want, err := single.Query(q.Text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Query(q.Text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) {
+			t.Fatalf("%s: sharded public API diverges from single system", q.ID)
+		}
+	}
+}
