@@ -1,10 +1,14 @@
 // Command lovod serves LOVO queries over HTTP: it ingests a benchmark
-// dataset into a sharded scatter-gather engine at boot, then answers
-// natural-language object queries as JSON, fronted by an LRU result cache.
+// dataset into a sharded, optionally replicated scatter-gather engine at
+// boot (or restores a -save snapshot and skips ingest entirely), then
+// answers natural-language object queries as JSON, fronted by an LRU
+// result cache.
 //
 // Usage:
 //
-//	lovod -dataset bellevue -scale 0.1 -shards 4 -addr 127.0.0.1:8077
+//	lovod -dataset bellevue -scale 0.1 -shards 4 -replicas 2 -addr 127.0.0.1:8077
+//	lovod -dataset bellevue -scale 0.1 -shards 4 -save lovo.snap   # first boot
+//	lovod -dataset bellevue -scale 0.1 -shards 4 -load lovo.snap   # restart, no re-ingest
 //
 //	curl localhost:8077/healthz
 //	curl -X POST localhost:8077/query \
@@ -31,14 +35,17 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "bellevue", "dataset: cityscapes|bellevue|qvhighlights|beach|activitynet")
-		scale   = flag.Float64("scale", 0.15, "dataset duration scale (1.0 = paper-sized)")
-		seed    = flag.Uint64("seed", 7, "workload and system seed")
-		shards  = flag.Int("shards", 4, "shard count (videos partition by ID modulo shards)")
-		index   = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat")
-		cache   = flag.Int("cache", 256, "query-result cache capacity in entries (0 disables)")
-		addr    = flag.String("addr", ":8077", "listen address")
-		workers = flag.Int("workers", 0, "per-shard worker pool (0 = NumCPU)")
+		dataset  = flag.String("dataset", "bellevue", "dataset: cityscapes|bellevue|qvhighlights|beach|activitynet")
+		scale    = flag.Float64("scale", 0.15, "dataset duration scale (1.0 = paper-sized)")
+		seed     = flag.Uint64("seed", 7, "workload and system seed")
+		shards   = flag.Int("shards", 4, "shard count (videos partition by ID modulo shards)")
+		replicas = flag.Int("replicas", 1, "replicas per shard (queries pick one; ingest fans to all)")
+		index    = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat")
+		cache    = flag.Int("cache", 256, "query-result cache capacity in entries (0 disables)")
+		addr     = flag.String("addr", ":8077", "listen address")
+		workers  = flag.Int("workers", 0, "per-shard worker pool (0 = NumCPU)")
+		saveFile = flag.String("save", "", "after ingest and indexing, write an engine snapshot to this file")
+		loadFile = flag.String("load", "", "restore a snapshot written by -save instead of re-ingesting (boot with the saver's -seed/-index/-shards; -replicas may differ)")
 	)
 	flag.Parse()
 
@@ -46,21 +53,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := shard.New(*shards, core.Config{Seed: *seed, Index: kind, Workers: *workers})
+	eng, err := shard.NewReplicated(*shards, *replicas, core.Config{Seed: *seed, Index: kind, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := datasets.ByName(*dataset, datasets.Config{Seed: *seed, Scale: *scale})
-	if err != nil {
-		fatal(err)
-	}
-	log.Printf("ingesting %s across %d shards: %d videos, %d frames, %.0f s of footage",
-		ds.Name, eng.Shards(), len(ds.Videos), ds.Frames(), ds.Duration())
-	if err := eng.IngestDataset(ds); err != nil {
-		fatal(err)
-	}
-	if err := eng.BuildIndex(); err != nil {
-		fatal(err)
+	if *loadFile != "" {
+		// The whole point of -load is skipping the corpus work: don't
+		// even generate the dataset, just restore and serve.
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fatal(err)
+		}
+		err = eng.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("restored snapshot %s into %d shards x %d replicas (skipping ingest of %s)",
+			*loadFile, eng.Shards(), eng.Replicas(), *dataset)
+	} else {
+		ds, err := datasets.ByName(*dataset, datasets.Config{Seed: *seed, Scale: *scale})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("ingesting %s across %d shards x %d replicas: %d videos, %d frames, %.0f s of footage",
+			ds.Name, eng.Shards(), eng.Replicas(), len(ds.Videos), ds.Frames(), ds.Duration())
+		if err := eng.IngestDataset(ds); err != nil {
+			fatal(err)
+		}
+		if err := eng.BuildIndex(); err != nil {
+			fatal(err)
+		}
+		if *saveFile != "" {
+			if err := writeSnapshot(eng, *saveFile); err != nil {
+				fatal(err)
+			}
+			log.Printf("snapshot written to %s", *saveFile)
+		}
 	}
 	st := eng.Stats()
 	log.Printf("ready: %d keyframes, %d indexed patch vectors (aggregate shard-time: processing %s, indexing %s)",
@@ -71,6 +100,19 @@ func main() {
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// writeSnapshot persists the engine to path, fsync-free but close-checked.
+func writeSnapshot(eng *shard.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func indexKind(name string) (vectordb.IndexKind, error) {

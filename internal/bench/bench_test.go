@@ -13,7 +13,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"table3", "table4", "table5", "table7",
-		"throughput", "sharding",
+		"throughput", "sharding", "replication",
 	}
 	have := Experiments()
 	set := map[string]bool{}
@@ -214,6 +214,24 @@ func TestShardingStructure(t *testing.T) {
 		t.Fatalf("shard sweep: %v / %v", tbl.Rows[0], tbl.Rows[1])
 	}
 	// The 1-shard baseline row must report speedup 1.00x.
+	if tbl.Rows[0][7] != "1.00x" {
+		t.Fatalf("baseline speedup: %v", tbl.Rows[0])
+	}
+}
+
+func TestReplicationStructure(t *testing.T) {
+	tbl, err := Run("replication", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode sweeps replica counts {1, 2}; the experiment itself
+	// verifies every row answers byte-identically to the R=1 baseline.
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "1" || tbl.Rows[1][0] != "2" {
+		t.Fatalf("replica sweep: %v / %v", tbl.Rows[0], tbl.Rows[1])
+	}
 	if tbl.Rows[0][7] != "1.00x" {
 		t.Fatalf("baseline speedup: %v", tbl.Rows[0])
 	}

@@ -28,6 +28,9 @@ type resultCache struct {
 	hits    uint64
 	misses  uint64
 	evicted uint64
+	// coalesced counts misses that shared another in-flight computation
+	// of the same key instead of recomputing (single-flight waiters).
+	coalesced uint64
 }
 
 type cacheEntry struct {
@@ -96,6 +99,15 @@ func (c *resultCache) put(key string, gen uint64, res *core.Result) {
 	}
 }
 
+// noteCoalesced records one miss that waited on another caller's identical
+// in-flight query instead of recomputing. Counted even when caching is
+// disabled — coalescing works off the in-flight table, not the LRU.
+func (c *resultCache) noteCoalesced() {
+	c.mu.Lock()
+	c.coalesced++
+	c.mu.Unlock()
+}
+
 // CacheStats is a counters snapshot for /stats and /metrics.
 type CacheStats struct {
 	Capacity int    `json:"capacity"`
@@ -103,16 +115,20 @@ type CacheStats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
 	Evicted  uint64 `json:"evicted"`
+	// Coalesced counts misses served by sharing another request's
+	// in-flight computation (single-flight waiters).
+	Coalesced uint64 `json:"coalesced"`
 }
 
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Capacity: c.cap,
-		Entries:  c.ll.Len(),
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Evicted:  c.evicted,
+		Capacity:  c.cap,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evicted:   c.evicted,
+		Coalesced: c.coalesced,
 	}
 }

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// flightGroup coalesces concurrent duplicate work: while one caller (the
+// leader) computes the value for a key, every other caller of the same key
+// parks and shares the leader's result instead of recomputing it — the
+// classic single-flight guard against a thundering herd of identical cache
+// misses.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// errFlightAborted is what waiters see when the leader's computation
+// panicked instead of returning: an error, not a nil result — and never a
+// hang.
+var errFlightAborted = errors.New("server: coalesced query aborted: leader panicked")
+
+// do runs fn once per key at a time: the first caller executes it, later
+// callers with the same key wait and share the outcome. The returned bool
+// reports whether this caller coalesced onto another's call. fn must leave
+// the result visible to late arrivals (e.g. by writing the cache) before
+// returning, because the flight entry is removed once fn completes.
+func (g *flightGroup) do(key string, fn func() (*core.Result, error)) (*core.Result, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The cleanup must run even if fn panics (the leader's HTTP handler
+	// goroutine is recovered per-connection by net/http): a flight entry
+	// left behind would wedge its key forever, parking every future
+	// identical request on a channel nobody will close.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFlightAborted
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.res, c.err = fn()
+	completed = true
+	return c.res, false, c.err
+}
+
+// flightKey scopes a cache key to an ingest generation: waiters must only
+// share a result computed against the corpus they queried.
+func flightKey(key string, gen uint64) string {
+	return fmt.Sprintf("%d\x00%s", gen, key)
+}

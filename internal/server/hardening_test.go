@@ -1,0 +1,372 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/shard"
+)
+
+// fakeBackend is a controllable Backend: Query can be gated to hold a
+// request in flight, and both query paths record the rerank width the
+// server handed them.
+type fakeBackend struct {
+	mu           sync.Mutex
+	queryCalls   int
+	queryWorkers []int
+	batchWorkers []int
+
+	entered chan struct{} // receives one token per Query entry, if set
+	release chan struct{} // Query blocks until closed, if set
+}
+
+func (f *fakeBackend) Query(text string, opts core.QueryOptions) (*core.Result, error) {
+	f.mu.Lock()
+	f.queryCalls++
+	f.queryWorkers = append(f.queryWorkers, opts.Workers)
+	f.mu.Unlock()
+	if f.entered != nil {
+		f.entered <- struct{}{}
+	}
+	if f.release != nil {
+		<-f.release
+	}
+	return &core.Result{CandidateFrames: 1}, nil
+}
+
+func (f *fakeBackend) QueryBatch(texts []string, opts core.QueryOptions, clients int) ([]*core.Result, error) {
+	f.mu.Lock()
+	f.batchWorkers = append(f.batchWorkers, opts.Workers)
+	f.mu.Unlock()
+	out := make([]*core.Result, len(texts))
+	for i := range out {
+		out[i] = &core.Result{}
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) Stats() core.IngestStats { return core.IngestStats{} }
+func (f *fakeBackend) Entities() int           { return 1 }
+func (f *fakeBackend) Built() bool             { return true }
+func (f *fakeBackend) IngestGen() uint64       { return 1 }
+
+// TestBatchNarrowsRerankWidthUnderOverlap pins the fixed guard: while a
+// /query holds the serving tier, an overlapping /query/batch must hand the
+// backend Workers=1 — before the fix, batches never touched the in-flight
+// counter and ran NumCPU-wide grounding pools per query.
+func TestBatchNarrowsRerankWidthUnderOverlap(t *testing.T) {
+	fb := &fakeBackend{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	ts := httptest.NewServer(New(fb, Config{CacheSize: 0}))
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, _ := postJSON(t, ts.URL+"/query", queryRequest{Query: "a red car"})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("blocked query status %d", resp.StatusCode)
+		}
+	}()
+	<-fb.entered // the lone /query is now inside the backend
+
+	resp, _ := postJSON(t, ts.URL+"/query/batch", batchRequest{Queries: []string{"a truck", "a person"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	close(fb.release)
+	<-done
+
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if len(fb.batchWorkers) != 1 || fb.batchWorkers[0] != 1 {
+		t.Fatalf("overlapped batch must pass Workers=1, got %v", fb.batchWorkers)
+	}
+	// The lone /query arrived first with nothing else in flight: full width.
+	if fb.queryWorkers[0] != 0 {
+		t.Fatalf("lone query must keep full rerank width, got %d", fb.queryWorkers[0])
+	}
+}
+
+// TestLoneBatchKeepsFullWidth: a batch with no overlapping request must not
+// be narrowed by the server (the backend's own client pool decides).
+func TestLoneBatchKeepsFullWidth(t *testing.T) {
+	fb := &fakeBackend{}
+	ts := httptest.NewServer(New(fb, Config{CacheSize: 0}))
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.URL+"/query/batch", batchRequest{Queries: []string{"a truck", "a person"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if len(fb.batchWorkers) != 1 || fb.batchWorkers[0] != 0 {
+		t.Fatalf("lone batch must pass Workers=0, got %v", fb.batchWorkers)
+	}
+}
+
+// TestSingleFlightCoalescesDuplicateMisses fires many concurrent identical
+// cold queries and checks the backend computed exactly once, every caller
+// got an answer, and the coalesced waiters are surfaced in CacheStats.
+func TestSingleFlightCoalescesDuplicateMisses(t *testing.T) {
+	const clients = 8
+	fb := &fakeBackend{entered: make(chan struct{}, clients), release: make(chan struct{})}
+	srv := New(fb, Config{CacheSize: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/query", queryRequest{Query: "a red car"})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	<-fb.entered // the leader is inside the backend; everyone else must wait
+	// Give the remaining requests a moment to park on the flight (any that
+	// arrive after release simply hit the cache — also not a second call).
+	time.Sleep(50 * time.Millisecond)
+	close(fb.release)
+	wg.Wait()
+
+	fb.mu.Lock()
+	calls := fb.queryCalls
+	fb.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("backend computed %d times for %d identical queries, want 1", calls, clients)
+	}
+	cs := srv.cache.stats()
+	if cs.Coalesced+cs.Hits != clients-1 {
+		t.Fatalf("coalesced (%d) + hits (%d) must cover the %d non-leaders", cs.Coalesced, cs.Hits, clients-1)
+	}
+	if cs.Coalesced == 0 {
+		t.Fatal("no waiter coalesced — the herd recomputed or never overlapped")
+	}
+}
+
+// TestFlightPanicDoesNotWedgeKey: a leader whose computation panics must
+// not leave the flight entry behind — waiters get an error, and the next
+// request for the same key computes fresh instead of hanging forever.
+func TestFlightPanicDoesNotWedgeKey(t *testing.T) {
+	g := newFlightGroup()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate to the leader")
+			}
+		}()
+		_, _, _ = g.do("k", func() (*core.Result, error) { panic("backend exploded") })
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, coalesced, err := g.do("k", func() (*core.Result, error) { return &core.Result{}, nil })
+		if coalesced {
+			err = fmt.Errorf("post-panic call wrongly coalesced onto the dead leader")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged: request after a panicked leader never completed")
+	}
+}
+
+// TestUniformMethodGuards: every endpoint must reject the wrong method with
+// 405 — /healthz and /metrics historically accepted anything.
+func TestUniformMethodGuards(t *testing.T) {
+	fb := &fakeBackend{}
+	ts := httptest.NewServer(New(fb, Config{}))
+	defer ts.Close()
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/query"},
+		{http.MethodDelete, "/query"},
+		{http.MethodGet, "/query/batch"},
+		{http.MethodPost, "/stats"},
+		{http.MethodPost, "/healthz"},
+		{http.MethodDelete, "/healthz"},
+		{http.MethodPost, "/metrics"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d want 405", c.method, c.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow == "" {
+			t.Errorf("%s %s: missing Allow header", c.method, c.path)
+		}
+	}
+}
+
+// TestStatsAndMetricsReportReplicas mounts a replicated engine and checks
+// the serving tier surfaces per-group replica health and reads.
+func TestStatsAndMetricsReportReplicas(t *testing.T) {
+	ds := datasets.ActivityNetQA(datasets.Config{Seed: 7, Scale: 0.04})
+	eng, err := shard.NewReplicated(2, 2, core.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	eng.FailReplica(1, 0)
+	ts := httptest.NewServer(New(eng, Config{CacheSize: 8, Shards: eng.Shards()}))
+	defer ts.Close()
+
+	_, _ = postJSON(t, ts.URL+"/query", queryRequest{Query: ds.Queries[0].Text})
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Replicas != 2 || len(st.ReplicaGroups) != 2 || len(st.ReplicaGroups[0]) != 2 {
+		t.Fatalf("replica stats malformed: replicas=%d groups=%+v", st.Replicas, st.ReplicaGroups)
+	}
+	if st.ReplicaGroups[1][0].Healthy || !st.ReplicaGroups[1][1].Healthy {
+		t.Fatalf("replica health not surfaced: %+v", st.ReplicaGroups[1])
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`lovod_replica_healthy{group="1",replica="0"} 0`,
+		`lovod_replica_healthy{group="0",replica="0"} 1`,
+		`lovod_replica_reads_total{group="0",replica="0"}`,
+		"lovod_cache_coalesced_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentQueryAndBatchDuringIngestReplicated is the serving-tier
+// acceptance race test: concurrent /query and /query/batch traffic over a
+// replicated engine while ingest and a rebuild proceed, plus a replica
+// kill/revive — run with -race.
+func TestConcurrentQueryAndBatchDuringIngestReplicated(t *testing.T) {
+	ds := datasets.QVHighlights(datasets.Config{Seed: 13, Scale: 0.04})
+	eng, err := shard.NewReplicated(2, 2, core.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := (len(ds.Videos) + 1) / 2
+	for i := 0; i < half; i++ {
+		if err := eng.Ingest(&ds.Videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, Config{CacheSize: 32, Shards: eng.Shards()}))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := half; i < len(ds.Videos); i++ {
+			if err := eng.Ingest(&ds.Videos[i]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := eng.BuildIndex(); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng.FailReplica(1, 1)
+		eng.ReviveReplica(1, 1)
+	}()
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				text := ds.Queries[(c+i)%len(ds.Queries)].Text
+				resp, data := postJSON(t, ts.URL+"/query", queryRequest{Query: text})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status %d: %s", resp.StatusCode, data)
+					return
+				}
+			}
+		}(c)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				texts := []string{
+					ds.Queries[(c+i)%len(ds.Queries)].Text,
+					ds.Queries[(c+i+1)%len(ds.Queries)].Text,
+				}
+				resp, data := postJSON(t, ts.URL+"/query/batch", batchRequest{Queries: texts})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch status %d: %s", resp.StatusCode, data)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.QueriesTotal != 8 || st.BatchTotal != 12 {
+		t.Fatalf("queries_total = %d (want 8), batch_total = %d (want 12)", st.QueriesTotal, st.BatchTotal)
+	}
+	if st.Ingest.Videos != len(ds.Videos) {
+		t.Fatalf("ingested %d videos want %d", st.Ingest.Videos, len(ds.Videos))
+	}
+}

@@ -6,9 +6,14 @@
 //
 //	POST /query        {"query": "...", "options": {...}} -> ranked objects
 //	POST /query/batch  {"queries": [...], "options": {...}} -> per-query results
-//	GET  /stats        ingest, cache and latency statistics as JSON
+//	GET  /stats        ingest, cache, replica and latency statistics as JSON
 //	GET  /healthz      liveness (always 200 once listening; reports built)
 //	GET  /metrics      Prometheus text-format counters and latency histogram
+//
+// Every endpoint enforces its method (405 otherwise). Concurrent identical
+// cache misses coalesce onto one backend call, and overlapping /query or
+// /query/batch requests narrow each query's rerank pool to one worker so
+// concurrent traffic never oversubscribes the cores.
 //
 // The cache keys on (query text, options) and stamps every entry with the
 // backend's ingest generation, so any ingest or index build anywhere in the
@@ -19,12 +24,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // Backend answers queries for the server: both *core.System and
@@ -36,6 +43,14 @@ type Backend interface {
 	Entities() int
 	Built() bool
 	IngestGen() uint64
+}
+
+// ReplicaReporter is the optional backend surface of a replicated engine
+// (*shard.Engine satisfies it); when present, /stats and /metrics report
+// per-group replica health and read counts.
+type ReplicaReporter interface {
+	Replicas() int
+	ReplicaStats() [][]shard.ReplicaStat
 }
 
 // Config tunes the serving tier.
@@ -54,11 +69,13 @@ type Server struct {
 	cfg     Config
 	cache   *resultCache
 	metrics *serverMetrics
+	flight  *flightGroup
 	mux     *http.ServeMux
 	started time.Time
 
-	// inflight counts /query requests currently executing, to pick the
-	// per-request rerank width.
+	// inflight counts /query and /query/batch requests currently
+	// executing, to pick the per-request rerank width: any overlap means
+	// per-query NumCPU-wide grounding pools would oversubscribe the cores.
 	inflight atomic.Int64
 }
 
@@ -69,6 +86,7 @@ func New(backend Backend, cfg Config) *Server {
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheSize),
 		metrics: newServerMetrics(),
+		flight:  newFlightGroup(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -162,9 +180,19 @@ func toResponse(res *core.Result, cached bool) QueryResponse {
 	}
 }
 
+// allowMethod enforces one HTTP method uniformly across endpoints,
+// answering 405 (with an Allow header) otherwise.
+func (s *Server) allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		s.fail(w, http.StatusMethodNotAllowed, "%s required", method)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+	if !s.allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req queryRequest
@@ -201,24 +229,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toResponse(res, cached))
 }
 
-// query serves one query through the cache.
+// query serves one query through the cache, coalescing concurrent
+// identical misses onto one backend call: without the single-flight guard,
+// a thundering herd of the same cold query would recompute it once per
+// request. The reported cached flag stays false for coalesced waiters —
+// the backend did run for them, just not once each.
 func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, bool, error) {
 	key := cacheKey(text, opts)
 	gen := s.backend.IngestGen()
 	if res, ok := s.cache.get(key, gen); ok {
 		return res, true, nil
 	}
-	res, err := s.backend.Query(text, opts)
+	res, coalesced, err := s.flight.do(flightKey(key, gen), func() (*core.Result, error) {
+		res, err := s.backend.Query(text, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Publish before the flight entry drops, so a request arriving
+		// after coalescing ends hits the cache instead of recomputing.
+		s.cache.put(key, gen, res)
+		return res, nil
+	})
 	if err != nil {
 		return nil, false, err
 	}
-	s.cache.put(key, gen, res)
+	if coalesced {
+		s.cache.noteCoalesced()
+	}
 	return res, false, nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+	if !s.allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req batchRequest
@@ -241,6 +283,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := req.Options.toCore()
+	// The same rerank-width guard handleQuery applies: a batch overlapping
+	// any other /query or /query/batch must narrow each query's grounding
+	// pool to one worker — the batch's own client pool (and the other
+	// requests) already saturate the cores. Results are identical at
+	// every width.
+	if s.inflight.Add(1) > 1 {
+		opts.Workers = 1
+	}
+	defer s.inflight.Add(-1)
 	gen := s.backend.IngestGen()
 
 	// Serve what the cache can, batch the rest through the backend's
@@ -281,30 +332,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
-	Ingest        core.IngestStats `json:"ingest"`
-	Entities      int              `json:"entities"`
-	Built         bool             `json:"built"`
-	Shards        int              `json:"shards"`
-	IngestGen     uint64           `json:"ingest_gen"`
-	Cache         CacheStats       `json:"cache"`
-	QueriesTotal  uint64           `json:"queries_total"`
-	BatchTotal    uint64           `json:"batch_queries_total"`
-	ErrorsTotal   uint64           `json:"errors_total"`
-	LatencyP50Ms  float64          `json:"latency_p50_ms"`
-	LatencyP99Ms  float64          `json:"latency_p99_ms"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
+	Ingest   core.IngestStats `json:"ingest"`
+	Entities int              `json:"entities"`
+	Built    bool             `json:"built"`
+	Shards   int              `json:"shards"`
+	Replicas int              `json:"replicas,omitempty"`
+	// ReplicaGroups reports per-group replica health, read counts and
+	// in-flight load when the backend is a replicated engine.
+	ReplicaGroups [][]shard.ReplicaStat `json:"replica_groups,omitempty"`
+	IngestGen     uint64                `json:"ingest_gen"`
+	Cache         CacheStats            `json:"cache"`
+	QueriesTotal  uint64                `json:"queries_total"`
+	BatchTotal    uint64                `json:"batch_queries_total"`
+	ErrorsTotal   uint64                `json:"errors_total"`
+	LatencyP50Ms  float64               `json:"latency_p50_ms"`
+	LatencyP99Ms  float64               `json:"latency_p99_ms"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+	if !s.allowMethod(w, r, http.MethodGet) {
 		return
+	}
+	var replicas int
+	var groups [][]shard.ReplicaStat
+	if rb, ok := s.backend.(ReplicaReporter); ok {
+		replicas = rb.Replicas()
+		groups = rb.ReplicaStats()
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Ingest:        s.backend.Stats(),
 		Entities:      s.backend.Entities(),
 		Built:         s.backend.Built(),
 		Shards:        s.cfg.Shards,
+		Replicas:      replicas,
+		ReplicaGroups: groups,
 		IngestGen:     s.backend.IngestGen(),
 		Cache:         s.cache.stats(),
 		QueriesTotal:  s.metrics.queries.Load(),
@@ -317,6 +379,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.allowMethod(w, r, http.MethodGet) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"built":    s.backend.Built(),
@@ -325,6 +390,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.allowMethod(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	cs := s.cache.stats()
 	counter(w, "lovod_queries_total", s.metrics.queries.Load())
@@ -333,10 +401,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(w, "lovod_cache_hits_total", cs.Hits)
 	counter(w, "lovod_cache_misses_total", cs.Misses)
 	counter(w, "lovod_cache_evictions_total", cs.Evicted)
+	counter(w, "lovod_cache_coalesced_total", cs.Coalesced)
 	gauge(w, "lovod_cache_entries", float64(cs.Entries))
 	gauge(w, "lovod_index_entities", float64(s.backend.Entities()))
 	gauge(w, "lovod_ingest_generation", float64(s.backend.IngestGen()))
+	if rb, ok := s.backend.(ReplicaReporter); ok {
+		writeReplicaMetrics(w, rb.ReplicaStats())
+	}
 	s.metrics.latency.writeProm(w, "lovod_query_latency_seconds")
+}
+
+// writeReplicaMetrics renders per-replica health and read counters with
+// group/replica labels.
+func writeReplicaMetrics(w io.Writer, groups [][]shard.ReplicaStat) {
+	fmt.Fprintf(w, "# TYPE lovod_replica_healthy gauge\n")
+	for gi, g := range groups {
+		for ri, st := range g {
+			v := 0
+			if st.Healthy {
+				v = 1
+			}
+			fmt.Fprintf(w, "lovod_replica_healthy{group=\"%d\",replica=\"%d\"} %d\n", gi, ri, v)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE lovod_replica_reads_total counter\n")
+	for gi, g := range groups {
+		for ri, st := range g {
+			fmt.Fprintf(w, "lovod_replica_reads_total{group=\"%d\",replica=\"%d\"} %d\n", gi, ri, st.Reads)
+		}
+	}
 }
 
 // queryErrStatus maps a backend query error to an HTTP status: queries with

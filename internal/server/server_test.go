@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -385,5 +386,73 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 	if h.quantile(0.99) < p50 {
 		t.Fatal("p99 < p50")
+	}
+}
+
+// TestHistogramQuantileEmpty: no observations means no estimate — zero,
+// not NaN and not a bucket bound.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.quantile(q); got != 0 {
+			t.Fatalf("empty histogram quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileSingleObservation: every quantile of a one-sample
+// histogram must land inside the sample's own bucket (3ms -> (2.5ms, 5ms]).
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := newHistogram()
+	h.observe(3 * time.Millisecond)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.quantile(q)
+		if got <= 0.0025 || got > 0.005 {
+			t.Fatalf("quantile(%v) = %v, want within (2.5ms, 5ms]", q, got)
+		}
+	}
+	if h.quantile(0.99) < h.quantile(0.5) {
+		t.Fatal("quantiles must be monotone in q")
+	}
+}
+
+// TestHistogramQuantileAllMassInInfBucket: observations beyond the largest
+// finite bound land in the +Inf bucket, whose estimate extrapolates to
+// twice the last bound — every quantile must stay within (10s, 20s], never
+// fall back below the data.
+func TestHistogramQuantileAllMassInInfBucket(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 10; i++ {
+		h.observe(30 * time.Second)
+	}
+	top := latencyBuckets[len(latencyBuckets)-1]
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.quantile(q)
+		if got <= top || got > 2*top {
+			t.Fatalf("quantile(%v) = %v, want within (%v, %v]", q, got, top, 2*top)
+		}
+	}
+	if p50, p99 := h.quantile(0.5), h.quantile(0.99); p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+}
+
+// TestHistogramQuantileMixedTail: mass split between a finite bucket and
+// +Inf — the median must come from the finite bucket, the p99 from the
+// extrapolated tail.
+func TestHistogramQuantileMixedTail(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 90; i++ {
+		h.observe(2 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(time.Minute)
+	}
+	if p50 := h.quantile(0.5); p50 < 0.001 || p50 > 0.0025 {
+		t.Fatalf("p50 = %v want within (1ms, 2.5ms]", p50)
+	}
+	top := latencyBuckets[len(latencyBuckets)-1]
+	if p99 := h.quantile(0.99); p99 <= top || p99 > 2*top {
+		t.Fatalf("p99 = %v want within (%v, %v]", p99, top, 2*top)
 	}
 }

@@ -1,5 +1,6 @@
 // Package shard implements LOVO's horizontal scaling tier: a scatter-gather
-// engine over N independent core.System shards partitioned by video ID.
+// engine over N independent shards partitioned by video ID, each shard a
+// replica group of R byte-identical core.Systems.
 //
 // LOVO's one-time, query-agnostic extraction makes the corpus trivially
 // partitionable — a video's keyframes, patch vectors and relational rows
@@ -13,6 +14,15 @@
 // one-shard engine answers byte-identically to the single-system path, and
 // an N-shard engine under exact search differs only in index approximation,
 // not in merge logic.
+//
+// Replication multiplies each shard into R equal-seeded systems: ingest
+// and index builds fan out to every replica of the owning group, so the
+// replicas stay byte-identical by construction, and each query leg picks
+// one replica (round-robin with an in-flight-aware tiebreak). A replica
+// that returns a fault is marked unhealthy and the request transparently
+// retries the next healthy one — the answer is the same bytes whichever
+// replica serves it, so failover is invisible to callers as long as one
+// replica per group survives.
 package shard
 
 import (
@@ -27,96 +37,173 @@ import (
 	"repro/internal/video"
 )
 
-// Engine is a sharded LOVO deployment: N core systems behind one
+// Engine is a sharded LOVO deployment: N replica groups behind one
 // scatter-gather query path. All methods are safe for concurrent use;
 // queries may run while ingest continues, exactly as on a single system.
 type Engine struct {
-	shards []*core.System
-	cfg    core.Config // defaults resolved by the first shard
+	groups []*replicaGroup
+	cfg    core.Config // defaults resolved by the first system
+	// faultHook, when set (tests only), may inject an error before a
+	// replica call, exercising the failover path.
+	faultHook func(group, replica int) error
 }
 
-// New constructs an engine with n shards, each a full core.System built
-// from cfg (equal seeds, so every shard encodes identically and a keyframe
-// grounds to the same score regardless of which shard owns it).
+// New constructs an engine with n shards of one replica each.
 func New(n int, cfg core.Config) (*Engine, error) {
+	return NewReplicated(n, 1, cfg)
+}
+
+// NewReplicated constructs an engine with n shards of r replicas each —
+// n*r full core.Systems built from cfg. Equal seeds mean every system
+// encodes identically: a keyframe grounds to the same score regardless of
+// which shard owns it, and the replicas of a group answer with the same
+// bytes regardless of which one is picked.
+func NewReplicated(n, r int, cfg core.Config) (*Engine, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
 	}
-	e := &Engine{shards: make([]*core.System, n)}
-	for i := range e.shards {
-		s, err := core.New(cfg)
+	if r <= 0 {
+		return nil, fmt.Errorf("shard: need at least 1 replica per shard, got %d", r)
+	}
+	e := &Engine{groups: make([]*replicaGroup, n)}
+	for i := range e.groups {
+		g, err := newReplicaGroup(r, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard: creating shard %d: %w", i, err)
 		}
-		e.shards[i] = s
+		e.groups[i] = g
 	}
-	e.cfg = e.shards[0].Config()
+	e.cfg = e.groups[0].replicas[0].Config()
 	return e, nil
 }
 
-// Shards returns the shard count.
-func (e *Engine) Shards() int { return len(e.shards) }
+// Shards returns the shard (replica group) count.
+func (e *Engine) Shards() int { return len(e.groups) }
 
-// Shard exposes one underlying system (stats, experiments).
-func (e *Engine) Shard(i int) *core.System { return e.shards[i] }
+// Shard exposes one group's primary replica (stats, experiments). Every
+// replica of the group holds the same bytes, so the primary speaks for all.
+func (e *Engine) Shard(i int) *core.System { return e.groups[i].replicas[0] }
+
+// Replica exposes one specific replica of one group (tests, experiments).
+func (e *Engine) Replica(group, replica int) *core.System {
+	return e.groups[group].replicas[replica]
+}
 
 // owner maps a video ID to its shard: videos partition by ID modulo N.
 func (e *Engine) owner(videoID int) int {
-	o := videoID % len(e.shards)
+	o := videoID % len(e.groups)
 	if o < 0 {
-		o += len(e.shards)
+		o += len(e.groups)
 	}
 	return o
 }
 
-// Ingest routes one video to its owning shard.
+// Ingest routes one video to every replica of its owning group. Failed
+// replicas ingest too: failure is a routing state, and a revived replica
+// must hold the same corpus as its peers. Every replica is attempted even
+// when one errors — aborting mid-fan-out would leave the group diverged —
+// and if the error hits only some replicas (a nondeterministic fault; a
+// deterministic one reproduces on all byte-identical peers), the diverged
+// replicas are pulled from routing so the group keeps answering with one
+// consistent corpus.
 func (e *Engine) Ingest(v *video.Video) error {
-	return e.shards[e.owner(v.ID)].Ingest(v)
+	gi := e.owner(v.ID)
+	g := e.groups[gi]
+	errs := make([]error, len(g.replicas))
+	anyOK := false
+	for ri, s := range g.replicas {
+		if errs[ri] = s.Ingest(v); errs[ri] == nil {
+			anyOK = true
+		}
+	}
+	var first error
+	for ri, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = fmt.Errorf("shard %d replica %d: %w", gi, ri, err)
+		}
+		if anyOK {
+			g.state[ri].failed.Store(true)
+		}
+	}
+	return first
 }
 
-// IngestDataset fans the dataset out across shards in parallel: each shard
-// ingests its own videos in dataset order on one goroutine, so per-shard
-// state is byte-identical to a serial ingest of that shard's slice.
+// IngestDataset fans the dataset out across all n*r replicas in parallel:
+// each replica ingests its group's videos in dataset order on one
+// goroutine, so per-replica state is byte-identical to a serial ingest of
+// that group's slice — and therefore identical across the group.
 func (e *Engine) IngestDataset(ds *datasets.Dataset) error {
-	byShard := make([][]*video.Video, len(e.shards))
+	byGroup := make([][]*video.Video, len(e.groups))
 	for i := range ds.Videos {
 		v := &ds.Videos[i]
 		o := e.owner(v.ID)
-		byShard[o] = append(byShard[o], v)
+		byGroup[o] = append(byGroup[o], v)
 	}
-	errs := make([]error, len(e.shards))
-	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
-		for _, v := range byShard[i] {
-			if err := e.shards[i].Ingest(v); err != nil {
-				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+	r := e.Replicas()
+	units := len(e.groups) * r
+	errs := make([]error, units)
+	core.ParallelFor(units, units, func(u int) {
+		gi, ri := u/r, u%r
+		sys := e.groups[gi].replicas[ri]
+		for _, v := range byGroup[gi] {
+			if err := sys.Ingest(v); err != nil {
+				errs[u] = fmt.Errorf("shard %d replica %d: %w", gi, ri, err)
 				return
 			}
 		}
 	})
+	// A replica that aborted while a peer completed is behind its group —
+	// pull it from routing so queries only see consistent corpora (as in
+	// Ingest, a deterministic fault hits every replica and marks none).
+	for gi, g := range e.groups {
+		anyOK, anyErr := false, false
+		for ri := 0; ri < r; ri++ {
+			if errs[gi*r+ri] == nil {
+				anyOK = true
+			} else {
+				anyErr = true
+			}
+		}
+		if anyOK && anyErr {
+			for ri := 0; ri < r; ri++ {
+				if errs[gi*r+ri] != nil {
+					g.state[ri].failed.Store(true)
+				}
+			}
+		}
+	}
 	return firstErr(errs)
 }
 
-// BuildIndex builds every non-empty shard's index in parallel. Empty shards
-// (fewer videos than shards) are skipped — they answer queries with zero
-// hits either way.
+// BuildIndex builds every non-empty replica's index in parallel. Empty
+// shards (fewer videos than shards) are skipped — they answer queries with
+// zero hits either way.
 func (e *Engine) BuildIndex() error {
-	errs := make([]error, len(e.shards))
-	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
-		if e.shards[i].Entities() == 0 {
+	r := e.Replicas()
+	units := len(e.groups) * r
+	errs := make([]error, units)
+	core.ParallelFor(units, units, func(u int) {
+		gi, ri := u/r, u%r
+		sys := e.groups[gi].replicas[ri]
+		if sys.Entities() == 0 {
 			return
 		}
-		if err := e.shards[i].BuildIndex(); err != nil {
-			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+		if err := sys.BuildIndex(); err != nil {
+			errs[u] = fmt.Errorf("shard %d replica %d: %w", gi, ri, err)
 		}
 	})
 	return firstErr(errs)
 }
 
 // Query answers a natural-language object query with both stages scattered:
-// every shard fast-searches its local index, the hit lists merge into the
-// deterministic global top-fastK, and each candidate frame reranks on the
-// shard that owns its keyframe. The final ranking runs the same
-// core.RankGroundings the single-system path runs.
+// every shard fast-searches its local index on one picked replica, the hit
+// lists merge into the deterministic global top-fastK, and each candidate
+// frame reranks on a replica of the shard that owns its keyframe. The
+// final ranking runs the same core.RankGroundings the single-system path
+// runs, and the answer is independent of which replicas served.
 func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
 	fastK := opts.FastK
 	if fastK == 0 {
@@ -129,16 +216,18 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 	res := &core.Result{}
 
 	// Stage 1 scatter: local top-fastK per shard, merged to global top-fastK.
-	lists := make([][]core.ResultObject, len(e.shards))
-	errs := make([]error, len(e.shards))
+	lists := make([][]core.ResultObject, len(e.groups))
+	errs := make([]error, len(e.groups))
 	start := time.Now()
-	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
-		fh, err := e.shards[i].FastSearch(text, opts)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		lists[i] = fh.Objects
+	core.ParallelFor(len(e.groups), len(e.groups), func(i int) {
+		errs[i] = e.withReplica(i, func(sys *core.System) error {
+			fh, err := sys.FastSearch(text, opts)
+			if err != nil {
+				return err
+			}
+			lists[i] = fh.Objects
+			return nil
+		})
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -153,9 +242,9 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 		return res, nil
 	}
 
-	// Stage 2 scatter: ground each candidate on its owning shard, then
-	// reassemble groundings in global candidate order so the final
-	// ranking sees exactly what a single system would.
+	// Stage 2 scatter: ground each candidate on a replica of its owning
+	// shard, then reassemble groundings in global candidate order so the
+	// final ranking sees exactly what a single system would.
 	rerankFrames := opts.RerankFrames
 	if rerankFrames == 0 {
 		rerankFrames = e.cfg.RerankFrames
@@ -166,22 +255,29 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 		refs []core.FrameRef
 		pos  []int
 	}
-	byShard := make([]routed, len(e.shards))
+	byGroup := make([]routed, len(e.groups))
 	for pos, ref := range refs {
 		o := e.owner(ref.VideoID)
-		byShard[o].refs = append(byShard[o].refs, ref)
-		byShard[o].pos = append(byShard[o].pos, pos)
+		byGroup[o].refs = append(byGroup[o].refs, ref)
+		byGroup[o].pos = append(byGroup[o].pos, pos)
 	}
 	groundings := make([]core.Grounding, len(refs))
-	core.ParallelFor(len(e.shards), len(e.shards), func(i int) {
-		if len(byShard[i].refs) == 0 {
+	gerrs := make([]error, len(e.groups))
+	core.ParallelFor(len(e.groups), len(e.groups), func(i int) {
+		if len(byGroup[i].refs) == 0 {
 			return
 		}
-		gs := e.shards[i].GroundCandidates(text, byShard[i].refs, opts.Workers)
-		for j, g := range gs {
-			groundings[byShard[i].pos[j]] = g
-		}
+		gerrs[i] = e.withReplica(i, func(sys *core.System) error {
+			gs := sys.GroundCandidates(text, byGroup[i].refs, opts.Workers)
+			for j, g := range gs {
+				groundings[byGroup[i].pos[j]] = g
+			}
+			return nil
+		})
 	})
+	if err := firstErr(gerrs); err != nil {
+		return nil, err
+	}
 	res.Objects = core.RankGroundings(groundings, topN)
 	res.Rerank = time.Since(rstart)
 	return res, nil
@@ -214,13 +310,15 @@ func (e *Engine) QueryBatch(texts []string, opts core.QueryOptions, clients int)
 	return results, nil
 }
 
-// Stats aggregates ingest statistics across shards. Counter fields sum;
+// Stats aggregates ingest statistics across shards, counting each group's
+// primary replica once — replicas hold the same corpus, so an R-replica
+// engine reports the same statistics as an R=1 engine. Counter fields sum;
 // duration fields sum too, so they report aggregate shard-time, not
 // wall-clock (shards ingest in parallel).
 func (e *Engine) Stats() core.IngestStats {
 	var agg core.IngestStats
-	for _, s := range e.shards {
-		st := s.Stats()
+	for _, g := range e.groups {
+		st := g.replicas[0].Stats()
 		agg.Videos += st.Videos
 		agg.Frames += st.Frames
 		agg.Keyframes += st.Keyframes
@@ -231,33 +329,48 @@ func (e *Engine) Stats() core.IngestStats {
 	return agg
 }
 
-// Entities returns the total indexed patch vectors across shards.
+// Entities returns the total indexed patch vectors across shards (one
+// replica per group; copies don't multiply the corpus).
 func (e *Engine) Entities() int {
 	n := 0
-	for _, s := range e.shards {
-		n += s.Entities()
+	for _, g := range e.groups {
+		n += g.replicas[0].Entities()
 	}
 	return n
 }
 
-// Built reports whether every non-empty shard has built its index.
+// Built reports whether every non-empty replica has built its index.
 func (e *Engine) Built() bool {
-	for _, s := range e.shards {
-		if s.Entities() > 0 && !s.Built() {
-			return false
+	for _, g := range e.groups {
+		for _, s := range g.replicas {
+			if s.Entities() > 0 && !s.Built() {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-// IngestGen sums the shard mutation generations; any ingest or index build
-// anywhere advances it, which is all a result cache needs.
+// IngestGen sums each group's minimum replica mutation generation; any
+// ingest or index build anywhere advances it once every replica has it,
+// which is all a result cache needs. The minimum — not the primary's value
+// — matters mid-fan-out: a query may be served by a replica that hasn't
+// received the newest video yet, and stamping its answer with a generation
+// the laggard hasn't reached would let that stale answer survive in a
+// cache forever. Under the minimum, the engine generation only advances
+// after the laggard catches up, invalidating anything computed before.
 func (e *Engine) IngestGen() uint64 {
-	var g uint64
-	for _, s := range e.shards {
-		g += s.IngestGen()
+	var total uint64
+	for _, grp := range e.groups {
+		gen := grp.replicas[0].IngestGen()
+		for _, s := range grp.replicas[1:] {
+			if sg := s.IngestGen(); sg < gen {
+				gen = sg
+			}
+		}
+		total += gen
 	}
-	return g
+	return total
 }
 
 func firstErr(errs []error) error {
@@ -269,25 +382,29 @@ func firstErr(errs []error) error {
 	return nil
 }
 
-// Snapshot format: magic, shard count, then each shard's system snapshot
-// in shard order, length-prefixed (uint64) — the per-system loader reads
-// through buffered decoders that may consume past their own section, so
-// each shard gets a bounded segment of the stream.
+// Snapshot format: magic, shard count, then one replica's system snapshot
+// per group in shard order, length-prefixed (uint64) — the per-system
+// loader reads through buffered decoders that may consume past their own
+// section, so each shard gets a bounded segment of the stream. Replicas
+// are byte-identical, so one copy per group is the whole engine; the
+// replica count is deliberately absent from the format, letting any R load
+// a snapshot saved under any other R.
 const snapMagic = "LOVOSHD1\n"
 
-// SaveSnapshot persists every shard's full state. Must not run
-// concurrently with ingest or index builds.
+// SaveSnapshot persists one copy of every shard's state (the primary
+// replica speaks for its byte-identical group). Must not run concurrently
+// with ingest or index builds.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if _, err := io.WriteString(w, snapMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(e.shards))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(e.groups))); err != nil {
 		return err
 	}
 	var buf bytes.Buffer
-	for i, s := range e.shards {
+	for i, g := range e.groups {
 		buf.Reset()
-		if err := s.SaveSnapshot(&buf); err != nil {
+		if err := g.replicas[0].SaveSnapshot(&buf); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
@@ -301,8 +418,9 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot restores a snapshot written by SaveSnapshot into this
-// freshly-constructed engine. The shard count and Config must match the
-// saver's.
+// freshly-constructed engine, fanning each group's segment out to all R
+// replicas. The shard count and Config must match the saver's; the replica
+// count need not.
 func (e *Engine) LoadSnapshot(r io.Reader) error {
 	head := make([]byte, len(snapMagic))
 	if _, err := io.ReadFull(r, head); err != nil {
@@ -315,21 +433,22 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err
 	}
-	if int(n) != len(e.shards) {
-		return fmt.Errorf("shard: snapshot has %d shards, engine has %d", n, len(e.shards))
+	if int(n) != len(e.groups) {
+		return fmt.Errorf("shard: snapshot has %d shards, engine has %d", n, len(e.groups))
 	}
-	for i, s := range e.shards {
+	for i, g := range e.groups {
 		var size uint64
 		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
 			return fmt.Errorf("shard %d: reading snapshot size: %w", i, err)
 		}
-		seg := io.LimitReader(r, int64(size))
-		if err := s.LoadSnapshot(seg); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+		seg := make([]byte, size)
+		if _, err := io.ReadFull(r, seg); err != nil {
+			return fmt.Errorf("shard %d: reading snapshot segment: %w", i, err)
 		}
-		// The shard loader's buffered readers may leave a tail unread.
-		if _, err := io.Copy(io.Discard, seg); err != nil {
-			return err
+		for ri, s := range g.replicas {
+			if err := s.LoadSnapshot(bytes.NewReader(seg)); err != nil {
+				return fmt.Errorf("shard %d replica %d: %w", i, ri, err)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ErrAllReplicasDown marks a query that found no healthy replica in some
+// group: every copy of that slice of the corpus has been marked failed, so
+// the engine cannot answer. As long as one replica per group survives,
+// queries keep answering — byte-identically, because replicas are built
+// from equal seeds and equal ingest order.
+var ErrAllReplicasDown = errors.New("shard: every replica of a group is down")
+
+// replicaState is the routing-side view of one replica: health, demand and
+// a read counter. Failure is a routing property, not a data property — a
+// failed replica still receives ingest fan-out so a later Revive serves the
+// same corpus as its peers.
+type replicaState struct {
+	// failed removes the replica from query routing (set on the first
+	// query error, or manually via Engine.FailReplica).
+	failed atomic.Bool
+	// inflight counts queries currently executing on the replica; the
+	// picker prefers the least-loaded healthy replica.
+	inflight atomic.Int64
+	// reads counts queries ever routed to the replica (stage-1 and
+	// stage-2 scatter legs both count).
+	reads atomic.Uint64
+}
+
+// replicaGroup is one shard's replica set: R byte-identical core.Systems
+// (equal seeds, equal ingest order) behind a picker. Any healthy replica
+// answers any request for the group's slice of the corpus with the exact
+// bytes every other replica would produce, which is what makes failover
+// transparent.
+type replicaGroup struct {
+	replicas []*core.System
+	state    []replicaState
+	// rr rotates the picker's scan start so replicas with equal in-flight
+	// load alternate (plain round-robin when the group is idle).
+	rr atomic.Uint64
+}
+
+func newReplicaGroup(r int, cfg core.Config) (*replicaGroup, error) {
+	g := &replicaGroup{
+		replicas: make([]*core.System, r),
+		state:    make([]replicaState, r),
+	}
+	for i := range g.replicas {
+		s, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		g.replicas[i] = s
+	}
+	return g, nil
+}
+
+// pick chooses the serving replica: scanning from a rotating round-robin
+// start, it takes the healthy replica with the fewest in-flight requests —
+// so an idle group alternates replicas and a loaded group routes around
+// the busy ones. Returns -1 when every replica is failed.
+func (g *replicaGroup) pick() int {
+	start := int(g.rr.Add(1)-1) % len(g.replicas)
+	best := -1
+	var bestLoad int64
+	for off := range g.replicas {
+		i := (start + off) % len(g.replicas)
+		st := &g.state[i]
+		if st.failed.Load() {
+			continue
+		}
+		load := st.inflight.Load()
+		if best == -1 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// replicaFault reports whether a query error indicts the replica that
+// returned it. Errors that depend only on the request — unanswerable query
+// text — would reproduce on every replica, so failing over on them would
+// only burn healthy replicas.
+func replicaFault(err error) bool {
+	return !errors.Is(err, core.ErrNoRecognisedTerms)
+}
+
+// withReplica runs fn against one healthy replica of group gi, marking a
+// replica that returns a fault unhealthy and transparently retrying the
+// next healthy one. fn observes a fully-functional core.System; the error
+// it returns decides failover (see replicaFault).
+func (e *Engine) withReplica(gi int, fn func(sys *core.System) error) error {
+	g := e.groups[gi]
+	var lastErr error
+	var marked []int
+	for attempt := 0; attempt < len(g.replicas); attempt++ {
+		ri := g.pick()
+		if ri < 0 {
+			break
+		}
+		st := &g.state[ri]
+		st.inflight.Add(1)
+		st.reads.Add(1)
+		err := e.callReplica(gi, ri, fn)
+		st.inflight.Add(-1)
+		if err == nil {
+			return nil
+		}
+		if !replicaFault(err) {
+			return err
+		}
+		st.failed.Store(true)
+		marked = append(marked, ri)
+		lastErr = err
+	}
+	if lastErr != nil {
+		// Every replica this call reached failed the same way. Replicas
+		// are byte-identical, so a deterministic fault reproduces on all
+		// of them — indistinguishable from a request-level error. Leaving
+		// the marks would let one bad request brick the whole group into
+		// ErrAllReplicasDown forever; restore the replicas this call
+		// marked (never ones failed before it) and surface the error
+		// per-request instead. A genuinely broken replica still stays
+		// failed whenever any peer answers.
+		for _, ri := range marked {
+			g.state[ri].failed.Store(false)
+		}
+		return lastErr
+	}
+	return ErrAllReplicasDown
+}
+
+// callReplica dispatches fn to one replica, routing through the test-only
+// fault hook when set.
+func (e *Engine) callReplica(gi, ri int, fn func(sys *core.System) error) error {
+	if e.faultHook != nil {
+		if err := e.faultHook(gi, ri); err != nil {
+			return err
+		}
+	}
+	return fn(e.groups[gi].replicas[ri])
+}
+
+// Replicas returns the replica count per group (R).
+func (e *Engine) Replicas() int { return len(e.groups[0].replicas) }
+
+// FailReplica removes one replica from query routing — the operational
+// "kill" used by failover drills. The replica keeps receiving ingest, so
+// ReviveReplica restores it with the same corpus as its peers.
+func (e *Engine) FailReplica(group, replica int) {
+	e.groups[group].state[replica].failed.Store(true)
+}
+
+// ReviveReplica returns a failed replica to query routing.
+func (e *Engine) ReviveReplica(group, replica int) {
+	e.groups[group].state[replica].failed.Store(false)
+}
+
+// ReplicaStat is the observable state of one replica, surfaced by the
+// serving tier's /stats and /metrics.
+type ReplicaStat struct {
+	Healthy  bool   `json:"healthy"`
+	Reads    uint64 `json:"reads"`
+	Inflight int64  `json:"inflight"`
+}
+
+// ReplicaStats snapshots per-replica health, read counts and in-flight
+// load, indexed [group][replica].
+func (e *Engine) ReplicaStats() [][]ReplicaStat {
+	out := make([][]ReplicaStat, len(e.groups))
+	for gi, g := range e.groups {
+		out[gi] = make([]ReplicaStat, len(g.replicas))
+		for ri := range g.replicas {
+			st := &g.state[ri]
+			out[gi][ri] = ReplicaStat{
+				Healthy:  !st.failed.Load(),
+				Reads:    st.reads.Load(),
+				Inflight: st.inflight.Load(),
+			}
+		}
+	}
+	return out
+}

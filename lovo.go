@@ -103,6 +103,16 @@ type Options struct {
 	// single-system path; a one-shard engine answers byte-identically to
 	// it. Ingest of a dataset fans out across shards in parallel.
 	Shards int
+	// Replicas runs R copies of every shard for read throughput and
+	// failover: ingest and index builds fan out to all replicas of the
+	// owning shard (equal seeds keep them byte-identical by
+	// construction), each query leg picks one replica (round-robin with
+	// an in-flight-aware tiebreak), and a replica that errors is marked
+	// unhealthy and transparently failed over — answers are the same
+	// bytes whichever replica serves, as long as one replica per shard
+	// survives. Zero or one keeps single copies. Replicas > 1 forces the
+	// engine path even when Shards <= 1.
+	Replicas int
 }
 
 // System is a LOVO instance: a single core system, or a sharded
@@ -147,8 +157,15 @@ func Open(opts Options) (*System, error) {
 	default:
 		return nil, fmt.Errorf("lovo: unknown keyframe strategy %q", opts.Keyframes)
 	}
-	if opts.Shards > 1 {
-		engine, err := shard.New(opts.Shards, cfg)
+	if opts.Shards > 1 || opts.Replicas > 1 {
+		n, r := opts.Shards, opts.Replicas
+		if n < 1 {
+			n = 1
+		}
+		if r < 1 {
+			r = 1
+		}
+		engine, err := shard.NewReplicated(n, r, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +263,8 @@ func (s *System) Save(w io.Writer) error {
 // Load restores a snapshot written by Save into this freshly-opened,
 // empty system. Open with the same Options as the saver (seed, dimensions
 // and shard count must match; the index is rebuilt from the recorded
-// recipe).
+// recipe). Replica counts need not match: snapshots hold one copy per
+// shard and Load fans each shard's state out to every replica.
 func (s *System) Load(r io.Reader) error {
 	if s.engine != nil {
 		return s.engine.LoadSnapshot(r)
