@@ -44,15 +44,39 @@ func (ix *Index) Add(id int64, v mat.Vec) error {
 	return nil
 }
 
-// Search implements ann.Index with a full scan.
+// Search implements ann.Index with a full scan. The scan runs through the
+// blocked mat.ScoreRows kernel over the contiguous row-major storage with a
+// pooled score buffer and top-k heap, so steady-state searches allocate
+// only the returned result slice.
 func (ix *Index) Search(q mat.Vec, k int, _ ann.Params) []mat.Scored {
 	if k <= 0 || len(ix.ids) == 0 {
 		return nil
 	}
-	top := mat.NewTopK(k)
-	for i, id := range ix.ids {
-		row := ix.data[i*ix.dim : (i+1)*ix.dim]
-		top.Push(id, mat.Dot(q, row))
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("flat: query dim %d != index dim %d", len(q), ix.dim))
+	}
+	top := mat.GetTopK(k)
+	defer mat.PutTopK(top)
+	scratch := mat.GetScratch(mat.ScanBlock)
+	defer scratch.Release()
+	// Threshold gate: once the heap is full, a score strictly below the
+	// lowest retained score loses whatever its ID tie-break, so the Push
+	// call is skipped without changing the retained set. Equal scores
+	// still go through Push (the ascending-ID tie-break may admit them).
+	thr := top.Threshold()
+	for start := 0; start < len(ix.ids); start += mat.ScanBlock {
+		end := start + mat.ScanBlock
+		if end > len(ix.ids) {
+			end = len(ix.ids)
+		}
+		scores := mat.ScoreRows(scratch.Buf[:end-start], q, ix.data[start*ix.dim:end*ix.dim], ix.dim)
+		for i, s := range scores {
+			if s < thr {
+				continue
+			}
+			top.Push(ix.ids[start+i], s)
+			thr = top.Threshold()
+		}
 	}
 	return top.Sorted()
 }

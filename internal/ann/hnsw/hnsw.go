@@ -6,12 +6,19 @@
 //
 // Similarity is the inner product over unit vectors, so "nearest" means
 // highest dot product throughout.
+//
+// Vectors live in one contiguous row-major arena (not one allocation per
+// node), so neighbour expansion walks packed rows and the exhaustive
+// fallback is a blocked mat.ScoreRows scan. Per-search scratch — the
+// epoch-stamped visited set, the frontier, the candidate list — comes from
+// a pool, so steady-state searches allocate only their result slice.
 package hnsw
 
 import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/ann"
 	"repro/internal/mat"
@@ -41,7 +48,6 @@ func (c Config) withDefaults() Config {
 
 type node struct {
 	id    int64
-	vec   mat.Vec
 	level int
 	// links[l] lists neighbour node indices at level l.
 	links [][]int32
@@ -54,9 +60,12 @@ type Index struct {
 	mL    float64
 	rng   *rand.Rand
 	nodes []node
+	vecs  []float32 // row-major vector arena, row i belongs to nodes[i]
 	byID  map[int64]int32
 	entry int32 // index of the top entry point, -1 when empty
 	maxL  int
+
+	ctxPool sync.Pool // *searchCtx
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -83,12 +92,58 @@ func (h *Index) Kind() string { return "hnsw" }
 // Len implements ann.Index.
 func (h *Index) Len() int { return len(h.nodes) }
 
+// vecAt returns node i's vector, aliasing the arena.
+func (h *Index) vecAt(i int32) mat.Vec {
+	off := int(i) * h.dim
+	return h.vecs[off : off+h.dim : off+h.dim]
+}
+
 func (h *Index) maxDegree(level int) int {
 	if level == 0 {
 		return 2 * h.cfg.M
 	}
 	return h.cfg.M
 }
+
+// searchCtx is the reusable per-search scratch: an epoch-stamped visited
+// set (one counter bump invalidates the whole array — no clearing, no
+// per-search map), the exploration frontier, and the candidate buffer.
+type searchCtx struct {
+	visited []uint32
+	epoch   uint32
+	front   []cand
+	cands   []cand
+}
+
+// nextEpoch invalidates the visited set by advancing the stamp; on the
+// (rare) counter wrap the stale array is cleared so old stamps cannot read
+// as visited.
+func (c *searchCtx) nextEpoch() {
+	c.epoch++
+	if c.epoch == 0 {
+		for i := range c.visited {
+			c.visited[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+// getCtx checks a search context out of the pool, sized to the current
+// node count.
+func (h *Index) getCtx() *searchCtx {
+	c, _ := h.ctxPool.Get().(*searchCtx)
+	if c == nil {
+		c = &searchCtx{}
+	}
+	if len(c.visited) < len(h.nodes) {
+		c.visited = make([]uint32, len(h.nodes)+len(h.nodes)/2+8)
+		c.epoch = 0
+	}
+	c.nextEpoch()
+	return c
+}
+
+func (h *Index) putCtx(c *searchCtx) { h.ctxPool.Put(c) }
 
 // Add implements ann.Index.
 func (h *Index) Add(id int64, v mat.Vec) error {
@@ -99,9 +154,10 @@ func (h *Index) Add(id int64, v mat.Vec) error {
 		return fmt.Errorf("hnsw: duplicate id %d", id)
 	}
 	level := int(math.Floor(-math.Log(1-h.rng.Float64()) * h.mL))
-	n := node{id: id, vec: mat.Clone(v), level: level, links: make([][]int32, level+1)}
+	n := node{id: id, level: level, links: make([][]int32, level+1)}
 	idx := int32(len(h.nodes))
 	h.nodes = append(h.nodes, n)
+	h.vecs = append(h.vecs, v...)
 	h.byID[id] = idx
 
 	if h.entry < 0 {
@@ -110,20 +166,22 @@ func (h *Index) Add(id int64, v mat.Vec) error {
 		return nil
 	}
 
+	q := h.vecAt(idx)
 	ep := h.entry
 	// Greedy descent through levels above the insertion level.
 	for l := h.maxL; l > level; l-- {
-		ep = h.greedyClosest(v, ep, l)
+		ep = h.greedyClosest(q, ep, l)
 	}
 	// Beam search and connect on each level from min(level, maxL) down.
 	startL := level
 	if startL > h.maxL {
 		startL = h.maxL
 	}
+	ctx := h.getCtx()
 	for l := startL; l >= 0; l-- {
-		cands := h.searchLayer(v, ep, h.cfg.EfConstruction, l)
+		cands := h.searchLayer(q, ep, h.cfg.EfConstruction, l, ctx)
 		m := h.maxDegree(l)
-		selected := h.selectNeighbors(v, cands, m)
+		selected := h.selectNeighbors(cands, m)
 		for _, s := range selected {
 			h.link(idx, s, l)
 			h.link(s, idx, l)
@@ -132,7 +190,9 @@ func (h *Index) Add(id int64, v mat.Vec) error {
 		if len(cands) > 0 {
 			ep = cands[0].idx
 		}
+		ctx.nextEpoch() // next layer starts with a fresh visited set
 	}
+	h.putCtx(ctx)
 	if level > h.maxL {
 		h.maxL = level
 		h.entry = idx
@@ -148,11 +208,11 @@ type cand struct {
 // greedyClosest walks level l greedily toward the query.
 func (h *Index) greedyClosest(q mat.Vec, ep int32, l int) int32 {
 	best := ep
-	bestSim := mat.Dot(q, h.nodes[ep].vec)
+	bestSim := mat.Dot(q, h.vecAt(ep))
 	for {
 		improved := false
 		for _, nb := range h.linksAt(best, l) {
-			if s := mat.Dot(q, h.nodes[nb].vec); s > bestSim {
+			if s := mat.Dot(q, h.vecAt(nb)); s > bestSim {
 				best, bestSim = nb, s
 				improved = true
 			}
@@ -172,13 +232,15 @@ func (h *Index) linksAt(idx int32, l int) []int32 {
 }
 
 // searchLayer runs a beam search of width ef on level l starting from ep,
-// returning candidates in descending similarity order.
-func (h *Index) searchLayer(q mat.Vec, ep int32, ef, l int) []cand {
-	visited := map[int32]bool{ep: true}
-	epSim := mat.Dot(q, h.nodes[ep].vec)
+// returning candidates in descending similarity order. The returned slice
+// aliases ctx and is valid until the context's next use.
+func (h *Index) searchLayer(q mat.Vec, ep int32, ef, l int, ctx *searchCtx) []cand {
+	ctx.visited[ep] = ctx.epoch
+	epSim := mat.Dot(q, h.vecAt(ep))
 	// frontier: max-first exploration queue; result: bounded best set.
-	frontier := []cand{{ep, epSim}}
-	result := mat.NewTopK(ef)
+	frontier := append(ctx.front[:0], cand{ep, epSim})
+	result := mat.GetTopK(ef)
+	defer mat.PutTopK(result)
 	result.Push(int64(ep), epSim)
 
 	for len(frontier) > 0 {
@@ -197,37 +259,40 @@ func (h *Index) searchLayer(q mat.Vec, ep int32, ef, l int) []cand {
 			break
 		}
 		for _, nb := range h.linksAt(cur.idx, l) {
-			if visited[nb] {
+			if ctx.visited[nb] == ctx.epoch {
 				continue
 			}
-			visited[nb] = true
-			s := mat.Dot(q, h.nodes[nb].vec)
+			ctx.visited[nb] = ctx.epoch
+			s := mat.Dot(q, h.vecAt(nb))
 			if s > result.Threshold() || result.Len() < ef {
 				result.Push(int64(nb), s)
 				frontier = append(frontier, cand{nb, s})
 			}
 		}
 	}
+	ctx.front = frontier[:0]
 	sorted := result.Sorted()
-	out := make([]cand, len(sorted))
-	for i, s := range sorted {
-		out[i] = cand{int32(s.ID), s.Score}
+	out := ctx.cands[:0]
+	for _, s := range sorted {
+		out = append(out, cand{int32(s.ID), s.Score})
 	}
+	ctx.cands = out
 	return out
 }
 
 // selectNeighbors applies the diversity heuristic: a candidate is kept only
 // if it is closer to the query point than to any already-selected
 // neighbour, which keeps edges spread across directions.
-func (h *Index) selectNeighbors(q mat.Vec, cands []cand, m int) []int32 {
+func (h *Index) selectNeighbors(cands []cand, m int) []int32 {
 	var selected []int32
 	for _, c := range cands {
 		if len(selected) >= m {
 			break
 		}
 		ok := true
+		cv := h.vecAt(c.idx)
 		for _, s := range selected {
-			if mat.Dot(h.nodes[c.idx].vec, h.nodes[s].vec) > c.sim {
+			if mat.Dot(cv, h.vecAt(s)) > c.sim {
 				ok = false
 				break
 			}
@@ -281,9 +346,11 @@ func (h *Index) prune(idx int32, l int) {
 	if len(n.links[l]) <= maxD {
 		return
 	}
-	top := mat.NewTopK(maxD)
+	top := mat.GetTopK(maxD)
+	defer mat.PutTopK(top)
+	nv := h.vecAt(idx)
 	for _, nb := range n.links[l] {
-		top.Push(int64(nb), mat.Dot(n.vec, h.nodes[nb].vec))
+		top.Push(int64(nb), mat.Dot(nv, h.vecAt(nb)))
 	}
 	kept := top.Sorted()
 	n.links[l] = n.links[l][:0]
@@ -298,9 +365,19 @@ func (h *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 		return nil
 	}
 	if p.Exhaustive {
-		top := mat.NewTopK(k)
-		for i := range h.nodes {
-			top.Push(h.nodes[i].id, mat.Dot(q, h.nodes[i].vec))
+		top := mat.GetTopK(k)
+		defer mat.PutTopK(top)
+		scratch := mat.GetScratch(mat.ScanBlock)
+		defer scratch.Release()
+		for start := 0; start < len(h.nodes); start += mat.ScanBlock {
+			end := start + mat.ScanBlock
+			if end > len(h.nodes) {
+				end = len(h.nodes)
+			}
+			scores := mat.ScoreRows(scratch.Buf[:end-start], q, h.vecs[start*h.dim:end*h.dim], h.dim)
+			for i, s := range scores {
+				top.Push(h.nodes[start+i].id, s)
+			}
 		}
 		return top.Sorted()
 	}
@@ -315,7 +392,9 @@ func (h *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 	for l := h.maxL; l > 0; l-- {
 		ep = h.greedyClosest(q, ep, l)
 	}
-	cands := h.searchLayer(q, ep, ef, 0)
+	ctx := h.getCtx()
+	defer h.putCtx(ctx)
+	cands := h.searchLayer(q, ep, ef, 0, ctx)
 	out := make([]mat.Scored, 0, min(k, len(cands)))
 	for i := 0; i < len(cands) && i < k; i++ {
 		out = append(out, mat.Scored{ID: h.nodes[cands[i].idx].id, Score: cands[i].sim})
@@ -325,9 +404,9 @@ func (h *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 
 // Memory implements ann.Index.
 func (h *Index) Memory() int64 {
-	var b int64
+	b := int64(len(h.vecs)) * 4
 	for i := range h.nodes {
-		b += int64(h.dim)*4 + 8
+		b += 8
 		for _, l := range h.nodes[i].links {
 			b += int64(len(l)) * 4
 		}

@@ -11,6 +11,11 @@
 // exactly (s_exact = Σ_p [q]_p·[c′_a]_p), and ties are broken by the
 // patch-ID vote of Algorithm 1 line 16 — candidates assembled from more
 // agreeing subspaces rank first.
+//
+// Codes and raw vectors are stored packed (one contiguous []uint16 with
+// stride P, one row-major []float32), addressed by a dense per-id position,
+// so the ADC scan is strided loads against the flat lookup table instead of
+// map-and-slice pointer chasing.
 package imi
 
 import (
@@ -51,14 +56,19 @@ func (c Config) withDefaults(n int) Config {
 
 // Index is a built inverted multi-index.
 type Index struct {
-	dim   int
-	cfg   Config
-	pq    *quant.PQ
-	codes map[int64]quant.Code
-	// lists[p][m] holds the ids of vectors whose subspace-p code is m.
-	lists [][][]int64
-	raw   map[int64]mat.Vec
-	order []int64 // insertion order, for deterministic exhaustive scans
+	dim int
+	cfg Config
+	pq  *quant.PQ
+	// pos maps an id to its row in packed (and rawData when kept).
+	pos map[int64]int32
+	// packed holds every PQ code back to back with stride P.
+	packed []uint16
+	// lists[p][m] holds the positions of vectors whose subspace-p code is
+	// m; dense positions keep the candidate scan free of map lookups.
+	lists [][][]int32
+	// rawData holds original vectors row-major (KeepRaw only).
+	rawData []float32
+	order   []int64 // position -> id, in insertion order
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -82,14 +92,11 @@ func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
 		dim:   dim,
 		cfg:   cfg,
 		pq:    pq,
-		codes: make(map[int64]quant.Code, len(vecs)),
-		lists: make([][][]int64, cfg.P),
+		pos:   make(map[int64]int32, len(vecs)),
+		lists: make([][][]int32, cfg.P),
 	}
 	for p := 0; p < cfg.P; p++ {
-		ix.lists[p] = make([][]int64, len(pq.Codebooks[p]))
-	}
-	if cfg.KeepRaw {
-		ix.raw = make(map[int64]mat.Vec, len(vecs))
+		ix.lists[p] = make([][]int32, len(pq.Codebooks[p]))
 	}
 	for i, v := range vecs {
 		if err := ix.Add(ids[i], v); err != nil {
@@ -103,7 +110,19 @@ func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
 func (ix *Index) Kind() string { return "imi" }
 
 // Len implements ann.Index.
-func (ix *Index) Len() int { return len(ix.codes) }
+func (ix *Index) Len() int { return len(ix.pos) }
+
+// codeAt returns the packed code row at position p.
+func (ix *Index) codeAt(p int32) []uint16 {
+	off := int(p) * ix.pq.P
+	return ix.packed[off : off+ix.pq.P : off+ix.pq.P]
+}
+
+// rawAt returns the raw vector at position p (KeepRaw only).
+func (ix *Index) rawAt(p int32) mat.Vec {
+	off := int(p) * ix.dim
+	return ix.rawData[off : off+ix.dim : off+ix.dim]
+}
 
 // Add implements ann.Index. Vectors added after Build are coded with the
 // existing codebooks.
@@ -111,16 +130,18 @@ func (ix *Index) Add(id int64, v mat.Vec) error {
 	if len(v) != ix.dim {
 		return fmt.Errorf("imi: vector dim %d != %d", len(v), ix.dim)
 	}
-	if _, dup := ix.codes[id]; dup {
+	if _, dup := ix.pos[id]; dup {
 		return fmt.Errorf("imi: duplicate id %d", id)
 	}
-	code := ix.pq.Encode(v)
-	ix.codes[id] = code
-	for p, m := range code {
-		ix.lists[p][m] = append(ix.lists[p][m], id)
+	p := int32(len(ix.order))
+	ix.packed = append(ix.packed, make([]uint16, ix.pq.P)...)
+	ix.pq.EncodeInto(ix.codeAt(p), v)
+	ix.pos[id] = p
+	for sp, m := range ix.codeAt(p) {
+		ix.lists[sp][m] = append(ix.lists[sp][m], p)
 	}
-	if ix.raw != nil {
-		ix.raw[id] = mat.Clone(v)
+	if ix.cfg.KeepRaw {
+		ix.rawData = append(ix.rawData, v...)
 	}
 	ix.order = append(ix.order, id)
 	return nil
@@ -128,17 +149,19 @@ func (ix *Index) Add(id int64, v mat.Vec) error {
 
 // Search implements ann.Index following Algorithm 1.
 func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
-	if k <= 0 || len(ix.codes) == 0 {
+	if k <= 0 || len(ix.pos) == 0 {
 		return nil
 	}
-	table := ix.pq.DotTable(q) // lines 2–5: subspace centroid similarities
+	tscratch := mat.GetScratch(ix.pq.TableLen())
+	defer tscratch.Release()
+	table := ix.pq.DotTableInto(tscratch.Buf, q) // lines 2–5: subspace centroid similarities
 
-	// Candidate gathering. votes[id] counts how many subspaces proposed
+	// Candidate gathering. votes[pos] counts how many subspaces proposed
 	// the vector — the agreement statistic behind the patch-ID vote.
-	votes := make(map[int64]int)
+	votes := make(map[int32]int)
 	if p.Exhaustive {
-		for _, id := range ix.order {
-			votes[id] = ix.pq.P
+		for pos := range ix.order {
+			votes[int32(pos)] = ix.pq.P
 		}
 	} else {
 		a := p.NProbe
@@ -146,61 +169,60 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 			a = 8
 		}
 		for sp := 0; sp < ix.pq.P; sp++ {
-			row := table[sp]
-			topA := mat.NewTopK(min(a, len(row)))
+			row := table.Row(sp)
+			topA := mat.GetTopK(min(a, len(row)))
 			for m, s := range row {
 				topA.Push(int64(m), s)
 			}
 			for _, c := range topA.Sorted() { // line 6: S_A
-				for _, id := range ix.lists[sp][c.ID] {
-					votes[id]++
+				for _, pos := range ix.lists[sp][c.ID] {
+					votes[pos]++
 				}
 			}
+			mat.PutTopK(topA)
 		}
 	}
 
 	// Score candidates by ADC (lines 8–11) into a shortlist. Exhaustive
 	// mode with raw vectors skips the ADC funnel entirely — it is the
 	// "w/o ANNS" brute-force ablation, so every candidate is scored
-	// exactly.
+	// exactly. The top-k heap is keyed by id (the canonical determinism
+	// order), while scoring addresses packed rows by dense position.
 	shortlistK := k
-	if ix.raw != nil {
+	if ix.rawData != nil {
 		shortlistK = k * 4
 		if p.Exhaustive {
 			shortlistK = len(votes)
 		}
 	}
-	top := mat.NewTopK(shortlistK)
-	if p.Exhaustive && ix.raw != nil {
-		for id := range votes {
-			top.Push(id, mat.Dot(q, ix.raw[id]))
+	top := mat.GetTopK(shortlistK)
+	defer mat.PutTopK(top)
+	if p.Exhaustive && ix.rawData != nil {
+		for pos := range votes {
+			top.Push(ix.order[pos], mat.Dot(q, ix.rawAt(pos)))
 		}
 	} else {
-		for id := range votes {
-			top.Push(id, ix.pq.ApproxDot(table, ix.codes[id]))
+		for pos := range votes {
+			top.Push(ix.order[pos], ix.pq.ApproxDotPacked(table, ix.codeAt(pos)))
 		}
 	}
 	short := top.Sorted()
 
 	// Exact re-scoring (lines 13–17) with the patch-ID vote as the
-	// tie-break: more subspace agreement ranks first.
+	// tie-break: more subspace agreement ranks first. Votes are resolved
+	// once per entry so the comparator does no map lookups.
 	out := make([]mat.Scored, 0, len(short))
+	outVotes := make([]int, 0, len(short))
 	for _, s := range short {
 		score := s.Score
-		if ix.raw != nil {
-			score = mat.Dot(q, ix.raw[s.ID])
+		pos := ix.pos[s.ID]
+		if ix.rawData != nil {
+			score = mat.Dot(q, ix.rawAt(pos))
 		}
 		out = append(out, mat.Scored{ID: s.ID, Score: score})
+		outVotes = append(outVotes, votes[pos])
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if vi, vj := votes[out[i].ID], votes[out[j].ID]; vi != vj {
-			return vi > vj
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Sort(&byScoreVoteID{out, outVotes})
 	if len(out) > k {
 		out = out[:k]
 	}
@@ -210,15 +232,15 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 // Memory implements ann.Index.
 func (ix *Index) Memory() int64 {
 	var b int64
-	b += int64(len(ix.codes)) * int64(8+2*ix.pq.P) // codes
+	b += int64(len(ix.pos)) * int64(8+2*ix.pq.P) // codes
 	for _, sub := range ix.lists {
 		for _, l := range sub {
-			b += int64(len(l)) * 8
+			b += int64(len(l)) * 4 // int32 positions
 		}
 	}
 	b += int64(ix.pq.P*len(ix.pq.Codebooks[0])*ix.pq.SubDim) * 4
-	if ix.raw != nil {
-		b += int64(len(ix.raw)) * int64(ix.dim) * 4
+	if ix.rawData != nil {
+		b += int64(len(ix.rawData)) * 4
 	}
 	return b
 }
@@ -226,16 +248,41 @@ func (ix *Index) Memory() int64 {
 // CellCount returns the number of distinct non-empty cells (code tuples);
 // exported for stats and tests.
 func (ix *Index) CellCount() int {
-	cells := make(map[string]struct{}, len(ix.codes))
+	cells := make(map[string]struct{}, len(ix.pos))
 	buf := make([]byte, 2*ix.pq.P)
-	for _, code := range ix.codes {
-		for i, m := range code {
+	for p := range ix.order {
+		for i, m := range ix.codeAt(int32(p)) {
 			buf[2*i] = byte(m)
 			buf[2*i+1] = byte(m >> 8)
 		}
 		cells[string(buf)] = struct{}{}
 	}
 	return len(cells)
+}
+
+// byScoreVoteID sorts shortlist entries by descending score, then
+// descending subspace-agreement vote, then ascending ID; votes moves in
+// lockstep with items.
+type byScoreVoteID struct {
+	items []mat.Scored
+	votes []int
+}
+
+func (s *byScoreVoteID) Len() int { return len(s.items) }
+
+func (s *byScoreVoteID) Less(i, j int) bool {
+	if s.items[i].Score != s.items[j].Score {
+		return s.items[i].Score > s.items[j].Score
+	}
+	if s.votes[i] != s.votes[j] {
+		return s.votes[i] > s.votes[j]
+	}
+	return s.items[i].ID < s.items[j].ID
+}
+
+func (s *byScoreVoteID) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.votes[i], s.votes[j] = s.votes[j], s.votes[i]
 }
 
 func min(a, b int) int {

@@ -32,8 +32,8 @@ func TestInvertedListsPartitionEverything(t *testing.T) {
 		seen := map[int64]int{}
 		total := 0
 		for _, l := range ix.lists[sp] {
-			for _, id := range l {
-				seen[id]++
+			for _, pos := range l {
+				seen[ix.order[pos]]++
 				total++
 			}
 		}
@@ -50,11 +50,11 @@ func TestInvertedListsPartitionEverything(t *testing.T) {
 
 func TestCodesMatchListMembership(t *testing.T) {
 	ix := build(t, 300, Config{P: 4, M: 16, Seed: 3})
-	for id, code := range ix.codes {
-		for sp, m := range code {
+	for id, pos := range ix.pos {
+		for sp, m := range ix.codeAt(pos) {
 			found := false
-			for _, lid := range ix.lists[sp][m] {
-				if lid == id {
+			for _, lpos := range ix.lists[sp][m] {
+				if lpos == pos {
 					found = true
 					break
 				}

@@ -5,6 +5,11 @@
 // centroid. Search probes the NProbe closest lists and scores candidates as
 // coarse-similarity + residual ADC, optionally refining the top candidates
 // against raw vectors.
+//
+// Lists are structure-of-arrays — parallel id and packed-code slices — so a
+// probed list scans as one quant.ApproxDotBatch pass over contiguous codes;
+// coarse centroids and raw vectors are likewise stored row-major for the
+// blocked scoring kernels.
 package ivfpq
 
 import (
@@ -55,20 +60,24 @@ func isqrt(n int) int {
 	return i
 }
 
-type entry struct {
-	id   int64
-	code quant.Code
+// list is one inverted list in structure-of-arrays layout: ids[i] pairs
+// with the packed code row codes[i*P:(i+1)*P].
+type list struct {
+	ids   []int64
+	codes []uint16
 }
 
 // Index is a built IVF-PQ index.
 type Index struct {
-	dim    int
-	cfg    Config
-	coarse []mat.Vec // NList centroids
-	lists  [][]entry
-	pq     *quant.PQ
-	raw    map[int64]mat.Vec
-	count  int
+	dim        int
+	cfg        Config
+	coarse     []mat.Vec // NList centroids, rows aliasing coarseFlat
+	coarseFlat []float32
+	lists      []list
+	pq         *quant.PQ
+	rawPos     map[int64]int32
+	rawData    []float32 // row-major raw vectors (KeepRaw only)
+	count      int
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -105,20 +114,30 @@ func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
 	}
 
 	ix := &Index{
-		dim:    dim,
-		cfg:    cfg,
-		coarse: km.Centroids,
-		lists:  make([][]entry, nlist),
-		pq:     pq,
+		dim:        dim,
+		cfg:        cfg,
+		coarse:     make([]mat.Vec, nlist),
+		coarseFlat: make([]float32, nlist*dim),
+		lists:      make([]list, nlist),
+		pq:         pq,
+	}
+	for li, c := range km.Centroids {
+		off := li * dim
+		copy(ix.coarseFlat[off:off+dim], c)
+		ix.coarse[li] = ix.coarseFlat[off : off+dim : off+dim]
 	}
 	if cfg.KeepRaw {
-		ix.raw = make(map[int64]mat.Vec, len(vecs))
+		ix.rawPos = make(map[int64]int32, len(vecs))
 	}
+	code := make(quant.Code, pq.P)
 	for i, v := range vecs {
-		list := km.Assign[i]
-		ix.lists[list] = append(ix.lists[list], entry{id: ids[i], code: pq.Encode(residuals[i])})
+		li := km.Assign[i]
+		pq.EncodeInto(code, residuals[i])
+		ix.lists[li].ids = append(ix.lists[li].ids, ids[i])
+		ix.lists[li].codes = append(ix.lists[li].codes, code...)
 		if cfg.KeepRaw {
-			ix.raw[ids[i]] = mat.Clone(v)
+			ix.rawPos[ids[i]] = int32(len(ix.rawData) / dim)
+			ix.rawData = append(ix.rawData, v...)
 		}
 		ix.count++
 	}
@@ -131,6 +150,12 @@ func (ix *Index) Kind() string { return "ivfpq" }
 // Len implements ann.Index.
 func (ix *Index) Len() int { return ix.count }
 
+// rawAt returns the retained raw vector at position p.
+func (ix *Index) rawAt(p int32) mat.Vec {
+	off := int(p) * ix.dim
+	return ix.rawData[off : off+ix.dim : off+ix.dim]
+}
+
 // Add implements ann.Index: the vector is routed to its nearest list and
 // residual-encoded with the already-trained codebooks (the paper's future
 // work discusses incremental insertion; assignment without retraining is
@@ -139,12 +164,16 @@ func (ix *Index) Add(id int64, v mat.Vec) error {
 	if len(v) != ix.dim {
 		return fmt.Errorf("ivfpq: vector dim %d != %d", len(v), ix.dim)
 	}
-	list := quant.NearestCentroid(ix.coarse, v)
+	li := quant.NearestCentroid(ix.coarse, v)
 	r := mat.NewVec(ix.dim)
-	mat.Sub(r, v, ix.coarse[list])
-	ix.lists[list] = append(ix.lists[list], entry{id: id, code: ix.pq.Encode(r)})
-	if ix.raw != nil {
-		ix.raw[id] = mat.Clone(v)
+	mat.Sub(r, v, ix.coarse[li])
+	code := make(quant.Code, ix.pq.P)
+	ix.pq.EncodeInto(code, r)
+	ix.lists[li].ids = append(ix.lists[li].ids, id)
+	ix.lists[li].codes = append(ix.lists[li].codes, code...)
+	if ix.rawPos != nil {
+		ix.rawPos[id] = int32(len(ix.rawData) / ix.dim)
+		ix.rawData = append(ix.rawData, v...)
 	}
 	ix.count++
 	return nil
@@ -163,30 +192,48 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 		nprobe = len(ix.coarse)
 	}
 
-	// Rank coarse lists by query similarity.
-	listTop := mat.NewTopK(nprobe)
-	for li, c := range ix.coarse {
-		listTop.Push(int64(li), mat.Dot(q, c))
+	// Rank coarse lists by query similarity: one blocked kernel pass over
+	// the contiguous centroid block.
+	cscratch := mat.GetScratch(len(ix.coarse))
+	coarseSims := mat.ScoreRows(cscratch.Buf, q, ix.coarseFlat, ix.dim)
+	listTop := mat.GetTopK(nprobe)
+	for li, s := range coarseSims {
+		listTop.Push(int64(li), s)
 	}
-	table := ix.pq.DotTable(q)
+	cscratch.Release()
+
+	tscratch := mat.GetScratch(ix.pq.TableLen())
+	defer tscratch.Release()
+	table := ix.pq.DotTableInto(tscratch.Buf, q)
 
 	shortlistK := k
-	if ix.raw != nil {
+	if ix.rawData != nil {
 		// Over-fetch for exact refinement.
 		shortlistK = k * 4
 	}
-	top := mat.NewTopK(shortlistK)
+	top := mat.GetTopK(shortlistK)
+	defer mat.PutTopK(top)
+	sscratch := mat.GetScratch(0)
+	defer func() { sscratch.Release() }() // sscratch may be regrown below
 	for _, sc := range listTop.Sorted() {
-		li := int(sc.ID)
-		coarseSim := sc.Score
-		for _, e := range ix.lists[li] {
-			// Approximate score: coarse + residual ADC
-			// (Algorithm 1, line 10).
-			top.Push(e.id, coarseSim+ix.pq.ApproxDot(table, e.code))
+		l := &ix.lists[sc.ID]
+		if len(l.ids) == 0 {
+			continue
+		}
+		if cap(sscratch.Buf) < len(l.ids) {
+			sscratch.Release()
+			sscratch = mat.GetScratch(len(l.ids))
+		}
+		// Approximate scores: coarse + residual ADC (Algorithm 1,
+		// line 10), one batch pass over the list's packed codes.
+		scores := ix.pq.ApproxDotBatch(sscratch.Buf[:len(l.ids)], table, l.codes, sc.Score)
+		for i, s := range scores {
+			top.Push(l.ids[i], s)
 		}
 	}
+	mat.PutTopK(listTop)
 	short := top.Sorted()
-	if ix.raw == nil {
+	if ix.rawData == nil {
 		if len(short) > k {
 			short = short[:k]
 		}
@@ -195,7 +242,7 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 	// Exact re-scoring of the shortlist (Algorithm 1, lines 13–17).
 	out := make([]mat.Scored, 0, len(short))
 	for _, s := range short {
-		out = append(out, mat.Scored{ID: s.ID, Score: mat.Dot(q, ix.raw[s.ID])})
+		out = append(out, mat.Scored{ID: s.ID, Score: mat.Dot(q, ix.rawAt(ix.rawPos[s.ID]))})
 	}
 	mat.SortScoredDesc(out)
 	if len(out) > k {
@@ -207,13 +254,13 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 // Memory implements ann.Index: centroids + codes (+ raw vectors if kept).
 func (ix *Index) Memory() int64 {
 	var b int64
-	b += int64(len(ix.coarse)) * int64(ix.dim) * 4
+	b += int64(len(ix.coarseFlat)) * 4
 	for _, l := range ix.lists {
-		b += int64(len(l)) * int64(8+2*ix.cfg.P)
+		b += int64(len(l.ids)) * int64(8+2*ix.cfg.P)
 	}
 	b += int64(ix.pq.P*len(ix.pq.Codebooks[0])*ix.pq.SubDim) * 4
-	if ix.raw != nil {
-		b += int64(len(ix.raw)) * int64(ix.dim) * 4
+	if ix.rawData != nil {
+		b += int64(len(ix.rawData)) * 4
 	}
 	return b
 }

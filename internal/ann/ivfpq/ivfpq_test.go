@@ -31,7 +31,7 @@ func TestListsPartitionVectors(t *testing.T) {
 	}
 	total := 0
 	for _, l := range ix.lists {
-		total += len(l)
+		total += len(l.ids)
 	}
 	if total != 400 {
 		t.Fatalf("list entries = %d, want 400", total)

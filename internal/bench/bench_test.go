@@ -13,7 +13,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"table3", "table4", "table5", "table7",
-		"throughput", "sharding", "replication",
+		"throughput", "sharding", "replication", "kernels",
 	}
 	have := Experiments()
 	set := map[string]bool{}
@@ -198,6 +198,35 @@ func TestTable7Structure(t *testing.T) {
 	}
 	if len(tbl.Rows) != 3 || len(tbl.Header) != 5 {
 		t.Fatalf("shape: %d rows, %d cols", len(tbl.Rows), len(tbl.Header))
+	}
+}
+
+func TestKernelsStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernels experiment is slow")
+	}
+	tbl, err := Run("kernels", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Microkernels + flat scans + e2e rows; the exact speedups are
+	// hardware- and noise-dependent, so assert structure and surface the
+	// measured factors, and require the e2e verification note set.
+	var scans, e2e int
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "flat scan") {
+			scans++
+		}
+		if strings.HasPrefix(row[0], "e2e") {
+			e2e++
+		}
+		t.Logf("%s: baseline=%s kernels=%s speedup=%s", row[0], row[1], row[2], row[3])
+	}
+	if scans < 2 || e2e < 1 {
+		t.Fatalf("missing sections: %d flat scans, %d e2e rows", scans, e2e)
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "2x") {
+		t.Fatalf("missing speedup-gate note: %v", tbl.Notes)
 	}
 }
 

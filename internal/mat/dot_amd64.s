@@ -1,0 +1,164 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SSE2 scoring kernels. Both functions implement exactly the reduction
+// orders documented in kernels.go, so their results are bit-identical to
+// the portable Go implementations (pinned by TestDot4RowsMatchesGeneric and
+// TestAxpyKernelMatchesGeneric).
+
+// func dot4rows(dst []float32, q, block []float32)
+//
+// Scores four consecutive rows of the row-major block (stride len(q))
+// against q, writing the four inner products to dst[0:4]. Per row, the
+// 4-aligned prefix accumulates in the four SSE lanes (element i in lane
+// i%4), lanes combine as (l0+l2)+(l1+l3), and tail elements accumulate
+// serially — the canonical 4-lane order of kernels.go.
+TEXT ·dot4rows(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), BX
+	MOVQ q_base+24(FP), SI
+	MOVQ q_len+32(FP), CX
+	MOVQ block_base+48(FP), DI
+
+	// Row pointers: DI, R9 = DI+stride, R10 = DI+2*stride, R11 = DI+3*stride.
+	MOVQ CX, R8
+	SHLQ $2, R8           // stride in bytes
+	LEAQ (DI)(R8*1), R9
+	LEAQ (DI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+
+	XORPS X0, X0          // row-0 lanes
+	XORPS X1, X1          // row-1 lanes
+	XORPS X2, X2          // row-2 lanes
+	XORPS X3, X3          // row-3 lanes
+
+	MOVQ CX, DX
+	SHRQ $2, DX           // quad count
+	JZ   combine
+
+quad:
+	MOVUPS (SI), X4       // q[i:i+4]
+	MOVUPS (DI), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS (R9), X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+	MOVUPS (R10), X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+	MOVUPS (R11), X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	ADDQ   $16, R9
+	ADDQ   $16, R10
+	ADDQ   $16, R11
+	DECQ   DX
+	JNZ    quad
+
+combine:
+	// Each accumulator [l0 l1 l2 l3] -> lane0 = (l0+l2)+(l1+l3).
+	MOVAPS  X0, X4
+	MOVHLPS X0, X4        // X4 low pair = [l2 l3]
+	ADDPS   X4, X0        // X0 = [l0+l2, l1+l3, ...]
+	PSHUFD  $0x55, X0, X4 // X4 lane0 = l1+l3
+	ADDSS   X4, X0        // X0 lane0 = (l0+l2)+(l1+l3)
+
+	MOVAPS  X1, X4
+	MOVHLPS X1, X4
+	ADDPS   X4, X1
+	PSHUFD  $0x55, X1, X4
+	ADDSS   X4, X1
+
+	MOVAPS  X2, X4
+	MOVHLPS X2, X4
+	ADDPS   X4, X2
+	PSHUFD  $0x55, X2, X4
+	ADDSS   X4, X2
+
+	MOVAPS  X3, X4
+	MOVHLPS X3, X4
+	ADDPS   X4, X3
+	PSHUFD  $0x55, X3, X4
+	ADDSS   X4, X3
+
+	// Serial tail: remaining len(q)%4 elements.
+	MOVQ CX, DX
+	ANDQ $3, DX
+	JZ   store
+
+tail:
+	MOVSS (SI), X4
+	MOVSS (DI), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	MOVSS (R9), X6
+	MULSS X4, X6
+	ADDSS X6, X1
+	MOVSS (R10), X7
+	MULSS X4, X7
+	ADDSS X7, X2
+	MOVSS (R11), X8
+	MULSS X4, X8
+	ADDSS X8, X3
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	ADDQ  $4, R9
+	ADDQ  $4, R10
+	ADDQ  $4, R11
+	DECQ  DX
+	JNZ   tail
+
+store:
+	MOVSS X0, (BX)
+	MOVSS X1, 4(BX)
+	MOVSS X2, 8(BX)
+	MOVSS X3, 12(BX)
+	RET
+
+// func axpyKernel(dst []float32, alpha float32, x []float32)
+//
+// dst[j] += alpha * x[j] for j < len(dst). Lanes hold different output
+// elements, so vectorization cannot change any per-element accumulation
+// order — bit-identical to the scalar loop.
+TEXT ·axpyKernel(SB), NOSPLIT, $0-56
+	MOVQ   dst_base+0(FP), DI
+	MOVQ   dst_len+8(FP), CX
+	MOVSS  alpha+24(FP), X0
+	SHUFPS $0x00, X0, X0  // broadcast alpha to all lanes
+	MOVQ   x_base+32(FP), SI
+
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   atail
+
+aquad:
+	MOVUPS (SI), X1
+	MULPS  X0, X1
+	MOVUPS (DI), X2
+	ADDPS  X2, X1
+	MOVUPS X1, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    aquad
+
+atail:
+	ANDQ $3, CX
+	JZ   adone
+
+atailloop:
+	MOVSS (SI), X1
+	MULSS X0, X1
+	MOVSS (DI), X2
+	ADDSS X2, X1
+	MOVSS X1, (DI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   atailloop
+
+adone:
+	RET

@@ -1,0 +1,21 @@
+//go:build amd64 && !purego
+
+package mat
+
+// The amd64 kernels in dot_amd64.s use only SSE2 instructions (the amd64
+// baseline), so they need no CPU-feature detection. Build with the purego
+// tag to force the portable implementations (e.g. to cross-check the
+// assembly in tests or benchmarks).
+
+// dot4rows scores four consecutive rows of a row-major block (stride
+// len(q)) against q into dst[0:4], each row in the canonical 4-lane
+// reduction order — bit-identical to dot4rowsGeneric.
+//
+//go:noescape
+func dot4rows(dst []float32, q, block []float32)
+
+// axpyKernel computes dst[j] += alpha*x[j] over len(dst) elements
+// (len(x) >= len(dst)); bit-identical to axpyGeneric.
+//
+//go:noescape
+func axpyKernel(dst []float32, alpha float32, x []float32)

@@ -54,55 +54,21 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// MatMul returns a*b. It panics if the inner dimensions disagree.
+// MatMul returns a*b as a new matrix. It panics if the inner dimensions
+// disagree. Hot paths with reusable destinations call MatMulInto directly.
 func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulInto(NewMatrix(a.Rows, b.Cols), a, b)
 }
 
-// MatMulT returns a*bᵀ, i.e. out[i][j] = dot(a.Row(i), b.Row(j)).
-// It panics if the column counts disagree.
+// MatMulT returns a*bᵀ, i.e. out[i][j] = dot(a.Row(i), b.Row(j)), as a new
+// matrix. It panics if the column counts disagree.
 func MatMulT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewMatrix(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
-	}
-	return out
+	return MatMulTInto(NewMatrix(a.Rows, b.Rows), a, b)
 }
 
 // MatVec returns m·v as a new vector. It panics if len(v) != m.Cols.
 func MatVec(m *Matrix, v Vec) Vec {
-	if len(v) != m.Cols {
-		panic(fmt.Sprintf("mat: MatVec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
-	}
-	out := NewVec(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), v)
-	}
-	return out
+	return MatVecInto(NewVec(m.Rows), m, v)
 }
 
 // AddInPlace adds b to a element-wise. It panics on shape mismatch.

@@ -41,6 +41,22 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]Scored, 0, k)}
 }
 
+// Reset empties the collector and re-arms it to retain the k best items,
+// reusing the existing heap storage when it is large enough. A reset
+// collector is indistinguishable from a fresh NewTopK(k); hot search paths
+// pair it with GetTopK/PutTopK to avoid a heap allocation per query.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic("mat: TopK.Reset requires k > 0")
+	}
+	t.k = k
+	if cap(t.heap) < k {
+		t.heap = make([]Scored, 0, k)
+	} else {
+		t.heap = t.heap[:0]
+	}
+}
+
 // Len returns the number of items currently retained.
 func (t *TopK) Len() int { return len(t.heap) }
 

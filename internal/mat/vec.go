@@ -18,24 +18,28 @@ type Vec = []float32
 // NewVec returns a zeroed vector of length n.
 func NewVec(n int) Vec { return make(Vec, n) }
 
-// Dot returns the inner product of a and b.
-// It panics if the lengths differ.
+// Dot returns the inner product of a and b, accumulated in the canonical
+// serial element order (see kernels.go). It panics if the lengths differ.
 func Dot(a, b Vec) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mat: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float32
-	for i, av := range a {
-		s += av * b[i]
-	}
-	return s
+	return dotKernel(a, b)
 }
 
 // Norm returns the Euclidean (L2) norm of v.
 func Norm(v Vec) float32 {
 	var s float32
-	for _, x := range v {
-		s += x * x
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		x := v[i : i+4 : i+4]
+		s += x[0] * x[0]
+		s += x[1] * x[1]
+		s += x[2] * x[2]
+		s += x[3] * x[3]
+	}
+	for ; i < len(v); i++ {
+		s += v[i] * v[i]
 	}
 	return float32(math.Sqrt(float64(s)))
 }
@@ -71,15 +75,29 @@ func Cosine(a, b Vec) float32 {
 	return Dot(a, b) / (na * nb)
 }
 
-// SqDist returns the squared Euclidean distance between a and b.
+// SqDist returns the squared Euclidean distance between a and b,
+// accumulated in the canonical serial element order.
 // It panics if the lengths differ.
 func SqDist(a, b Vec) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mat: SqDist length mismatch %d != %d", len(a), len(b)))
 	}
 	var s float32
-	for i, av := range a {
-		d := av - b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		d0 := x[0] - y[0]
+		s += d0 * d0
+		d1 := x[1] - y[1]
+		s += d1 * d1
+		d2 := x[2] - y[2]
+		s += d2 * d2
+		d3 := x[3] - y[3]
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		s += d * d
 	}
 	return s

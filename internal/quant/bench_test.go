@@ -1,0 +1,75 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// Microbenchmarks for the PQ table build and scan. Run with
+//
+//	go test -bench . -run '^$' -benchmem ./internal/quant/
+//
+// DotTableInto and ApproxDotBatch must report zero allocs/op: they are the
+// per-query hot path of the IMI and IVF-PQ list scans.
+
+func benchPQ(b *testing.B, n, dim, p, m int) (*PQ, []mat.Vec) {
+	b.Helper()
+	data := make([]mat.Vec, n)
+	for i := range data {
+		data[i] = mat.UnitGaussianVec(dim, uint64(2000+i))
+	}
+	pq, err := TrainPQ(data, p, m, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pq, data
+}
+
+func BenchmarkDotTableInto(b *testing.B) {
+	pq, _ := benchPQ(b, 256, 32, 4, 64)
+	q := mat.UnitGaussianVec(32, 5)
+	buf := make([]float32, pq.TableLen())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pq.DotTableInto(buf, q)
+	}
+}
+
+func BenchmarkDotTableAlloc(b *testing.B) {
+	pq, _ := benchPQ(b, 256, 32, 4, 64)
+	q := mat.UnitGaussianVec(32, 5)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pq.DotTable(q)
+	}
+}
+
+func BenchmarkApproxDotBatch1k(b *testing.B) {
+	pq, data := benchPQ(b, 256, 32, 4, 64)
+	q := mat.UnitGaussianVec(32, 6)
+	table := pq.DotTable(q)
+	const rows = 1024
+	packed := make([]uint16, 0, rows*pq.P)
+	for i := 0; i < rows; i++ {
+		packed = append(packed, pq.Encode(data[i%len(data)])...)
+	}
+	dst := make([]float32, rows)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pq.ApproxDotBatch(dst, table, packed, 0.5)
+	}
+}
+
+func BenchmarkPQEncode(b *testing.B) {
+	pq, data := benchPQ(b, 256, 32, 4, 64)
+	dst := make([]uint16, pq.P)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pq.EncodeInto(dst, data[i%len(data)])
+	}
+}

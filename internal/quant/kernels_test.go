@@ -1,0 +1,129 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// Tests for the flattened lookup-table path: the contiguous Table with
+// stride K, packed-code scoring, and the batch ADC kernel must all be
+// bit-identical to their per-element counterparts.
+
+func trainTestPQ(t *testing.T, n, dim, p, m int) (*PQ, []mat.Vec) {
+	t.Helper()
+	data := make([]mat.Vec, n)
+	for i := range data {
+		data[i] = mat.UnitGaussianVec(dim, uint64(1000+i))
+	}
+	pq, err := TrainPQ(data, p, m, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pq, data
+}
+
+func TestDotTableFlatBitIdenticalToPerCentroidDot(t *testing.T) {
+	pq, _ := trainTestPQ(t, 60, 24, 4, 16)
+	q := mat.UnitGaussianVec(24, 7)
+	table := pq.DotTable(q)
+	if table.K != pq.Centroids() {
+		t.Fatalf("stride %d != centroid count %d", table.K, pq.Centroids())
+	}
+	if len(table.Vals) != pq.TableLen() {
+		t.Fatalf("table length %d != %d", len(table.Vals), pq.TableLen())
+	}
+	for sp := 0; sp < pq.P; sp++ {
+		part := q[sp*pq.SubDim : (sp+1)*pq.SubDim]
+		row := table.Row(sp)
+		for m, c := range pq.Codebooks[sp] {
+			want := mat.Dot(part, c)
+			if math.Float32bits(row[m]) != math.Float32bits(want) {
+				t.Fatalf("subspace %d centroid %d: table %x dot %x",
+					sp, m, math.Float32bits(row[m]), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+func TestDotTableIntoMatchesDotTable(t *testing.T) {
+	pq, _ := trainTestPQ(t, 50, 16, 4, 8)
+	q := mat.UnitGaussianVec(16, 8)
+	a := pq.DotTable(q)
+	buf := make([]float32, pq.TableLen())
+	b := pq.DotTableInto(buf, q)
+	if a.K != b.K {
+		t.Fatalf("stride mismatch %d vs %d", a.K, b.K)
+	}
+	for i := range a.Vals {
+		if math.Float32bits(a.Vals[i]) != math.Float32bits(b.Vals[i]) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestApproxDotPackedMatchesApproxDot(t *testing.T) {
+	pq, data := trainTestPQ(t, 80, 32, 8, 16)
+	q := mat.UnitGaussianVec(32, 9)
+	table := pq.DotTable(q)
+	for _, v := range data[:30] {
+		code := pq.Encode(v)
+		a := pq.ApproxDot(table, code)
+		b := pq.ApproxDotPacked(table, code)
+		if math.Float32bits(a) != math.Float32bits(b) {
+			t.Fatalf("packed %x != code %x", math.Float32bits(b), math.Float32bits(a))
+		}
+	}
+}
+
+func TestApproxDotBatchMatchesPerRow(t *testing.T) {
+	pq, data := trainTestPQ(t, 70, 16, 4, 16)
+	q := mat.UnitGaussianVec(16, 10)
+	table := pq.DotTable(q)
+	for _, bias := range []float32{0, 0.25, -1.5} {
+		var packed []uint16
+		for _, v := range data {
+			packed = append(packed, pq.Encode(v)...)
+		}
+		got := pq.ApproxDotBatch(nil, table, packed, bias)
+		if len(got) != len(data) {
+			t.Fatalf("batch length %d != %d", len(got), len(data))
+		}
+		for i, v := range data {
+			want := bias + pq.ApproxDot(table, pq.Encode(v))
+			if math.Float32bits(got[i]) != math.Float32bits(want) {
+				t.Fatalf("bias %v row %d: batch %x want %x", bias, i, math.Float32bits(got[i]), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	pq, data := trainTestPQ(t, 40, 16, 4, 8)
+	dst := make([]uint16, pq.P)
+	for _, v := range data {
+		pq.EncodeInto(dst, v)
+		code := pq.Encode(v)
+		for sp := range code {
+			if code[sp] != dst[sp] {
+				t.Fatalf("EncodeInto diverges at subspace %d", sp)
+			}
+		}
+	}
+}
+
+func TestCodebooksAliasContiguousStorage(t *testing.T) {
+	pq, _ := trainTestPQ(t, 30, 16, 4, 8)
+	// Decode must keep working through the re-pointed codebook rows.
+	code := make(Code, pq.P)
+	dec := pq.Decode(code)
+	if len(dec) != pq.Dim() {
+		t.Fatalf("decode length %d", len(dec))
+	}
+	for sp := 0; sp < pq.P; sp++ {
+		if len(pq.Codebooks[sp]) != pq.Centroids() {
+			t.Fatalf("subspace %d has %d centroids, want %d", sp, len(pq.Codebooks[sp]), pq.Centroids())
+		}
+	}
+}

@@ -18,8 +18,16 @@ type PQ struct {
 	M int
 	// SubDim is the per-subspace dimensionality m, with D′ = P·m.
 	SubDim int
-	// Codebooks[p][m] is the m-th centroid of subspace p.
+	// Codebooks[p][m] is the m-th centroid of subspace p. The rows alias
+	// books, the contiguous storage the scoring kernels scan.
 	Codebooks [][]mat.Vec
+
+	// books holds every centroid contiguously — subspace p's m-th centroid
+	// at offset ((p*k)+m)*SubDim — so table construction is one
+	// mat.ScoreRows pass per subspace instead of per-centroid Dot calls.
+	books []float32
+	// k is the uniform per-subspace centroid count (len(Codebooks[p])).
+	k int
 }
 
 // Code is a PQ code: one centroid index per subspace.
@@ -49,11 +57,38 @@ func TrainPQ(data []mat.Vec, p, m int, seed uint64) (*PQ, error) {
 		res := KMeans(buf, m, 25, seed+uint64(sp)*1315423911)
 		pq.Codebooks[sp] = res.Centroids
 	}
+	pq.flatten()
 	return pq, nil
+}
+
+// flatten copies the codebooks into one contiguous block and re-points the
+// Codebooks rows at it. KMeans yields the same centroid count for every
+// subspace (all subspaces train on the same vector count), which gives the
+// lookup tables their uniform row stride.
+func (pq *PQ) flatten() {
+	pq.k = len(pq.Codebooks[0])
+	for sp, book := range pq.Codebooks {
+		if len(book) != pq.k {
+			panic(fmt.Sprintf("quant: ragged codebooks: subspace %d has %d centroids, subspace 0 has %d",
+				sp, len(book), pq.k))
+		}
+	}
+	pq.books = make([]float32, pq.P*pq.k*pq.SubDim)
+	for sp, book := range pq.Codebooks {
+		for m, c := range book {
+			off := ((sp * pq.k) + m) * pq.SubDim
+			copy(pq.books[off:off+pq.SubDim], c)
+			pq.Codebooks[sp][m] = pq.books[off : off+pq.SubDim : off+pq.SubDim]
+		}
+	}
 }
 
 // Dim returns the full vector dimension the quantizer encodes.
 func (pq *PQ) Dim() int { return pq.P * pq.SubDim }
+
+// Centroids returns the uniform per-subspace centroid count — the row
+// stride of the lookup tables this quantizer builds.
+func (pq *PQ) Centroids() int { return pq.k }
 
 // Encode quantizes v into its PQ code.
 func (pq *PQ) Encode(v mat.Vec) Code {
@@ -61,11 +96,23 @@ func (pq *PQ) Encode(v mat.Vec) Code {
 		panic(fmt.Sprintf("quant: Encode dim %d != %d", len(v), pq.Dim()))
 	}
 	code := make(Code, pq.P)
+	pq.EncodeInto(code, v)
+	return code
+}
+
+// EncodeInto quantizes v into dst, which must have length P; hot ingest
+// paths use it to encode straight into packed code storage.
+func (pq *PQ) EncodeInto(dst []uint16, v mat.Vec) {
+	if len(v) != pq.Dim() {
+		panic(fmt.Sprintf("quant: Encode dim %d != %d", len(v), pq.Dim()))
+	}
+	if len(dst) != pq.P {
+		panic(fmt.Sprintf("quant: EncodeInto dst length %d != P=%d", len(dst), pq.P))
+	}
 	for sp := 0; sp < pq.P; sp++ {
 		part := v[sp*pq.SubDim : (sp+1)*pq.SubDim]
-		code[sp] = uint16(NearestCentroid(pq.Codebooks[sp], part))
+		dst[sp] = uint16(NearestCentroid(pq.Codebooks[sp], part))
 	}
-	return code
 }
 
 // Decode reconstructs the centroid concatenation for a code.
@@ -77,23 +124,49 @@ func (pq *PQ) Decode(code Code) mat.Vec {
 	return out
 }
 
+// Table is the flattened ADC lookup table for one query: a single
+// contiguous slice with row stride K, where Vals[sp*K+m] is the inner
+// product of query partition sp with centroid m of subspace sp. One flat
+// slice replaces the former [][]float32 so a scan is P strided loads with
+// no pointer chasing, and the backing storage can come from the scratch
+// pool.
+type Table struct {
+	// K is the per-subspace row stride (the centroid count).
+	K int
+	// Vals holds the P*K products.
+	Vals []float32
+}
+
+// Row returns subspace sp's centroid products, aliasing the table storage.
+func (t Table) Row(sp int) []float32 { return t.Vals[sp*t.K : (sp+1)*t.K] }
+
 // DotTable precomputes the per-subspace inner products between the query
 // partition [q]_p and every centroid — the "distance lookup-table" of
-// Algorithm 1. table[p][m] = dot([q]_p, c_{p,m}).
-func (pq *PQ) DotTable(q mat.Vec) [][]float32 {
+// Algorithm 1. Allocation-free callers pass pooled storage to DotTableInto
+// instead.
+func (pq *PQ) DotTable(q mat.Vec) Table {
+	return pq.DotTableInto(make([]float32, pq.TableLen()), q)
+}
+
+// TableLen returns the backing-slice length DotTableInto requires (P*K).
+func (pq *PQ) TableLen() int { return pq.P * pq.k }
+
+// DotTableInto fills vals (length TableLen) with the ADC lookup table for q
+// and returns it wrapped as a Table. Each subspace row is one ScoreRows
+// pass over the contiguous codebook block.
+func (pq *PQ) DotTableInto(vals []float32, q mat.Vec) Table {
 	if len(q) != pq.Dim() {
 		panic(fmt.Sprintf("quant: DotTable dim %d != %d", len(q), pq.Dim()))
 	}
-	table := make([][]float32, pq.P)
+	if len(vals) != pq.TableLen() {
+		panic(fmt.Sprintf("quant: DotTableInto storage %d != %d", len(vals), pq.TableLen()))
+	}
+	stride := pq.k * pq.SubDim
 	for sp := 0; sp < pq.P; sp++ {
 		part := q[sp*pq.SubDim : (sp+1)*pq.SubDim]
-		row := make([]float32, len(pq.Codebooks[sp]))
-		for mIdx, c := range pq.Codebooks[sp] {
-			row[mIdx] = mat.Dot(part, c)
-		}
-		table[sp] = row
+		mat.ScoreRows(vals[sp*pq.k:(sp+1)*pq.k], part, pq.books[sp*stride:(sp+1)*stride], pq.SubDim)
 	}
-	return table
+	return Table{K: pq.k, Vals: vals}
 }
 
 // ApproxDot evaluates the ADC similarity of a coded vector against the
@@ -101,12 +174,50 @@ func (pq *PQ) DotTable(q mat.Vec) [][]float32 {
 // approximate score s([q]_p,[c_a]_p) ≈ s([q]_p, c_m,p) + [q]_p·[r_a]_p of
 // Algorithm 1 — the coarse term plus the residual term folded into one
 // table lookup per subspace.
-func (pq *PQ) ApproxDot(table [][]float32, code Code) float32 {
+func (pq *PQ) ApproxDot(table Table, code Code) float32 {
+	return approxDot(table, code)
+}
+
+// ApproxDotPacked is ApproxDot over one row of packed code storage (a
+// length-P []uint16 window).
+func (pq *PQ) ApproxDotPacked(table Table, packed []uint16) float32 {
+	return approxDot(table, packed)
+}
+
+func approxDot(table Table, code []uint16) float32 {
 	var s float32
 	for sp, m := range code {
-		s += table[sp][m]
+		s += table.Vals[sp*table.K+int(m)]
 	}
 	return s
+}
+
+// ApproxDotBatch scores every packed code row against the table in one
+// pass: dst[i] = bias + ApproxDot of row i, where packed holds rows of P
+// codes back to back. The bias folds in a shared term (the IVF coarse
+// similarity of the list being scanned). Results are bit-identical to
+// per-row ApproxDot followed by the bias addition.
+func (pq *PQ) ApproxDotBatch(dst []float32, table Table, packed []uint16, bias float32) []float32 {
+	p := pq.P
+	if len(packed)%p != 0 {
+		panic(fmt.Sprintf("quant: ApproxDotBatch packed length %d not a multiple of P=%d", len(packed), p))
+	}
+	n := len(packed) / p
+	if dst == nil {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		var s float32
+		row := packed[i*p : (i+1)*p : (i+1)*p]
+		base := 0
+		for _, m := range row {
+			s += table.Vals[base+int(m)]
+			base += table.K
+		}
+		dst[i] = bias + s
+	}
+	return dst
 }
 
 // QuantizationError returns the mean squared reconstruction error of the

@@ -159,7 +159,8 @@ func (s *SegmentedCollection) Search(q mat.Vec, k int, p ann.Params) ([]mat.Scor
 	}
 	wg.Wait()
 
-	top := mat.NewTopK(k)
+	top := mat.GetTopK(k)
+	defer mat.PutTopK(top)
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err

@@ -278,9 +278,22 @@ func (c *Collection) Search(q mat.Vec, k int, p ann.Params) ([]mat.Scored, error
 	if k <= 0 || len(c.ids) == 0 {
 		return nil, nil
 	}
-	top := mat.NewTopK(k)
-	for i, id := range c.ids {
-		top.Push(id, mat.Dot(q, c.vector(i)))
+	// Unindexed fallback: the same blocked-kernel full scan the flat index
+	// runs, over the collection's contiguous raw storage.
+	top := mat.GetTopK(k)
+	defer mat.PutTopK(top)
+	scratch := mat.GetScratch(mat.ScanBlock)
+	defer scratch.Release()
+	dim := c.schema.Dim
+	for start := 0; start < len(c.ids); start += mat.ScanBlock {
+		end := start + mat.ScanBlock
+		if end > len(c.ids) {
+			end = len(c.ids)
+		}
+		scores := mat.ScoreRows(scratch.Buf[:end-start], q, c.data[start*dim:end*dim], dim)
+		for i, s := range scores {
+			top.Push(c.ids[start+i], s)
+		}
 	}
 	return top.Sorted(), nil
 }

@@ -40,9 +40,10 @@ func newMHA(dim, heads int, sigma float64, seed uint64) *mha {
 	}
 }
 
-// headSlice extracts the per-head column block [h*dh, (h+1)*dh) of x·W.
-func headSlice(xw *mat.Matrix, h, dh int) *mat.Matrix {
-	out := mat.NewMatrix(xw.Rows, dh)
+// headSlice extracts the per-head column block [h*dh, (h+1)*dh) of x·W
+// into an arena-backed matrix.
+func headSlice(ar *mat.Arena, xw *mat.Matrix, h, dh int) *mat.Matrix {
+	out := ar.Matrix(xw.Rows, dh)
 	for i := 0; i < xw.Rows; i++ {
 		copy(out.Row(i), xw.Row(i)[h*dh:(h+1)*dh])
 	}
@@ -50,28 +51,30 @@ func headSlice(xw *mat.Matrix, h, dh int) *mat.Matrix {
 }
 
 // apply computes multi-head attention with queries from a and keys/values
-// from b, returning a matrix shaped like a.
-func (m *mha) apply(a, b *mat.Matrix) *mat.Matrix {
+// from b, returning a matrix shaped like a. Every temporary — projections,
+// per-head slices, attention scores, the concatenated output — lives in
+// the arena, so a forward pass is allocation-free in steady state.
+func (m *mha) apply(ar *mat.Arena, a, b *mat.Matrix) *mat.Matrix {
 	dim := a.Cols
 	dh := dim / m.heads
-	aw := mat.MatMul(a, m.wq)
-	bk := mat.MatMul(b, m.wk)
-	bv := mat.MatMul(b, m.wv)
-	concat := mat.NewMatrix(a.Rows, dim)
+	aw := mat.MatMulInto(ar.Matrix(a.Rows, dim), a, m.wq)
+	bk := mat.MatMulInto(ar.Matrix(b.Rows, dim), b, m.wk)
+	bv := mat.MatMulInto(ar.Matrix(b.Rows, dim), b, m.wv)
+	concat := ar.Matrix(a.Rows, dim)
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	for h := 0; h < m.heads; h++ {
-		qh := headSlice(aw, h, dh)
-		kh := headSlice(bk, h, dh)
-		vh := headSlice(bv, h, dh)
-		scores := mat.MatMulT(qh, kh)
+		qh := headSlice(ar, aw, h, dh)
+		kh := headSlice(ar, bk, h, dh)
+		vh := headSlice(ar, bv, h, dh)
+		scores := mat.MatMulTInto(ar.Matrix(qh.Rows, kh.Rows), qh, kh)
 		scores.ScaleInPlace(scale)
 		scores.SoftmaxRows()
-		oh := mat.MatMul(scores, vh)
+		oh := mat.MatMulInto(ar.Matrix(scores.Rows, vh.Cols), scores, vh)
 		for i := 0; i < a.Rows; i++ {
 			copy(concat.Row(i)[h*dh:(h+1)*dh], oh.Row(i))
 		}
 	}
-	return mat.MatMul(concat, m.wo)
+	return mat.MatMulInto(ar.Matrix(concat.Rows, m.wo.Cols), concat, m.wo)
 }
 
 // ffn is a two-layer feed-forward block with GELU.
@@ -86,12 +89,12 @@ func newFFN(dim int, sigma float64, seed uint64) *ffn {
 	}
 }
 
-func (f *ffn) apply(x *mat.Matrix) *mat.Matrix {
-	h := mat.MatMul(x, f.w1)
+func (f *ffn) apply(ar *mat.Arena, x *mat.Matrix) *mat.Matrix {
+	h := mat.MatMulInto(ar.Matrix(x.Rows, f.w1.Cols), x, f.w1)
 	for i := 0; i < h.Rows; i++ {
 		mat.GELU(h.Row(i))
 	}
-	return mat.MatMul(h, f.w2)
+	return mat.MatMulInto(ar.Matrix(h.Rows, f.w2.Cols), h, f.w2)
 }
 
 // enhancerLayer is one feature-enhancer layer: bidirectional cross-attention
@@ -127,13 +130,18 @@ func residualLN(x, delta *mat.Matrix, gate float32) {
 	}
 }
 
-// apply runs the layer, mutating copies and returning the enhanced pair.
-func (l *enhancerLayer) apply(xi, xt *mat.Matrix) (*mat.Matrix, *mat.Matrix) {
-	xi = xi.Clone()
-	xt = xt.Clone()
-	residualLN(xi, l.i2t.apply(xi, xt), attnGate)
-	residualLN(xt, l.t2i.apply(xt, xi), attnGate)
-	residualLN(xi, l.fi.apply(xi), attnGate)
-	residualLN(xt, l.ft.apply(xt), attnGate)
+// apply runs the layer, mutating arena-backed copies and returning the
+// enhanced pair. The returned matrices live in the arena and stay valid
+// until the arena is released.
+func (l *enhancerLayer) apply(ar *mat.Arena, xi, xt *mat.Matrix) (*mat.Matrix, *mat.Matrix) {
+	ci := ar.Matrix(xi.Rows, xi.Cols)
+	copy(ci.Data, xi.Data)
+	ct := ar.Matrix(xt.Rows, xt.Cols)
+	copy(ct.Data, xt.Data)
+	xi, xt = ci, ct
+	residualLN(xi, l.i2t.apply(ar, xi, xt), attnGate)
+	residualLN(xt, l.t2i.apply(ar, xt, xi), attnGate)
+	residualLN(xi, l.fi.apply(ar, xi), attnGate)
+	residualLN(xt, l.ft.apply(ar, xt), attnGate)
 	return xi, xt
 }

@@ -88,17 +88,18 @@ type Grounding struct {
 	Score float32
 }
 
-// posEncoding returns the box positional feature: sinusoids of the centre,
-// width and height projected into the embedding dimension.
-func (m *Model) posEncoding(b video.Box) mat.Vec {
+// posEncoding computes the box positional feature — sinusoids of the
+// centre, width and height projected into the embedding dimension — into an
+// arena-backed vector.
+func (m *Model) posEncoding(ar *mat.Arena, b video.Box) mat.Vec {
 	cx, cy := b.Center()
-	raw := mat.Vec{
+	raw := [8]float32{
 		float32(math.Sin(2 * math.Pi * cx)), float32(math.Cos(2 * math.Pi * cx)),
 		float32(math.Sin(2 * math.Pi * cy)), float32(math.Cos(2 * math.Pi * cy)),
 		float32(b.W), float32(b.H),
 		float32(math.Sin(4 * math.Pi * cx)), float32(math.Cos(4 * math.Pi * cy)),
 	}
-	return mat.MatVec(m.posProj, raw)
+	return mat.MatVecInto(ar.Vec(m.posProj.Rows), m.posProj, raw[:])
 }
 
 func tokenSeed(seed uint64, track int64, frame int, term string) uint64 {
@@ -131,16 +132,16 @@ type regionTok struct {
 // single-object embeddings cannot carry), neighbour terms at reduced weight
 // (supporting relational queries such as Q3.4), and a box positional
 // component folded into every token.
-func (m *Model) regionTokens(f *video.Frame, i int) []regionTok {
+func (m *Model) regionTokens(ar *mat.Arena, f *video.Frame, i int) []regionTok {
 	o := &f.Objects[i]
-	pos := m.posEncoding(o.Box)
+	pos := m.posEncoding(ar, o.Box)
 	var toks []regionTok
 
 	appendTok := func(term string, weight float32) {
 		seed := tokenSeed(m.cfg.Seed, o.Track, f.Index, term)
 		rng := rand.New(rand.NewPCG(seed, seed^0x70c5))
 		base := m.space.TermVec(term)
-		v := mat.NewVec(m.space.Dim)
+		v := ar.Vec(m.space.Dim)
 		mat.Axpy(v, 1, base)
 		mat.Axpy(v, 0.12, pos)
 		for d := range v {
@@ -235,13 +236,20 @@ func (m *Model) GroundFrame(f *video.Frame, toks []embed.Token) []Grounding {
 	if len(toks) == 0 || len(f.Objects) == 0 {
 		return nil
 	}
+	// Every temporary of the forward pass — region tokens, layer
+	// activations, attention scores, the similarity matrix — shares the
+	// frame's lifetime, so one arena serves the whole grounding and the
+	// steady-state rerank stops allocating.
+	ar := mat.GetArena()
+	defer ar.Release()
+
 	// Assemble the frame's region-token matrix with object attribution
 	// and per-token evidence weights.
 	var owners []int
 	var weights []float32
 	var rows []mat.Vec
 	for i := range f.Objects {
-		rt := m.regionTokens(f, i)
+		rt := m.regionTokens(ar, f, i)
 		for _, tok := range rt {
 			owners = append(owners, i)
 			weights = append(weights, tok.weight)
@@ -251,21 +259,23 @@ func (m *Model) GroundFrame(f *video.Frame, toks []embed.Token) []Grounding {
 	if len(rows) == 0 {
 		return nil
 	}
-	xi := mat.FromRows(rows)
-	trows := make([]mat.Vec, len(toks))
+	xi := ar.Matrix(len(rows), m.space.Dim)
+	for i, r := range rows {
+		copy(xi.Row(i), r)
+	}
 	tweights := make([]float32, len(toks))
 	primaryIdx := firstClassIdx(toks)
+	xt := ar.Matrix(len(toks), m.space.Dim)
 	for i, t := range toks {
-		trows[i] = t.Vec
+		copy(xt.Row(i), t.Vec)
 		tweights[i] = textTokenWeight(t.Kind, i == primaryIdx)
 	}
-	xt := mat.FromRows(trows)
 
 	for _, l := range m.enhancer {
-		xi, xt = l.apply(xi, xt)
+		xi, xt = l.apply(ar, xi, xt)
 	}
 	for _, l := range m.decoder {
-		xi, xt = l.apply(xi, xt)
+		xi, xt = l.apply(ar, xi, xt)
 	}
 
 	// Per-object MaxSim aggregation over the enhanced features, on
@@ -277,15 +287,19 @@ func (m *Model) GroundFrame(f *video.Frame, toks []embed.Token) []Grounding {
 	for i := 0; i < xt.Rows; i++ {
 		mat.Normalize(xt.Row(i))
 	}
-	sim := mat.MatMulT(xt, xi) // (text tokens) × (region tokens)
+	sim := mat.MatMulTInto(ar.Matrix(xt.Rows, xi.Rows), xt, xi) // (text tokens) × (region tokens)
 	nObj := len(f.Objects)
-	scores := make([]float32, nObj)
-	wsums := make([]float32, nObj)
-	primaryBest := make([]float32, nObj)
+	scores := ar.Vec(nObj)
+	wsums := ar.Vec(nObj)
+	primaryBest := ar.Vec(nObj)
+	best := ar.Vec(nObj)
+	seen := make([]bool, nObj)
 	for ti := 0; ti < sim.Rows; ti++ {
 		row := sim.Row(ti)
-		best := make([]float32, nObj)
-		seen := make([]bool, nObj)
+		for o := 0; o < nObj; o++ {
+			best[o] = 0
+			seen[o] = false
+		}
 		for ri, s := range row {
 			s *= weights[ri]
 			o := owners[ri]

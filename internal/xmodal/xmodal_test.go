@@ -22,7 +22,9 @@ func TestMHAShapePreserved(t *testing.T) {
 	m := newMHA(64, 4, 0.02, 1)
 	a := mat.RandGaussian(5, 64, 1, 2)
 	b := mat.RandGaussian(3, 64, 1, 3)
-	out := m.apply(a, b)
+	ar := mat.GetArena()
+	defer ar.Release()
+	out := m.apply(ar, a, b)
 	if out.Rows != 5 || out.Cols != 64 {
 		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
 	}
@@ -36,7 +38,9 @@ func TestEnhancerPreservesSignal(t *testing.T) {
 	dog := space.TermVec("dog")
 	xi := mat.FromRows([]mat.Vec{car})
 	xt := mat.FromRows([]mat.Vec{mat.Clone(car)})
-	xi2, _ := l.apply(xi, xt)
+	ar := mat.GetArena()
+	defer ar.Release()
+	xi2, _ := l.apply(ar, xi, xt)
 	outRow := mat.Normalized(xi2.Row(0))
 	if mat.Dot(outRow, car) <= mat.Dot(outRow, dog) {
 		t.Fatal("enhanced token lost its identity")
