@@ -4,11 +4,20 @@
 // answers natural-language object queries as JSON, fronted by an LRU
 // result cache.
 //
+// Single-host mode hosts all shards in-process. Coordinator mode
+// (-shard-addrs) instead dials one lovoshard worker per address and routes
+// ingest, index builds, snapshots and both query stages over the shard RPC
+// boundary — the workers hold the corpus, lovod holds the merge. Workers
+// must be booted with the same -seed and -index; lovod verifies this at
+// startup and fails fast — as it does when any worker is unreachable.
+//
 // Usage:
 //
 //	lovod -dataset bellevue -scale 0.1 -shards 4 -replicas 2 -addr 127.0.0.1:8077
 //	lovod -dataset bellevue -scale 0.1 -shards 4 -save lovo.snap   # first boot
 //	lovod -dataset bellevue -scale 0.1 -shards 4 -load lovo.snap   # restart, no re-ingest
+//	lovod -dataset bellevue -scale 0.1 -seed 7 \
+//	    -shard-addrs 127.0.0.1:9101,127.0.0.1:9102                 # remote workers
 //
 //	curl localhost:8077/healthz
 //	curl -X POST localhost:8077/query \
@@ -25,9 +34,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/vectordb"
@@ -35,25 +47,35 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "bellevue", "dataset: cityscapes|bellevue|qvhighlights|beach|activitynet")
-		scale    = flag.Float64("scale", 0.15, "dataset duration scale (1.0 = paper-sized)")
-		seed     = flag.Uint64("seed", 7, "workload and system seed")
-		shards   = flag.Int("shards", 4, "shard count (videos partition by ID modulo shards)")
-		replicas = flag.Int("replicas", 1, "replicas per shard (queries pick one; ingest fans to all)")
-		index    = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat")
-		cache    = flag.Int("cache", 256, "query-result cache capacity in entries (0 disables)")
-		addr     = flag.String("addr", ":8077", "listen address")
-		workers  = flag.Int("workers", 0, "per-shard worker pool (0 = NumCPU)")
-		saveFile = flag.String("save", "", "after ingest and indexing, write an engine snapshot to this file")
-		loadFile = flag.String("load", "", "restore a snapshot written by -save instead of re-ingesting (boot with the saver's -seed/-index/-shards; -replicas may differ)")
+		dataset    = flag.String("dataset", "bellevue", "dataset: cityscapes|bellevue|qvhighlights|beach|activitynet")
+		scale      = flag.Float64("scale", 0.15, "dataset duration scale (1.0 = paper-sized)")
+		seed       = flag.Uint64("seed", 7, "workload and system seed")
+		shards     = flag.Int("shards", 4, "shard count (videos partition by ID modulo shards; ignored with -shard-addrs)")
+		replicas   = flag.Int("replicas", 1, "replicas per shard (queries pick one; ingest fans to all)")
+		index      = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat")
+		cache      = flag.Int("cache", 256, "query-result cache capacity in entries (0 disables)")
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", 0, "per-shard worker pool (0 = NumCPU)")
+		saveFile   = flag.String("save", "", "after ingest and indexing, write an engine snapshot to this file")
+		loadFile   = flag.String("load", "", "restore a snapshot written by -save instead of re-ingesting (boot with the saver's -seed/-index/-shards; -replicas may differ)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated lovoshard worker addresses; enables coordinator mode (one remote shard per address)")
+		connectTO  = flag.Duration("connect-timeout", 3*time.Second, "per-worker dial timeout for -shard-addrs (boot fails fast on an unreachable worker)")
+		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "per-call deadline for shard RPCs")
 	)
 	flag.Parse()
 
-	kind, err := indexKind(*index)
+	kind, err := vectordb.ParseKind(*index)
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := shard.NewReplicated(*shards, *replicas, core.Config{Seed: *seed, Index: kind, Workers: *workers})
+	cfg := core.Config{Seed: *seed, Index: kind, Workers: *workers}
+
+	var eng *shard.Engine
+	if *shardAddrs != "" {
+		eng, err = connectWorkers(*shardAddrs, cfg, *connectTO, *rpcTimeout)
+	} else {
+		eng, err = shard.NewReplicated(*shards, *replicas, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -69,15 +91,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("restored snapshot %s into %d shards x %d replicas (skipping ingest of %s)",
-			*loadFile, eng.Shards(), eng.Replicas(), *dataset)
+		log.Printf("restored snapshot %s into %d shards (skipping ingest of %s)",
+			*loadFile, eng.Shards(), *dataset)
 	} else {
 		ds, err := datasets.ByName(*dataset, datasets.Config{Seed: *seed, Scale: *scale})
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("ingesting %s across %d shards x %d replicas: %d videos, %d frames, %.0f s of footage",
-			ds.Name, eng.Shards(), eng.Replicas(), len(ds.Videos), ds.Frames(), ds.Duration())
+		log.Printf("ingesting %s across %d shards: %d videos, %d frames, %.0f s of footage",
+			ds.Name, eng.Shards(), len(ds.Videos), ds.Frames(), ds.Duration())
 		if err := eng.IngestDataset(ds); err != nil {
 			fatal(err)
 		}
@@ -102,6 +124,34 @@ func main() {
 	}
 }
 
+// connectWorkers builds a coordinator engine over one remote shard per
+// worker address: every worker is dialed and health-checked up front (an
+// unreachable host fails the boot with its address in the error instead of
+// hanging until the first query), and every worker's resolved configuration
+// is verified against the coordinator's.
+func connectWorkers(addrList string, cfg core.Config, dialTO, rpcTO time.Duration) (*shard.Engine, error) {
+	addrs := strings.Split(addrList, ",")
+	clients, err := remote.Connect(addrs, remote.ClientOptions{
+		DialTimeout: dialTO,
+		Timeout:     rpcTO,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := remote.VerifyConfig(clients, remote.Summarize(cfg.Resolved(), 0)); err != nil {
+		for _, c := range clients {
+			c.Close()
+		}
+		return nil, err
+	}
+	backends := make([]remote.ShardBackend, len(clients))
+	for i, c := range clients {
+		backends[i] = c
+		log.Printf("shard %d: remote worker %s", i, c.Addr())
+	}
+	return shard.NewWithBackends(backends, cfg)
+}
+
 // writeSnapshot persists the engine to path, fsync-free but close-checked.
 func writeSnapshot(eng *shard.Engine, path string) error {
 	f, err := os.Create(path)
@@ -113,21 +163,6 @@ func writeSnapshot(eng *shard.Engine, path string) error {
 		return err
 	}
 	return f.Close()
-}
-
-func indexKind(name string) (vectordb.IndexKind, error) {
-	switch name {
-	case "", "imi":
-		return vectordb.IndexIMI, nil
-	case "ivfpq":
-		return vectordb.IndexIVFPQ, nil
-	case "hnsw":
-		return vectordb.IndexHNSW, nil
-	case "flat", "bf":
-		return vectordb.IndexFlat, nil
-	default:
-		return "", fmt.Errorf("unknown index %q", name)
-	}
 }
 
 func fatal(err error) {

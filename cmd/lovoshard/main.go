@@ -1,0 +1,69 @@
+// Command lovoshard hosts one LOVO shard — a replica group of R
+// equal-seeded core.Systems — and serves the shard RPC protocol, so a lovod
+// coordinator on another host can scatter-gather queries across a fleet of
+// workers.
+//
+// A worker boots empty: the coordinator partitions the corpus by video ID
+// and routes each video's ingest (and the index build, snapshot save/load,
+// and both query stages) over the RPC boundary. Boot every worker and the
+// coordinator with the same -seed and -index — encoders are seeded, so a
+// mismatch would embed queries into a different space than the stored
+// vectors; the coordinator verifies this at startup and refuses to serve on
+// a mismatch.
+//
+// Usage:
+//
+//	lovoshard -addr 127.0.0.1:9101 -seed 7 -index imi -replicas 2
+//	lovoshard -addr 127.0.0.1:9102 -seed 7 -index imi -replicas 2
+//	lovod -dataset bellevue -scale 0.1 -seed 7 -index imi \
+//	    -shard-addrs 127.0.0.1:9101,127.0.0.1:9102 -addr :8077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/shard"
+	"repro/internal/vectordb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9101", "shard RPC listen address")
+		seed     = flag.Uint64("seed", 7, "system seed (must match the coordinator's)")
+		index    = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat (must match the coordinator's)")
+		replicas = flag.Int("replicas", 1, "replicas hosted by this worker (queries pick one; ingest fans to all)")
+		workers  = flag.Int("workers", 0, "worker pool per replica (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	kind, err := vectordb.ParseKind(*index)
+	if err != nil {
+		fatal(err)
+	}
+	backend, err := shard.NewLocal(*replicas, core.Config{Seed: *seed, Index: kind, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := remote.NewServer(backend)
+	srv.Logf = log.Printf
+	log.Printf("lovoshard: hosting 1 shard x %d replicas (%s index, seed %d), RPC on %s",
+		*replicas, kind, *seed, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lovoshard:", err)
+	os.Exit(1)
+}

@@ -165,6 +165,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Resolved returns the configuration with every zero field replaced by its
+// default — the values New would run with. A coordinator with no in-process
+// system uses it to mirror the workers' FastK/TopN/RerankFrames exactly.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 type frameKey struct {
 	video int
 	frame int

@@ -1,0 +1,128 @@
+// Package remote puts the shard-stage interface the scatter-gather engine
+// composes behind an RPC boundary, so shards can run on separate hosts with
+// the existing HTTP tier as the coordinator.
+//
+// The surface is ShardBackend: the per-shard operations internal/shard's
+// Engine fans out — the two query stages (FastSearch, GroundCandidates),
+// ingest and index builds, stats/health introspection, and snapshot
+// save/load. shard.Local implements it in-process (a replica group of R
+// equal-seeded systems); Client implements it over a length-prefixed binary
+// protocol on persistent connections, and Server hosts any implementation
+// behind a net.Listener. Because both sides speak the exact stage functions
+// core.System.Query composes, an engine whose backends are all remote
+// answers byte-identically to the single-process system — the conformance
+// suite in this package pins that bit for bit over in-memory pipes.
+//
+// Failure semantics: read operations (both query stages, stats, pings) are
+// idempotent and retried a bounded number of times on transport errors;
+// mutating operations (ingest, index builds, snapshot load) are dispatched
+// at most once — a transport failure after the request may have left the
+// client surfaces as an error instead of risking a double apply. Worker-side
+// replica failover (PR 3's replica groups) composes underneath: a worker
+// hosting R replicas fails over internally and only surfaces an error when
+// its whole group is down.
+package remote
+
+import (
+	"repro/internal/core"
+	"repro/internal/video"
+)
+
+// ReplicaStat is the observable state of one replica of one shard, surfaced
+// by the serving tier's /stats and /metrics. (internal/shard aliases this
+// type; it lives here so remote workers can report it over the wire without
+// an import cycle.)
+type ReplicaStat struct {
+	Healthy  bool   `json:"healthy"`
+	Reads    uint64 `json:"reads"`
+	Inflight int64  `json:"inflight"`
+}
+
+// ConfigSummary is the codec-friendly digest of a shard's resolved
+// core.Config — the fields that must agree between a coordinator and its
+// workers for answers to be well-defined. Seeded encoders mean a worker
+// booted with a different seed embeds queries into a different space; the
+// coordinator checks summaries at boot and fails fast on a mismatch.
+type ConfigSummary struct {
+	Dim          int
+	ProjDim      int
+	Seed         uint64
+	Index        string
+	FastK        int
+	TopN         int
+	RerankFrames int
+	// Replicas is the worker's replica count — informational, and
+	// deliberately excluded from Compatible: replica counts may differ
+	// across workers without changing any answer.
+	Replicas int
+}
+
+// Summarize digests a resolved core.Config (see core.Config.Resolved).
+func Summarize(cfg core.Config, replicas int) ConfigSummary {
+	return ConfigSummary{
+		Dim:          cfg.Dim,
+		ProjDim:      cfg.ProjDim,
+		Seed:         cfg.Seed,
+		Index:        string(cfg.Index),
+		FastK:        cfg.FastK,
+		TopN:         cfg.TopN,
+		RerankFrames: cfg.RerankFrames,
+		Replicas:     replicas,
+	}
+}
+
+// Compatible reports whether two summaries describe the same query space
+// and merge parameters (replica counts are free to differ).
+func (s ConfigSummary) Compatible(o ConfigSummary) bool {
+	return s.Dim == o.Dim && s.ProjDim == o.ProjDim && s.Seed == o.Seed &&
+		s.Index == o.Index && s.FastK == o.FastK && s.TopN == o.TopN &&
+		s.RerankFrames == o.RerankFrames
+}
+
+// ShardBackend is one shard of a scatter-gather engine: the stage surface
+// Engine composes, whether the shard lives in-process (shard.Local) or on
+// another host (Client). Every method is safe for concurrent use.
+type ShardBackend interface {
+	// Ingest routes one video to the shard (fanning out to every replica
+	// worker-side). Mutating: dispatched at most once over the wire.
+	Ingest(v *video.Video) error
+	// BuildIndex builds (or, in streaming mode, seals) the shard's index.
+	BuildIndex() error
+	// FastSearch runs stage 1 against the shard's slice of the corpus,
+	// returning its local top-fastK hits in canonical order.
+	FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error)
+	// GroundCandidates runs stage 2 over the candidate frames this shard
+	// owns; groundings align with refs.
+	GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error)
+	// Stats returns the shard's ingest statistics (one replica's view).
+	Stats() (core.IngestStats, error)
+	// Entities returns the shard's indexed patch-vector count.
+	Entities() (int, error)
+	// Built reports whether every non-empty replica has built its index.
+	Built() (bool, error)
+	// IngestGen returns the shard's mutation generation (the minimum
+	// across replicas, so a cached answer can never outlive a laggard).
+	IngestGen() (uint64, error)
+	// ReplicaStats snapshots per-replica health and read counts.
+	ReplicaStats() ([]ReplicaStat, error)
+	// ConfigSummary digests the shard's resolved configuration.
+	ConfigSummary() (ConfigSummary, error)
+	// SaveSnapshot serialises one replica's full system state.
+	SaveSnapshot() ([]byte, error)
+	// LoadSnapshot restores a SaveSnapshot payload into every replica of
+	// this freshly-constructed shard.
+	LoadSnapshot(data []byte) error
+	// Ping verifies the shard is reachable and can serve (at least one
+	// healthy replica behind it).
+	Ping() error
+	// Close releases client-side resources (no-op for in-process shards).
+	Close() error
+}
+
+// BulkIngester is the optional fast path for dataset-sized ingest: a
+// backend that can ingest a whole slice of videos in order (parallelising
+// across its replicas) implements it; the engine falls back to per-video
+// Ingest calls otherwise.
+type BulkIngester interface {
+	IngestVideos(vs []*video.Video) error
+}

@@ -1,0 +1,527 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/video"
+)
+
+// ClientOptions tune one shard client; zero values select defaults.
+type ClientOptions struct {
+	// Dial opens one connection to the worker. The default dials TCP to
+	// the client's address with DialTimeout; tests substitute net.Pipe.
+	Dial func() (net.Conn, error)
+	// PoolSize bounds the idle persistent-connection pool (default 4).
+	// More conns dial on demand under concurrency; surplus conns close on
+	// release instead of pooling.
+	PoolSize int
+	// Timeout is the per-call deadline for read-only operations, covering
+	// write + execute + read (default 30s). A call that exceeds it
+	// surfaces a transport error — and a bounded retry on a fresh
+	// connection.
+	Timeout time.Duration
+	// MutateTimeout is the per-call deadline for mutating operations
+	// (ingest, index builds, snapshot load), which do corpus-sized work
+	// worker-side; it defaults to the larger of Timeout and 5 minutes so
+	// a serving deadline tuned for queries never aborts an ingest
+	// mid-flight.
+	MutateTimeout time.Duration
+	// DialTimeout bounds connection establishment (default 3s) — the
+	// fail-fast bound for unreachable workers at boot.
+	DialTimeout time.Duration
+	// Retries is the redial-and-retry budget for read-only calls after a
+	// transport error (default 2). Mutating calls never consume it: once
+	// a request may have left the client, retrying could double-apply.
+	Retries int
+	// MaxFrame bounds response payloads (DefaultMaxFrame when zero).
+	MaxFrame uint32
+}
+
+func (o ClientOptions) withDefaults(addr string) ClientOptions {
+	if o.PoolSize == 0 {
+		o.PoolSize = 4
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MutateTimeout == 0 {
+		o.MutateTimeout = 5 * time.Minute
+		if o.Timeout > o.MutateTimeout {
+			o.MutateTimeout = o.Timeout
+		}
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.Dial == nil {
+		dt := o.DialTimeout
+		o.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, dt) }
+	}
+	return o
+}
+
+// Client is a remote shard: it implements ShardBackend over the wire
+// protocol on a pool of persistent connections. Safe for concurrent use —
+// each in-flight call owns one pooled connection.
+type Client struct {
+	addr   string
+	opts   ClientOptions
+	idle   chan net.Conn
+	closed atomic.Bool
+}
+
+// NewClient constructs a client for the worker at addr. No connection is
+// opened until the first call (Connect pings eagerly for fail-fast boots).
+func NewClient(addr string, opts ClientOptions) *Client {
+	opts = opts.withDefaults(addr)
+	return &Client{addr: addr, opts: opts, idle: make(chan net.Conn, opts.PoolSize)}
+}
+
+// Addr returns the worker address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Close drains and closes the idle pool. In-flight calls finish on their
+// own connections; subsequent calls fail.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.drain()
+	return nil
+}
+
+func (c *Client) drain() {
+	for {
+		select {
+		case conn := <-c.idle:
+			conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// get checks a connection out of the idle pool, dialing when empty.
+// fromPool reports a reused connection — one that may have gone stale since
+// its last call (a worker restart kills every pooled connection at once),
+// which the retry loop treats as free to replace rather than a strike
+// against the bounded retry budget.
+func (c *Client) get() (conn net.Conn, fromPool bool, err error) {
+	if c.closed.Load() {
+		return nil, false, fmt.Errorf("remote %s: client closed", c.addr)
+	}
+	select {
+	case conn = <-c.idle:
+		return conn, true, nil
+	default:
+	}
+	conn, err = c.opts.Dial()
+	if err != nil {
+		return nil, false, fmt.Errorf("remote %s: dial: %w", c.addr, err)
+	}
+	return conn, false, nil
+}
+
+// put returns a healthy connection to the pool (closing it when the pool is
+// full or the client closed).
+func (c *Client) put(conn net.Conn) {
+	if c.closed.Load() {
+		conn.Close()
+		return
+	}
+	select {
+	case c.idle <- conn:
+		// Close may have drained the pool between our closed-check and
+		// the enqueue; re-check so a connection can never be stranded
+		// (and leaked) in a closed client's pool.
+		if c.closed.Load() {
+			c.drain()
+		}
+	default:
+		conn.Close()
+	}
+}
+
+// call performs one request/response exchange. Read-only calls retry on
+// transport errors: a failure on a pooled connection is discarded for free
+// (a worker restart invalidates the whole pool at once, and the pool bound
+// caps how many such discards one call can see), while failures on freshly
+// dialed connections consume the bounded retry budget — so a stale pool, a
+// dropped packet or a worker that died mid-response costs a redial, not an
+// answer. Mutating calls are at-most-once: they dial fresh (never trusting
+// a possibly-stale pooled connection) and never retry after the request may
+// have been sent. Application-level errors (the worker executed and said
+// no) never retry on either path.
+func (c *Client) call(op byte, body []byte, mutating bool) ([]byte, error) {
+	return c.do(op, body, mutating, false)
+}
+
+// meta performs a lightweight metadata exchange (stats, health, generation
+// counters — everything the worker answers from memory). These ride the hot
+// serving path — the HTTP tier consults Built and IngestGen on every
+// request — so they take one fresh-dial attempt under a dial-scale deadline
+// instead of the full read-retry budget: one blackholed worker costs a
+// request one DialTimeout, not Retries x Timeout. Stale pooled connections
+// still discard and redial for free.
+func (c *Client) meta(op byte) ([]byte, error) {
+	return c.do(op, nil, false, true)
+}
+
+func (c *Client) do(op byte, body []byte, mutating, light bool) ([]byte, error) {
+	req := make([]byte, 0, 1+len(body))
+	req = append(req, op)
+	req = append(req, body...)
+
+	budget := 1 + c.opts.Retries
+	if light {
+		budget = 1
+	}
+	var lastErr error
+	for budget > 0 {
+		var conn net.Conn
+		var fromPool bool
+		var err error
+		if mutating {
+			conn, err = c.opts.Dial()
+			if err != nil {
+				// Nothing was sent: a dial failure is safe to retry
+				// even for mutations.
+				lastErr = fmt.Errorf("remote %s: dial: %w", c.addr, err)
+				budget--
+				continue
+			}
+		} else if conn, fromPool, err = c.get(); err != nil {
+			lastErr = err
+			budget--
+			continue
+		}
+
+		resp, err := c.exchange(conn, req, mutating, light)
+		if err == nil {
+			c.put(conn)
+			status := resp[0]
+			if status != statusOK {
+				return nil, decodeError(status, resp[1:])
+			}
+			return resp[1:], nil
+		}
+		conn.Close()
+		lastErr = fmt.Errorf("remote %s: %s: %w", c.addr, opName(op), err)
+		if mutating {
+			// The request may have reached the worker: surface the
+			// ambiguity instead of risking a double apply.
+			break
+		}
+		if !fromPool {
+			budget--
+		}
+	}
+	return nil, lastErr
+}
+
+// exchange writes one request frame and reads one response frame under the
+// per-call deadline.
+func (c *Client) exchange(conn net.Conn, req []byte, mutating, light bool) ([]byte, error) {
+	timeout := c.opts.Timeout
+	if mutating {
+		timeout = c.opts.MutateTimeout
+	}
+	if light {
+		// Metadata answers from memory worker-side; bound it like a
+		// dial, not like a query.
+		timeout = c.opts.DialTimeout
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, req, c.opts.MaxFrame); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(conn, c.opts.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("empty response frame")
+	}
+	return resp, nil
+}
+
+func opName(op byte) string {
+	switch op {
+	case opPing:
+		return "ping"
+	case opIngest:
+		return "ingest"
+	case opBuildIndex:
+		return "build-index"
+	case opFastSearch:
+		return "fast-search"
+	case opGround:
+		return "ground"
+	case opStats:
+		return "stats"
+	case opEntities:
+		return "entities"
+	case opBuilt:
+		return "built"
+	case opIngestGen:
+		return "ingest-gen"
+	case opReplicaStats:
+		return "replica-stats"
+	case opConfigSummary:
+		return "config-summary"
+	case opSaveSnapshot:
+		return "save-snapshot"
+	case opLoadSnapshot:
+		return "load-snapshot"
+	case opIngestBatch:
+		return "ingest-batch"
+	}
+	return fmt.Sprintf("op-%d", op)
+}
+
+// --- ShardBackend implementation ---------------------------------------
+
+// Ping verifies the worker is reachable and serving. It is the health
+// probe: one dial attempt, dial-scale deadline — a blackholed worker costs
+// one DialTimeout, not the full read-retry budget, so /healthz stays
+// responsive while a host is down.
+func (c *Client) Ping() error {
+	_, err := c.BootID()
+	return err
+}
+
+// BootID pings the worker and returns its server instance nonce. The
+// coordinator compares successive values: a changed nonce means the worker
+// process restarted — and, since workers boot empty, that its slice of the
+// corpus is gone until restored.
+func (c *Client) BootID() (uint64, error) {
+	resp, err := c.meta(opPing)
+	if err != nil {
+		return 0, err
+	}
+	d := &dec{b: resp}
+	id := d.u64()
+	if err := d.finish(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Ingest ships one video to the worker (gob-encoded inside the frame; the
+// scene-description video model is structured, not a flat hit list, so it
+// rides the standard library's codec).
+func (c *Client) Ingest(v *video.Video) error {
+	var vb bytes.Buffer
+	if err := gob.NewEncoder(&vb).Encode(v); err != nil {
+		return fmt.Errorf("remote %s: encoding video: %w", c.addr, err)
+	}
+	e := &enc{}
+	e.bytes(vb.Bytes())
+	_, err := c.call(opIngest, e.b, true)
+	return err
+}
+
+// ingestBatchBudget bounds one opIngestBatch frame's video payload. Chunks
+// stay far under MaxFrame while still amortising the per-call dial and
+// round trip across many videos.
+const ingestBatchBudget = 8 << 20
+
+// IngestVideos ships a slice of videos in order as size-bounded batch
+// frames — one dial + round trip per ~8 MiB of corpus instead of per
+// video. It implements BulkIngester, so Engine.IngestDataset routes whole
+// dataset slices through it. Each batch is at-most-once like every
+// mutation; a transport failure surfaces with the batch unfinished rather
+// than risking a double apply.
+func (c *Client) IngestVideos(vs []*video.Video) error {
+	e := &enc{}
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		body := make([]byte, 0, 4+len(e.b))
+		head := &enc{b: body}
+		head.u32(uint32(n))
+		head.b = append(head.b, e.b...)
+		_, err := c.call(opIngestBatch, head.b, true)
+		e.b = e.b[:0]
+		n = 0
+		return err
+	}
+	for i := range vs {
+		var vb bytes.Buffer
+		if err := gob.NewEncoder(&vb).Encode(vs[i]); err != nil {
+			return fmt.Errorf("remote %s: encoding video: %w", c.addr, err)
+		}
+		if n > 0 && len(e.b)+vb.Len() > ingestBatchBudget {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		e.bytes(vb.Bytes())
+		n++
+	}
+	return flush()
+}
+
+// BuildIndex builds the worker's index.
+func (c *Client) BuildIndex() error {
+	_, err := c.call(opBuildIndex, nil, true)
+	return err
+}
+
+// FastSearch runs stage 1 on the worker.
+func (c *Client) FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error) {
+	e := &enc{}
+	e.str(text)
+	appendOptions(e, opts)
+	resp, err := c.call(opFastSearch, e.b, false)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: resp}
+	hits := readObjects(d)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return hits, nil
+}
+
+// GroundCandidates runs stage 2 on the worker over the refs it owns.
+func (c *Client) GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+	e := &enc{}
+	e.str(text)
+	appendRefs(e, refs)
+	e.i64(int64(workers))
+	resp, err := c.call(opGround, e.b, false)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: resp}
+	gs := readGroundings(d)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// Stats fetches the worker's ingest statistics.
+func (c *Client) Stats() (core.IngestStats, error) {
+	resp, err := c.meta(opStats)
+	if err != nil {
+		return core.IngestStats{}, err
+	}
+	d := &dec{b: resp}
+	st := readStats(d)
+	if err := d.finish(); err != nil {
+		return core.IngestStats{}, err
+	}
+	return st, nil
+}
+
+// Entities fetches the worker's indexed vector count.
+func (c *Client) Entities() (int, error) {
+	resp, err := c.meta(opEntities)
+	if err != nil {
+		return 0, err
+	}
+	d := &dec{b: resp}
+	n := d.intv()
+	if err := d.finish(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Built reports whether the worker's index is built.
+func (c *Client) Built() (bool, error) {
+	resp, err := c.meta(opBuilt)
+	if err != nil {
+		return false, err
+	}
+	d := &dec{b: resp}
+	b := d.boolean()
+	if err := d.finish(); err != nil {
+		return false, err
+	}
+	return b, nil
+}
+
+// IngestGen fetches the worker's mutation generation.
+func (c *Client) IngestGen() (uint64, error) {
+	resp, err := c.meta(opIngestGen)
+	if err != nil {
+		return 0, err
+	}
+	d := &dec{b: resp}
+	g := d.u64()
+	if err := d.finish(); err != nil {
+		return 0, err
+	}
+	return g, nil
+}
+
+// ReplicaStats fetches the worker's per-replica health and read counts.
+func (c *Client) ReplicaStats() ([]ReplicaStat, error) {
+	resp, err := c.meta(opReplicaStats)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: resp}
+	sts := readReplicaStats(d)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+// ConfigSummary fetches the worker's resolved configuration digest.
+func (c *Client) ConfigSummary() (ConfigSummary, error) {
+	resp, err := c.meta(opConfigSummary)
+	if err != nil {
+		return ConfigSummary{}, err
+	}
+	d := &dec{b: resp}
+	sum := readConfigSummary(d)
+	if err := d.finish(); err != nil {
+		return ConfigSummary{}, err
+	}
+	return sum, nil
+}
+
+// SaveSnapshot fetches one replica's serialised system state.
+func (c *Client) SaveSnapshot() ([]byte, error) {
+	resp, err := c.call(opSaveSnapshot, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: resp}
+	data := d.bytesv()
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	// The snapshot aliases the response buffer; copy so callers own it.
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// LoadSnapshot restores a snapshot into the worker's (empty) replicas.
+func (c *Client) LoadSnapshot(data []byte) error {
+	e := &enc{}
+	e.bytes(data)
+	_, err := c.call(opLoadSnapshot, e.b, true)
+	return err
+}

@@ -1,0 +1,275 @@
+package remote
+
+// Codec round-trip property tests: for every wire message, decode(encode(x))
+// must reproduce x exactly (scores compared by bit pattern — the conformance
+// guarantee is bit-identity, not approximate equality), and re-encoding the
+// decoded value must reproduce the original bytes. Truncating an encoding at
+// ANY byte boundary must produce an error, never a panic and never a
+// silently-short value.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/video"
+)
+
+// edgeFloats are the score/box extremes the fuzzers mix in: zero, negative
+// zero, infinities, denormals, and the largest finite values.
+var edgeFloats64 = []float64{0, math.Copysign(0, -1), 1, -1, math.Inf(1), math.Inf(-1),
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64}
+
+var edgeFloats32 = []float32{0, float32(math.Copysign(0, -1)), 1, -1,
+	float32(math.Inf(1)), float32(math.Inf(-1)), math.MaxFloat32, math.SmallestNonzeroFloat32}
+
+func randF64(rng *rand.Rand) float64 {
+	if rng.Intn(4) == 0 {
+		return edgeFloats64[rng.Intn(len(edgeFloats64))]
+	}
+	return rng.NormFloat64()
+}
+
+func randF32(rng *rand.Rand) float32 {
+	if rng.Intn(4) == 0 {
+		return edgeFloats32[rng.Intn(len(edgeFloats32))]
+	}
+	return float32(rng.NormFloat64())
+}
+
+func randObject(rng *rand.Rand) core.ResultObject {
+	return core.ResultObject{
+		VideoID:  rng.Intn(core.MaxVideoID + 1),
+		FrameIdx: rng.Intn(core.MaxFrameIdx + 1),
+		Box:      video.Box{X: randF64(rng), Y: randF64(rng), W: randF64(rng), H: randF64(rng)},
+		Score:    randF32(rng),
+		PatchID:  rng.Int63(),
+	}
+}
+
+func randObjects(rng *rand.Rand, maxLen int) []core.ResultObject {
+	n := rng.Intn(maxLen + 1)
+	if n == 0 {
+		return nil
+	}
+	objs := make([]core.ResultObject, n)
+	for i := range objs {
+		objs[i] = randObject(rng)
+	}
+	return objs
+}
+
+// roundTrip encodes with fill, decodes with read, and checks value equality
+// plus byte-level re-encode equality.
+func roundTrip[T any](t *testing.T, name string, v T, fill func(*enc, T), read func(*dec) T) {
+	t.Helper()
+	e := &enc{}
+	fill(e, v)
+	d := &dec{b: e.b}
+	got := read(d)
+	if err := d.finish(); err != nil {
+		t.Fatalf("%s: decode(%+v): %v", name, v, err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("%s: round trip diverged\n got: %+v\nwant: %+v", name, got, v)
+	}
+	e2 := &enc{}
+	fill(e2, got)
+	if string(e2.b) != string(e.b) {
+		t.Fatalf("%s: re-encode of decoded value produced different bytes", name)
+	}
+	// Every strict prefix must fail to decode — a truncated frame can
+	// never pass for a whole one.
+	for cut := 0; cut < len(e.b); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: decode of %d/%d-byte truncation panicked: %v", name, cut, len(e.b), r)
+				}
+			}()
+			td := &dec{b: e.b[:cut]}
+			read(td)
+			if err := td.finish(); err == nil {
+				t.Fatalf("%s: truncation to %d/%d bytes decoded without error", name, cut, len(e.b))
+			}
+		}()
+	}
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []core.QueryOptions{
+		{}, // all zero
+		{FastK: 1 << 30, TopN: -1, RerankFrames: math.MaxInt32, Workers: -7},
+	}
+	for i := 0; i < 100; i++ {
+		cases = append(cases, core.QueryOptions{
+			FastK:         rng.Intn(1 << 16),
+			TopN:          rng.Intn(1 << 10),
+			DisableRerank: rng.Intn(2) == 0,
+			Exhaustive:    rng.Intn(2) == 0,
+			RerankFrames:  rng.Intn(1 << 10),
+			Workers:       rng.Intn(64) - 1,
+		})
+	}
+	for _, c := range cases {
+		roundTrip(t, "options", c, appendOptions, readOptions)
+	}
+}
+
+func TestObjectsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Zero-length and max-field-width values first, then fuzz.
+	cases := [][]core.ResultObject{
+		nil,
+		{{}},
+		{{
+			VideoID:  core.MaxVideoID,
+			FrameIdx: core.MaxFrameIdx,
+			Box:      video.Box{X: math.MaxFloat64, Y: -math.MaxFloat64, W: math.Inf(1), H: math.SmallestNonzeroFloat64},
+			Score:    math.MaxFloat32,
+			PatchID:  core.PackPatchID(core.MaxVideoID, core.MaxFrameIdx, core.MaxPatch),
+		}},
+	}
+	for i := 0; i < 100; i++ {
+		cases = append(cases, randObjects(rng, 20))
+	}
+	for _, c := range cases {
+		roundTrip(t, "objects", c, appendObjects, readObjects)
+	}
+}
+
+func TestRefsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := [][]core.FrameRef{
+		nil,
+		{{VideoID: core.MaxVideoID, FrameIdx: core.MaxFrameIdx, PatchID: math.MaxInt64}},
+	}
+	for i := 0; i < 100; i++ {
+		n := rng.Intn(10)
+		var refs []core.FrameRef
+		for j := 0; j < n; j++ {
+			refs = append(refs, core.FrameRef{
+				VideoID: rng.Intn(core.MaxVideoID + 1), FrameIdx: rng.Intn(core.MaxFrameIdx + 1), PatchID: rng.Int63(),
+			})
+		}
+		cases = append(cases, refs)
+	}
+	for _, c := range cases {
+		roundTrip(t, "refs", c, appendRefs, readRefs)
+	}
+}
+
+func TestGroundingsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := [][]core.Grounding{
+		nil,
+		{{}}, // a grounding with no objects, Grounds=false
+	}
+	for i := 0; i < 60; i++ {
+		n := rng.Intn(8)
+		var gs []core.Grounding
+		for j := 0; j < n; j++ {
+			gs = append(gs, core.Grounding{
+				Ref:     core.FrameRef{VideoID: rng.Intn(1 << 16), FrameIdx: rng.Intn(1 << 20), PatchID: rng.Int63()},
+				Objects: randObjects(rng, 5),
+				Best:    randF32(rng),
+				Grounds: rng.Intn(2) == 0,
+			})
+		}
+		cases = append(cases, gs)
+	}
+	for _, c := range cases {
+		roundTrip(t, "groundings", c, appendGroundings, readGroundings)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []core.IngestStats{
+		{},
+		{Videos: math.MaxInt32, Frames: 1, Keyframes: 2, Tokens: 3,
+			Processing: time.Duration(math.MaxInt64), Indexing: -1},
+	}
+	for i := 0; i < 50; i++ {
+		cases = append(cases, core.IngestStats{
+			Videos: rng.Intn(1 << 20), Frames: rng.Intn(1 << 24), Keyframes: rng.Intn(1 << 20),
+			Tokens: rng.Intn(1 << 28), Processing: time.Duration(rng.Int63()), Indexing: time.Duration(rng.Int63()),
+		})
+	}
+	for _, c := range cases {
+		roundTrip(t, "stats", c, appendStats, readStats)
+	}
+}
+
+func TestReplicaStatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := [][]ReplicaStat{
+		nil,
+		{{Healthy: true, Reads: math.MaxUint64, Inflight: math.MinInt64}},
+	}
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(6)
+		var sts []ReplicaStat
+		for j := 0; j < n; j++ {
+			sts = append(sts, ReplicaStat{Healthy: rng.Intn(2) == 0, Reads: rng.Uint64(), Inflight: rng.Int63() - (1 << 62)})
+		}
+		cases = append(cases, sts)
+	}
+	for _, c := range cases {
+		roundTrip(t, "replica-stats", c, appendReplicaStats, readReplicaStats)
+	}
+}
+
+func TestConfigSummaryRoundTrip(t *testing.T) {
+	cases := []ConfigSummary{
+		{}, // zero, empty index string
+		{Dim: 64, ProjDim: 32, Seed: math.MaxUint64, Index: "imi", FastK: 100, TopN: 10, RerankFrames: 16, Replicas: 3},
+		{Index: strings.Repeat("x", 1<<12)}, // max-field-width string
+	}
+	for _, c := range cases {
+		roundTrip(t, "config-summary", c, appendConfigSummary, readConfigSummary)
+	}
+}
+
+// TestDecoderRejectsForgedCounts: a list count claiming more elements than
+// the payload could possibly hold must fail fast without allocating a
+// giant slice.
+func TestDecoderRejectsForgedCounts(t *testing.T) {
+	e := &enc{}
+	e.u32(math.MaxUint32) // count: ~4 billion objects in a 4-byte payload
+	d := &dec{b: e.b}
+	if objs := readObjects(d); objs != nil {
+		t.Fatalf("forged count decoded to %d objects", len(objs))
+	}
+	if err := d.finish(); err == nil {
+		t.Fatal("forged count must error")
+	}
+	// Same for byte strings.
+	e = &enc{}
+	e.u32(1 << 30)
+	d = &dec{b: e.b}
+	if b := d.bytesv(); b != nil {
+		t.Fatalf("forged byte length decoded to %d bytes", len(b))
+	}
+	if err := d.finish(); err == nil {
+		t.Fatal("forged byte length must error")
+	}
+}
+
+// TestDecoderRejectsTrailingGarbage: a payload with unconsumed bytes after
+// a complete value is corrupt, not "close enough".
+func TestDecoderRejectsTrailingGarbage(t *testing.T) {
+	e := &enc{}
+	appendOptions(e, core.QueryOptions{FastK: 3})
+	e.u8(0xAB)
+	d := &dec{b: e.b}
+	readOptions(d)
+	if err := d.finish(); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}

@@ -1,0 +1,347 @@
+package remote
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/video"
+)
+
+// Server hosts one ShardBackend behind the wire protocol: an accept loop
+// spawns one goroutine per connection, each serving one request at a time.
+// cmd/lovoshard wraps a shard.Local in one; tests serve backends over
+// net.Pipe connections with ServeConn directly.
+type Server struct {
+	backend ShardBackend
+	// nonce identifies this server instance: opPing returns it, so a
+	// coordinator can tell "same worker, transient blip" from "worker
+	// restarted (empty) since I last spoke to it" — the latter means the
+	// shard's corpus is gone and serving on would silently drop its slice
+	// from every merge.
+	nonce uint64
+	// MaxFrame bounds request payloads (DefaultMaxFrame when zero).
+	MaxFrame uint32
+	// IdleTimeout bounds how long a connection may sit between requests —
+	// and how long a peer may dawdle delivering one request's bytes —
+	// before the server reclaims the goroutine and fd (default 5m). The
+	// client's pool absorbs the churn: a reclaimed idle connection is
+	// discarded and redialed for free on its next use.
+	IdleTimeout time.Duration
+	// Logf, when set, receives per-connection error logs (log.Printf
+	// signature). Silent otherwise — tests inject failures on purpose.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewServer constructs a server over backend.
+func NewServer(backend ShardBackend) *Server {
+	var nb [8]byte
+	if _, err := crand.Read(nb[:]); err != nil {
+		// A weak nonce only weakens restart detection, never correctness.
+		nb = [8]byte{1}
+	}
+	nonce := binary.LittleEndian.Uint64(nb[:])
+	if nonce == 0 {
+		nonce = 1 // zero means "unknown" client-side
+	}
+	return &Server{backend: backend, nonce: nonce, conns: make(map[net.Conn]struct{})}
+}
+
+func (s *Server) maxFrame() uint32 {
+	if s.MaxFrame == 0 {
+		return DefaultMaxFrame
+	}
+	return s.MaxFrame
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout == 0 {
+		return 5 * time.Minute
+	}
+	return s.IdleTimeout
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close terminates every connection the server is currently serving and
+// refuses new ServeConn calls; it does not close any listener passed to
+// Serve (the caller owns it).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// ServeConn serves one connection until it errors or closes. Safe to call
+// from many goroutines (one per connection).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+	for {
+		// The request must arrive — whole — within the idle window; the
+		// deadline clears while the backend works (ingest and index
+		// builds legitimately run long) and re-arms for the response
+		// write.
+		_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
+		payload, err := readFrame(conn, s.maxFrame())
+		if err != nil {
+			// An oversized declared length is a protocol violation the
+			// peer should hear about; answer once, then drop the
+			// connection (the stream offset is unrecoverable).
+			if errors.Is(err, errFrameTooBig) {
+				st, body := encodeError(err)
+				resp := append([]byte{st}, body...)
+				_ = writeFrame(conn, resp, s.maxFrame())
+			} else if err != io.EOF {
+				s.logf("remote: reading request: %v", err)
+			}
+			return
+		}
+		if len(payload) == 0 {
+			st, body := encodeError(errors.New("remote: empty request frame"))
+			_ = writeFrame(conn, append([]byte{st}, body...), s.maxFrame())
+			return
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		status, body := s.handle(payload[0], payload[1:])
+		_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout()))
+		if err := writeFrame(conn, append([]byte{status}, body...), s.maxFrame()); err != nil {
+			s.logf("remote: writing response: %v", err)
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// handle dispatches one decoded request. A panic anywhere in decode or in
+// the backend converts to an error response — a malformed or hostile frame
+// must never take the worker down.
+func (s *Server) handle(op byte, body []byte) (status byte, resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			status, resp = encodeError(fmt.Errorf("remote: request panicked: %v", r))
+		}
+	}()
+	d := &dec{b: body}
+	e := &enc{}
+	switch op {
+	case opPing:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		if err := s.backend.Ping(); err != nil {
+			return encodeError(err)
+		}
+		e.u64(s.nonce)
+
+	case opIngest:
+		raw := d.bytesv()
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		var v video.Video
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err != nil {
+			return encodeError(fmt.Errorf("remote: decoding video: %w", err))
+		}
+		if err := s.backend.Ingest(&v); err != nil {
+			return encodeError(err)
+		}
+
+	case opIngestBatch:
+		n := d.count(1)
+		vs := make([]*video.Video, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			raw := d.bytesv()
+			if d.err != nil {
+				break
+			}
+			var v video.Video
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err != nil {
+				return encodeError(fmt.Errorf("remote: decoding video %d of %d: %w", i, n, err))
+			}
+			vs = append(vs, &v)
+		}
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		if bi, ok := s.backend.(BulkIngester); ok {
+			if err := bi.IngestVideos(vs); err != nil {
+				return encodeError(err)
+			}
+		} else {
+			for _, v := range vs {
+				if err := s.backend.Ingest(v); err != nil {
+					return encodeError(err)
+				}
+			}
+		}
+
+	case opBuildIndex:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		if err := s.backend.BuildIndex(); err != nil {
+			return encodeError(err)
+		}
+
+	case opFastSearch:
+		text := d.str()
+		opts := readOptions(d)
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		hits, err := s.backend.FastSearch(text, opts)
+		if err != nil {
+			return encodeError(err)
+		}
+		appendObjects(e, hits)
+
+	case opGround:
+		text := d.str()
+		refs := readRefs(d)
+		workers := d.intv()
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		gs, err := s.backend.GroundCandidates(text, refs, workers)
+		if err != nil {
+			return encodeError(err)
+		}
+		appendGroundings(e, gs)
+
+	case opStats:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		st, err := s.backend.Stats()
+		if err != nil {
+			return encodeError(err)
+		}
+		appendStats(e, st)
+
+	case opEntities:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		n, err := s.backend.Entities()
+		if err != nil {
+			return encodeError(err)
+		}
+		e.i64(int64(n))
+
+	case opBuilt:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		b, err := s.backend.Built()
+		if err != nil {
+			return encodeError(err)
+		}
+		e.boolean(b)
+
+	case opIngestGen:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		g, err := s.backend.IngestGen()
+		if err != nil {
+			return encodeError(err)
+		}
+		e.u64(g)
+
+	case opReplicaStats:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		sts, err := s.backend.ReplicaStats()
+		if err != nil {
+			return encodeError(err)
+		}
+		appendReplicaStats(e, sts)
+
+	case opConfigSummary:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		sum, err := s.backend.ConfigSummary()
+		if err != nil {
+			return encodeError(err)
+		}
+		appendConfigSummary(e, sum)
+
+	case opSaveSnapshot:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		data, err := s.backend.SaveSnapshot()
+		if err != nil {
+			return encodeError(err)
+		}
+		e.bytes(data)
+
+	case opLoadSnapshot:
+		data := d.bytesv()
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		if err := s.backend.LoadSnapshot(data); err != nil {
+			return encodeError(err)
+		}
+
+	default:
+		return encodeError(fmt.Errorf("remote: unknown op %d", op))
+	}
+	return statusOK, e.b
+}

@@ -53,6 +53,14 @@ type ReplicaReporter interface {
 	ReplicaStats() [][]shard.ReplicaStat
 }
 
+// BackendReporter is the optional backend surface of a distributed engine
+// (*shard.Engine satisfies it); when present, /healthz, /stats and /metrics
+// report per-shard backend health — so a killed remote worker flips
+// /healthz to "degraded" without waiting for a query to trip over it.
+type BackendReporter interface {
+	BackendStats() []shard.BackendStat
+}
+
 // Config tunes the serving tier.
 type Config struct {
 	// CacheSize bounds the LRU query-result cache in entries; 0 disables
@@ -180,6 +188,31 @@ func toResponse(res *core.Result, cached bool) QueryResponse {
 	}
 }
 
+// failUnavailable answers the not-ready 503, distinguishing "the index is
+// still building" from "a shard backend is unreachable" — a distributed
+// engine reports Built()=false in both cases, and telling an operator to
+// wait for an index that will never build wastes their incident.
+func (s *Server) failUnavailable(w http.ResponseWriter) {
+	if bb, ok := s.backend.(BackendReporter); ok {
+		var down []string
+		for _, st := range bb.BackendStats() {
+			if !st.Healthy {
+				name := st.Kind
+				if st.Addr != "" {
+					name = st.Addr
+				}
+				down = append(down, name)
+			}
+		}
+		if len(down) > 0 {
+			s.fail(w, http.StatusServiceUnavailable,
+				"%d shard backend(s) unreachable: %s", len(down), strings.Join(down, ", "))
+			return
+		}
+	}
+	s.fail(w, http.StatusServiceUnavailable, "index not built yet")
+}
+
 // allowMethod enforces one HTTP method uniformly across endpoints,
 // answering 405 (with an Allow header) otherwise.
 func (s *Server) allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
@@ -205,7 +238,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.backend.Built() {
-		s.fail(w, http.StatusServiceUnavailable, "index not built yet")
+		s.failUnavailable(w)
 		return
 	}
 	opts := req.Options.toCore()
@@ -279,7 +312,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !s.backend.Built() {
-		s.fail(w, http.StatusServiceUnavailable, "index not built yet")
+		s.failUnavailable(w)
 		return
 	}
 	opts := req.Options.toCore()
@@ -340,14 +373,17 @@ type StatsResponse struct {
 	// ReplicaGroups reports per-group replica health, read counts and
 	// in-flight load when the backend is a replicated engine.
 	ReplicaGroups [][]shard.ReplicaStat `json:"replica_groups,omitempty"`
-	IngestGen     uint64                `json:"ingest_gen"`
-	Cache         CacheStats            `json:"cache"`
-	QueriesTotal  uint64                `json:"queries_total"`
-	BatchTotal    uint64                `json:"batch_queries_total"`
-	ErrorsTotal   uint64                `json:"errors_total"`
-	LatencyP50Ms  float64               `json:"latency_p50_ms"`
-	LatencyP99Ms  float64               `json:"latency_p99_ms"`
-	UptimeSeconds float64               `json:"uptime_seconds"`
+	// Backends reports per-shard backend kind, address and health when the
+	// backend is a distributed engine.
+	Backends      []shard.BackendStat `json:"backends,omitempty"`
+	IngestGen     uint64              `json:"ingest_gen"`
+	Cache         CacheStats          `json:"cache"`
+	QueriesTotal  uint64              `json:"queries_total"`
+	BatchTotal    uint64              `json:"batch_queries_total"`
+	ErrorsTotal   uint64              `json:"errors_total"`
+	LatencyP50Ms  float64             `json:"latency_p50_ms"`
+	LatencyP99Ms  float64             `json:"latency_p99_ms"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -360,6 +396,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		replicas = rb.Replicas()
 		groups = rb.ReplicaStats()
 	}
+	var backends []shard.BackendStat
+	if bb, ok := s.backend.(BackendReporter); ok {
+		backends = bb.BackendStats()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Ingest:        s.backend.Stats(),
 		Entities:      s.backend.Entities(),
@@ -367,6 +407,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:        s.cfg.Shards,
 		Replicas:      replicas,
 		ReplicaGroups: groups,
+		Backends:      backends,
 		IngestGen:     s.backend.IngestGen(),
 		Cache:         s.cache.stats(),
 		QueriesTotal:  s.metrics.queries.Load(),
@@ -382,11 +423,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.allowMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":   "ok",
 		"built":    s.backend.Built(),
 		"entities": s.backend.Entities(),
-	})
+	}
+	// A distributed engine probes its shard backends: any unreachable
+	// worker degrades the health report (still 200 — the serving tier
+	// itself is alive; orchestrators key on the status string).
+	if bb, ok := s.backend.(BackendReporter); ok {
+		stats := bb.BackendStats()
+		down := 0
+		for _, st := range stats {
+			if !st.Healthy {
+				down++
+			}
+		}
+		resp["backends"] = stats
+		resp["backends_down"] = down
+		if down > 0 {
+			resp["status"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -407,6 +466,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge(w, "lovod_ingest_generation", float64(s.backend.IngestGen()))
 	if rb, ok := s.backend.(ReplicaReporter); ok {
 		writeReplicaMetrics(w, rb.ReplicaStats())
+	}
+	if bb, ok := s.backend.(BackendReporter); ok {
+		writeBackendMetrics(w, bb.BackendStats())
 	}
 	s.metrics.latency.writeProm(w, "lovod_query_latency_seconds")
 }
@@ -429,6 +491,19 @@ func writeReplicaMetrics(w io.Writer, groups [][]shard.ReplicaStat) {
 		for ri, st := range g {
 			fmt.Fprintf(w, "lovod_replica_reads_total{group=\"%d\",replica=\"%d\"} %d\n", gi, ri, st.Reads)
 		}
+	}
+}
+
+// writeBackendMetrics renders per-shard backend health with shard/kind
+// labels.
+func writeBackendMetrics(w io.Writer, stats []shard.BackendStat) {
+	fmt.Fprintf(w, "# TYPE lovod_backend_healthy gauge\n")
+	for i, st := range stats {
+		v := 0
+		if st.Healthy {
+			v = 1
+		}
+		fmt.Fprintf(w, "lovod_backend_healthy{shard=\"%d\",kind=\"%s\"} %d\n", i, st.Kind, v)
 	}
 }
 

@@ -1,6 +1,7 @@
 // Package shard implements LOVO's horizontal scaling tier: a scatter-gather
 // engine over N independent shards partitioned by video ID, each shard a
-// replica group of R byte-identical core.Systems.
+// replica group of R byte-identical core.Systems — hosted in-process
+// (Local) or on another host behind the RPC boundary (remote.Client).
 //
 // LOVO's one-time, query-agnostic extraction makes the corpus trivially
 // partitionable — a video's keyframes, patch vectors and relational rows
@@ -13,51 +14,72 @@
 // engine composes the exact stage functions core.System.Query composes, a
 // one-shard engine answers byte-identically to the single-system path, and
 // an N-shard engine under exact search differs only in index approximation,
-// not in merge logic.
+// not in merge logic. The same holds whether a shard answers from this
+// process or over the wire — the conformance suite in internal/remote pins
+// remote answers bit-identical to local ones.
 //
 // Replication multiplies each shard into R equal-seeded systems: ingest
-// and index builds fan out to every replica of the owning group, so the
+// and index builds fan out to every replica of the owning shard, so the
 // replicas stay byte-identical by construction, and each query leg picks
 // one replica (round-robin with an in-flight-aware tiebreak). A replica
 // that returns a fault is marked unhealthy and the request transparently
 // retries the next healthy one — the answer is the same bytes whichever
 // replica serves it, so failover is invisible to callers as long as one
-// replica per group survives.
+// replica per shard survives. For remote shards this failover runs
+// worker-side; the coordinator additionally retries transport faults on
+// fresh connections, and a shard that stays unreachable fails the query
+// cleanly — a partial merge is never returned.
 package shard
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/remote"
 	"repro/internal/video"
 )
 
-// Engine is a sharded LOVO deployment: N replica groups behind one
+// Engine is a sharded LOVO deployment: N shard backends behind one
 // scatter-gather query path. All methods are safe for concurrent use;
 // queries may run while ingest continues, exactly as on a single system.
 type Engine struct {
-	groups []*replicaGroup
-	cfg    core.Config // defaults resolved by the first system
+	backends []remote.ShardBackend
+	cfg      core.Config // defaults resolved
+	replicas int         // R when uniform (local constructors), 0 otherwise
+	// lastGen caches the last generation each backend reported, so an
+	// unreachable remote shard doesn't wobble the engine generation (and
+	// with it, cache validity) while it is down.
+	lastGen []atomic.Uint64
+	// bootID remembers each remote backend's server-instance nonce
+	// (0 = not yet learned).
+	bootID []atomic.Uint64
+	// stateLost marks a backend whose worker restarted empty after this
+	// engine recorded ingest progress on it: its generation regressed to
+	// zero, or its boot nonce changed. Serving on would silently drop that
+	// shard's slice from every merge, so a state-lost backend reports
+	// unhealthy and fails Built() until a snapshot restore (LoadSnapshot
+	// clears the mark) or a coordinator reboot.
+	stateLost []atomic.Bool
 	// faultHook, when set (tests only), may inject an error before a
-	// replica call, exercising the failover path.
+	// replica call on a local backend, exercising the failover path.
 	faultHook func(group, replica int) error
 }
 
-// New constructs an engine with n shards of one replica each.
+// New constructs an engine with n in-process shards of one replica each.
 func New(n int, cfg core.Config) (*Engine, error) {
 	return NewReplicated(n, 1, cfg)
 }
 
-// NewReplicated constructs an engine with n shards of r replicas each —
-// n*r full core.Systems built from cfg. Equal seeds mean every system
-// encodes identically: a keyframe grounds to the same score regardless of
-// which shard owns it, and the replicas of a group answer with the same
-// bytes regardless of which one is picked.
+// NewReplicated constructs an engine with n in-process shards of r replicas
+// each — n*r full core.Systems built from cfg. Equal seeds mean every
+// system encodes identically: a keyframe grounds to the same score
+// regardless of which shard owns it, and the replicas of a shard answer
+// with the same bytes regardless of which one is picked.
 func NewReplicated(n, r int, cfg core.Config) (*Engine, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
@@ -65,145 +87,150 @@ func NewReplicated(n, r int, cfg core.Config) (*Engine, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("shard: need at least 1 replica per shard, got %d", r)
 	}
-	e := &Engine{groups: make([]*replicaGroup, n)}
-	for i := range e.groups {
-		g, err := newReplicaGroup(r, cfg)
+	backends := make([]remote.ShardBackend, n)
+	locals := make([]*Local, n)
+	for i := range backends {
+		l, err := NewLocal(r, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard: creating shard %d: %w", i, err)
 		}
-		e.groups[i] = g
+		locals[i] = l
+		backends[i] = l
 	}
-	e.cfg = e.groups[0].replicas[0].Config()
+	e, err := NewWithBackends(backends, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.replicas = r
+	// Route the engine-level test fault hook into each local group.
+	for gi, l := range locals {
+		gi := gi
+		l.faultHook = func(ri int) error {
+			if h := e.faultHook; h != nil {
+				return h(gi, ri)
+			}
+			return nil
+		}
+	}
 	return e, nil
 }
 
-// Shards returns the shard (replica group) count.
-func (e *Engine) Shards() int { return len(e.groups) }
+// NewWithBackends constructs an engine over an explicit backend set — any
+// mix of in-process shards (Local) and remote workers (remote.Client). The
+// backends must be freshly constructed (or all restored from the same
+// snapshot) and share the coordinator's seed and index configuration; the
+// serving tier verifies remote configs at boot via remote.VerifyConfig.
+func NewWithBackends(backends []remote.ShardBackend, cfg core.Config) (*Engine, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: need at least 1 backend")
+	}
+	return &Engine{
+		backends:  backends,
+		cfg:       cfg.Resolved(),
+		lastGen:   make([]atomic.Uint64, len(backends)),
+		bootID:    make([]atomic.Uint64, len(backends)),
+		stateLost: make([]atomic.Bool, len(backends)),
+	}, nil
+}
 
-// Shard exposes one group's primary replica (stats, experiments). Every
-// replica of the group holds the same bytes, so the primary speaks for all.
-func (e *Engine) Shard(i int) *core.System { return e.groups[i].replicas[0] }
+// Shards returns the shard (backend) count.
+func (e *Engine) Shards() int { return len(e.backends) }
 
-// Replica exposes one specific replica of one group (tests, experiments).
+// Backend exposes one shard backend (tests, experiments).
+func (e *Engine) Backend(i int) remote.ShardBackend { return e.backends[i] }
+
+// local asserts shard i is hosted in-process — the per-replica surface
+// below (Shard, Replica, FailReplica, ReviveReplica) only exists for local
+// backends; remote workers manage their own replicas.
+func (e *Engine) local(i int) *Local {
+	l, ok := e.backends[i].(*Local)
+	if !ok {
+		panic(fmt.Sprintf("shard: shard %d is remote; per-replica access is in-process only", i))
+	}
+	return l
+}
+
+// Shard exposes one in-process shard's primary replica (stats,
+// experiments). Every replica of the shard holds the same bytes, so the
+// primary speaks for all.
+func (e *Engine) Shard(i int) *core.System { return e.local(i).System(0) }
+
+// Replica exposes one specific replica of one in-process shard (tests,
+// experiments).
 func (e *Engine) Replica(group, replica int) *core.System {
-	return e.groups[group].replicas[replica]
+	return e.local(group).System(replica)
 }
 
 // owner maps a video ID to its shard: videos partition by ID modulo N.
 func (e *Engine) owner(videoID int) int {
-	o := videoID % len(e.groups)
+	o := videoID % len(e.backends)
 	if o < 0 {
-		o += len(e.groups)
+		o += len(e.backends)
 	}
 	return o
 }
 
-// Ingest routes one video to every replica of its owning group. Failed
-// replicas ingest too: failure is a routing state, and a revived replica
-// must hold the same corpus as its peers. Every replica is attempted even
-// when one errors — aborting mid-fan-out would leave the group diverged —
-// and if the error hits only some replicas (a nondeterministic fault; a
-// deterministic one reproduces on all byte-identical peers), the diverged
-// replicas are pulled from routing so the group keeps answering with one
-// consistent corpus.
+// Ingest routes one video to its owning shard (which fans it out to every
+// replica).
 func (e *Engine) Ingest(v *video.Video) error {
 	gi := e.owner(v.ID)
-	g := e.groups[gi]
-	errs := make([]error, len(g.replicas))
-	anyOK := false
-	for ri, s := range g.replicas {
-		if errs[ri] = s.Ingest(v); errs[ri] == nil {
-			anyOK = true
-		}
+	if err := e.backends[gi].Ingest(v); err != nil {
+		return fmt.Errorf("shard %d: %w", gi, err)
 	}
-	var first error
-	for ri, err := range errs {
-		if err == nil {
-			continue
-		}
-		if first == nil {
-			first = fmt.Errorf("shard %d replica %d: %w", gi, ri, err)
-		}
-		if anyOK {
-			g.state[ri].failed.Store(true)
-		}
-	}
-	return first
+	return nil
 }
 
-// IngestDataset fans the dataset out across all n*r replicas in parallel:
-// each replica ingests its group's videos in dataset order on one
-// goroutine, so per-replica state is byte-identical to a serial ingest of
-// that group's slice — and therefore identical across the group.
+// IngestDataset fans the dataset out across shards in parallel: each shard
+// ingests its videos in dataset order, so per-shard state is byte-identical
+// to a serial ingest of that shard's slice.
 func (e *Engine) IngestDataset(ds *datasets.Dataset) error {
-	byGroup := make([][]*video.Video, len(e.groups))
+	byShard := make([][]*video.Video, len(e.backends))
 	for i := range ds.Videos {
 		v := &ds.Videos[i]
 		o := e.owner(v.ID)
-		byGroup[o] = append(byGroup[o], v)
+		byShard[o] = append(byShard[o], v)
 	}
-	r := e.Replicas()
-	units := len(e.groups) * r
-	errs := make([]error, units)
-	core.ParallelFor(units, units, func(u int) {
-		gi, ri := u/r, u%r
-		sys := e.groups[gi].replicas[ri]
-		for _, v := range byGroup[gi] {
-			if err := sys.Ingest(v); err != nil {
-				errs[u] = fmt.Errorf("shard %d replica %d: %w", gi, ri, err)
+	errs := make([]error, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		vs := byShard[i]
+		if len(vs) == 0 {
+			return
+		}
+		if bi, ok := e.backends[i].(remote.BulkIngester); ok {
+			if err := bi.IngestVideos(vs); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+			return
+		}
+		for _, v := range vs {
+			if err := e.backends[i].Ingest(v); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
 			}
 		}
 	})
-	// A replica that aborted while a peer completed is behind its group —
-	// pull it from routing so queries only see consistent corpora (as in
-	// Ingest, a deterministic fault hits every replica and marks none).
-	for gi, g := range e.groups {
-		anyOK, anyErr := false, false
-		for ri := 0; ri < r; ri++ {
-			if errs[gi*r+ri] == nil {
-				anyOK = true
-			} else {
-				anyErr = true
-			}
-		}
-		if anyOK && anyErr {
-			for ri := 0; ri < r; ri++ {
-				if errs[gi*r+ri] != nil {
-					g.state[ri].failed.Store(true)
-				}
-			}
-		}
-	}
 	return firstErr(errs)
 }
 
-// BuildIndex builds every non-empty replica's index in parallel. Empty
-// shards (fewer videos than shards) are skipped — they answer queries with
-// zero hits either way.
+// BuildIndex builds every shard's index in parallel.
 func (e *Engine) BuildIndex() error {
-	r := e.Replicas()
-	units := len(e.groups) * r
-	errs := make([]error, units)
-	core.ParallelFor(units, units, func(u int) {
-		gi, ri := u/r, u%r
-		sys := e.groups[gi].replicas[ri]
-		if sys.Entities() == 0 {
-			return
-		}
-		if err := sys.BuildIndex(); err != nil {
-			errs[u] = fmt.Errorf("shard %d replica %d: %w", gi, ri, err)
+	errs := make([]error, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		if err := e.backends[i].BuildIndex(); err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
 		}
 	})
 	return firstErr(errs)
 }
 
 // Query answers a natural-language object query with both stages scattered:
-// every shard fast-searches its local index on one picked replica, the hit
-// lists merge into the deterministic global top-fastK, and each candidate
-// frame reranks on a replica of the shard that owns its keyframe. The
-// final ranking runs the same core.RankGroundings the single-system path
-// runs, and the answer is independent of which replicas served.
+// every shard fast-searches its local index, the hit lists merge into the
+// deterministic global top-fastK, and each candidate frame reranks on the
+// shard that owns its keyframe. The final ranking runs the same
+// core.RankGroundings the single-system path runs, and the answer is
+// independent of which replicas — or hosts — served. Any shard leg that
+// fails (after worker-side failover and transport retries) fails the whole
+// query: a partial merge is never returned.
 func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
 	fastK := opts.FastK
 	if fastK == 0 {
@@ -216,18 +243,16 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 	res := &core.Result{}
 
 	// Stage 1 scatter: local top-fastK per shard, merged to global top-fastK.
-	lists := make([][]core.ResultObject, len(e.groups))
-	errs := make([]error, len(e.groups))
+	lists := make([][]core.ResultObject, len(e.backends))
+	errs := make([]error, len(e.backends))
 	start := time.Now()
-	core.ParallelFor(len(e.groups), len(e.groups), func(i int) {
-		errs[i] = e.withReplica(i, func(sys *core.System) error {
-			fh, err := sys.FastSearch(text, opts)
-			if err != nil {
-				return err
-			}
-			lists[i] = fh.Objects
-			return nil
-		})
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		hits, err := e.backends[i].FastSearch(text, opts)
+		if err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		lists[i] = hits
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -242,8 +267,8 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 		return res, nil
 	}
 
-	// Stage 2 scatter: ground each candidate on a replica of its owning
-	// shard, then reassemble groundings in global candidate order so the
+	// Stage 2 scatter: ground each candidate on the shard that owns its
+	// keyframe, then reassemble groundings in global candidate order so the
 	// final ranking sees exactly what a single system would.
 	rerankFrames := opts.RerankFrames
 	if rerankFrames == 0 {
@@ -255,25 +280,30 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 		refs []core.FrameRef
 		pos  []int
 	}
-	byGroup := make([]routed, len(e.groups))
+	byShard := make([]routed, len(e.backends))
 	for pos, ref := range refs {
 		o := e.owner(ref.VideoID)
-		byGroup[o].refs = append(byGroup[o].refs, ref)
-		byGroup[o].pos = append(byGroup[o].pos, pos)
+		byShard[o].refs = append(byShard[o].refs, ref)
+		byShard[o].pos = append(byShard[o].pos, pos)
 	}
 	groundings := make([]core.Grounding, len(refs))
-	gerrs := make([]error, len(e.groups))
-	core.ParallelFor(len(e.groups), len(e.groups), func(i int) {
-		if len(byGroup[i].refs) == 0 {
+	gerrs := make([]error, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		if len(byShard[i].refs) == 0 {
 			return
 		}
-		gerrs[i] = e.withReplica(i, func(sys *core.System) error {
-			gs := sys.GroundCandidates(text, byGroup[i].refs, opts.Workers)
-			for j, g := range gs {
-				groundings[byGroup[i].pos[j]] = g
-			}
-			return nil
-		})
+		gs, err := e.backends[i].GroundCandidates(text, byShard[i].refs, opts.Workers)
+		if err != nil {
+			gerrs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		if len(gs) != len(byShard[i].refs) {
+			gerrs[i] = fmt.Errorf("shard %d: %d groundings for %d candidates", i, len(gs), len(byShard[i].refs))
+			return
+		}
+		for j, g := range gs {
+			groundings[byShard[i].pos[j]] = g
+		}
 	})
 	if err := firstErr(gerrs); err != nil {
 		return nil, err
@@ -310,15 +340,23 @@ func (e *Engine) QueryBatch(texts []string, opts core.QueryOptions, clients int)
 	return results, nil
 }
 
-// Stats aggregates ingest statistics across shards, counting each group's
+// Stats aggregates ingest statistics across shards, counting each shard's
 // primary replica once — replicas hold the same corpus, so an R-replica
 // engine reports the same statistics as an R=1 engine. Counter fields sum;
 // duration fields sum too, so they report aggregate shard-time, not
-// wall-clock (shards ingest in parallel).
+// wall-clock (shards ingest in parallel). Unreachable shards contribute
+// nothing (their health shows in BackendStats).
 func (e *Engine) Stats() core.IngestStats {
+	stats := make([]core.IngestStats, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		st, err := e.backends[i].Stats()
+		if err != nil {
+			return
+		}
+		stats[i] = st
+	})
 	var agg core.IngestStats
-	for _, g := range e.groups {
-		st := g.replicas[0].Stats()
+	for _, st := range stats {
 		agg.Videos += st.Videos
 		agg.Frames += st.Frames
 		agg.Keyframes += st.Keyframes
@@ -329,48 +367,189 @@ func (e *Engine) Stats() core.IngestStats {
 	return agg
 }
 
-// Entities returns the total indexed patch vectors across shards (one
-// replica per group; copies don't multiply the corpus).
+// Entities returns the total indexed patch vectors across reachable shards
+// (one replica per shard; copies don't multiply the corpus).
 func (e *Engine) Entities() int {
+	counts := make([]int, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		c, err := e.backends[i].Entities()
+		if err != nil {
+			return
+		}
+		counts[i] = c
+	})
 	n := 0
-	for _, g := range e.groups {
-		n += g.replicas[0].Entities()
+	for _, c := range counts {
+		n += c
 	}
 	return n
 }
 
-// Built reports whether every non-empty replica has built its index.
+// Built reports whether every shard has built its index. An unreachable or
+// state-lost shard reports false — the engine cannot serve complete answers
+// without it.
 func (e *Engine) Built() bool {
-	for _, g := range e.groups {
-		for _, s := range g.replicas {
-			if s.Entities() > 0 && !s.Built() {
-				return false
-			}
+	var notBuilt atomic.Bool
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		if e.stateLost[i].Load() {
+			notBuilt.Store(true)
+			return
 		}
-	}
-	return true
+		built, err := e.backends[i].Built()
+		if err != nil || !built {
+			notBuilt.Store(true)
+		}
+	})
+	return !notBuilt.Load()
 }
 
-// IngestGen sums each group's minimum replica mutation generation; any
-// ingest or index build anywhere advances it once every replica has it,
-// which is all a result cache needs. The minimum — not the primary's value
-// — matters mid-fan-out: a query may be served by a replica that hasn't
-// received the newest video yet, and stamping its answer with a generation
-// the laggard hasn't reached would let that stale answer survive in a
-// cache forever. Under the minimum, the engine generation only advances
-// after the laggard catches up, invalidating anything computed before.
-func (e *Engine) IngestGen() uint64 {
-	var total uint64
-	for _, grp := range e.groups {
-		gen := grp.replicas[0].IngestGen()
-		for _, s := range grp.replicas[1:] {
-			if sg := s.IngestGen(); sg < gen {
-				gen = sg
-			}
+// noteGen folds one backend's freshly-observed generation into the
+// engine's monotonic view. A generation of zero after progress was
+// recorded can only mean a new, empty system behind the same address — a
+// restarted worker — since a live system's generation never decreases.
+// (Benign interleavings under concurrent ingest can deliver slightly stale
+// non-zero reads, which the monotonic max absorbs without false alarms.)
+func (e *Engine) noteGen(i int, gen uint64) {
+	for {
+		last := e.lastGen[i].Load()
+		if gen == 0 && last > 0 {
+			e.stateLost[i].Store(true)
+			return
 		}
-		total += gen
+		if gen <= last {
+			return
+		}
+		if e.lastGen[i].CompareAndSwap(last, gen) {
+			return
+		}
+	}
+}
+
+// IngestGen sums each shard's mutation generation (itself the minimum
+// across the shard's replicas); any ingest or index build anywhere advances
+// it once every replica has it, which is all a result cache needs. An
+// unreachable shard contributes its last reported generation, so the engine
+// generation holds steady — rather than wobbling cache validity — while a
+// worker is down. A shard whose generation regressed to zero (worker
+// restarted empty) is marked state-lost, which fails Built() and degrades
+// health until the corpus is restored.
+func (e *Engine) IngestGen() uint64 {
+	gens := make([]uint64, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		gen, err := e.backends[i].IngestGen()
+		if err != nil {
+			gens[i] = e.lastGen[i].Load()
+			return
+		}
+		e.noteGen(i, gen)
+		gens[i] = gen
+	})
+	var total uint64
+	for _, g := range gens {
+		total += g
 	}
 	return total
+}
+
+// Replicas returns the replica count per shard for uniformly-replicated
+// local engines (New, NewReplicated); 0 for explicit backend sets, whose
+// shards each manage their own replica count (see ReplicaStats).
+func (e *Engine) Replicas() int {
+	if e.replicas > 0 {
+		return e.replicas
+	}
+	return 0
+}
+
+// FailReplica removes one in-process replica from query routing — the
+// operational "kill" used by failover drills. The replica keeps receiving
+// ingest, so ReviveReplica restores it with the same corpus as its peers.
+func (e *Engine) FailReplica(group, replica int) { e.local(group).Fail(replica) }
+
+// ReviveReplica returns a failed in-process replica to query routing.
+func (e *Engine) ReviveReplica(group, replica int) { e.local(group).Revive(replica) }
+
+// ReplicaStats snapshots per-replica health, read counts and in-flight
+// load, indexed [shard][replica]. A shard whose stats are unreachable
+// reports a single unhealthy placeholder entry.
+func (e *Engine) ReplicaStats() [][]ReplicaStat {
+	out := make([][]ReplicaStat, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		sts, err := e.backends[i].ReplicaStats()
+		if err != nil {
+			out[i] = []ReplicaStat{{Healthy: false}}
+			return
+		}
+		out[i] = sts
+	})
+	return out
+}
+
+// BackendStat is the coordinator's view of one shard backend, surfaced by
+// the serving tier's /stats, /healthz and /metrics.
+type BackendStat struct {
+	// Kind is "local" for in-process shards, "remote" for RPC workers.
+	Kind string `json:"kind"`
+	// Addr is the worker address (remote shards only).
+	Addr string `json:"addr,omitempty"`
+	// Healthy reports the shard answered a health probe.
+	Healthy bool `json:"healthy"`
+	// Error carries the probe failure when unhealthy.
+	Error string `json:"error,omitempty"`
+}
+
+// bootIDer is the transport-level restart detector (remote.Client
+// implements it): the worker's server instance nonce changes across
+// process restarts.
+type bootIDer interface {
+	BootID() (uint64, error)
+}
+
+// BackendStats probes every shard backend in parallel — a remote worker
+// that died since the last request shows up unhealthy here (and flips the
+// serving tier's /healthz to degraded) without waiting for a query to trip
+// over it. A worker that restarted empty after this engine fed it corpus
+// (its boot nonce changed, or its generation regressed to zero) is
+// reported unhealthy too: it would answer — with zero hits — and silently
+// drop its slice from every merge.
+func (e *Engine) BackendStats() []BackendStat {
+	out := make([]BackendStat, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		st := BackendStat{Kind: "local", Healthy: true}
+		if a, ok := e.backends[i].(interface{ Addr() string }); ok {
+			st.Kind, st.Addr = "remote", a.Addr()
+		}
+		if bi, ok := e.backends[i].(bootIDer); ok {
+			id, err := bi.BootID()
+			if err != nil {
+				st.Healthy = false
+				st.Error = err.Error()
+			} else if prev := e.bootID[i].Swap(id); prev != 0 && prev != id && e.lastGen[i].Load() > 0 {
+				e.stateLost[i].Store(true)
+			}
+		} else if err := e.backends[i].Ping(); err != nil {
+			st.Healthy = false
+			st.Error = err.Error()
+		}
+		if e.stateLost[i].Load() {
+			st.Healthy = false
+			st.Error = "shard state lost (worker restarted empty): restore a snapshot or reboot the coordinator to re-ingest"
+		}
+		out[i] = st
+	})
+	return out
+}
+
+// Close releases every backend's resources (remote connection pools; no-op
+// for in-process shards).
+func (e *Engine) Close() error {
+	var first error
+	for _, b := range e.backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func firstErr(errs []error) error {
@@ -383,12 +562,14 @@ func firstErr(errs []error) error {
 }
 
 // Snapshot format: magic, shard count, then one replica's system snapshot
-// per group in shard order, length-prefixed (uint64) — the per-system
+// per shard in shard order, length-prefixed (uint64) — the per-system
 // loader reads through buffered decoders that may consume past their own
 // section, so each shard gets a bounded segment of the stream. Replicas
-// are byte-identical, so one copy per group is the whole engine; the
+// are byte-identical, so one copy per shard is the whole engine; the
 // replica count is deliberately absent from the format, letting any R load
-// a snapshot saved under any other R.
+// a snapshot saved under any other R. The format predates remote shards
+// and is unchanged: segments simply travel over RPC when a shard is
+// remote.
 const snapMagic = "LOVOSHD1\n"
 
 // SaveSnapshot persists one copy of every shard's state (the primary
@@ -398,19 +579,18 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if _, err := io.WriteString(w, snapMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(e.groups))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(e.backends))); err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	for i, g := range e.groups {
-		buf.Reset()
-		if err := g.replicas[0].SaveSnapshot(&buf); err != nil {
+	for i, b := range e.backends {
+		seg, err := b.SaveSnapshot()
+		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(seg))); err != nil {
 			return err
 		}
-		if _, err := w.Write(buf.Bytes()); err != nil {
+		if _, err := w.Write(seg); err != nil {
 			return err
 		}
 	}
@@ -418,9 +598,9 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot restores a snapshot written by SaveSnapshot into this
-// freshly-constructed engine, fanning each group's segment out to all R
-// replicas. The shard count and Config must match the saver's; the replica
-// count need not.
+// freshly-constructed engine, fanning each shard's segment out to all of
+// its replicas. The shard count and Config must match the saver's; the
+// replica count need not.
 func (e *Engine) LoadSnapshot(r io.Reader) error {
 	head := make([]byte, len(snapMagic))
 	if _, err := io.ReadFull(r, head); err != nil {
@@ -433,10 +613,10 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err
 	}
-	if int(n) != len(e.groups) {
-		return fmt.Errorf("shard: snapshot has %d shards, engine has %d", n, len(e.groups))
+	if int(n) != len(e.backends) {
+		return fmt.Errorf("shard: snapshot has %d shards, engine has %d", n, len(e.backends))
 	}
-	for i, g := range e.groups {
+	for i, b := range e.backends {
 		var size uint64
 		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
 			return fmt.Errorf("shard %d: reading snapshot size: %w", i, err)
@@ -445,11 +625,17 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		if _, err := io.ReadFull(r, seg); err != nil {
 			return fmt.Errorf("shard %d: reading snapshot segment: %w", i, err)
 		}
-		for ri, s := range g.replicas {
-			if err := s.LoadSnapshot(bytes.NewReader(seg)); err != nil {
-				return fmt.Errorf("shard %d replica %d: %w", i, ri, err)
-			}
+		if err := b.LoadSnapshot(seg); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
 		}
+	}
+	// A successful restore is the recovery path for a state-lost worker:
+	// every backend now holds its slice again, so clear the marks and
+	// re-learn generations and boot identities from scratch.
+	for i := range e.backends {
+		e.stateLost[i].Store(false)
+		e.lastGen[i].Store(0)
+		e.bootID[i].Store(0)
 	}
 	return nil
 }

@@ -1,18 +1,27 @@
 package shard
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/video"
 )
 
-// ErrAllReplicasDown marks a query that found no healthy replica in some
-// group: every copy of that slice of the corpus has been marked failed, so
-// the engine cannot answer. As long as one replica per group survives,
-// queries keep answering — byte-identically, because replicas are built
-// from equal seeds and equal ingest order.
+// ErrAllReplicasDown marks a request that found no healthy replica in some
+// shard: every copy of that slice of the corpus has been marked failed, so
+// the shard cannot answer. As long as one replica survives, requests keep
+// answering — byte-identically, because replicas are built from equal seeds
+// and equal ingest order.
 var ErrAllReplicasDown = errors.New("shard: every replica of a group is down")
+
+// ReplicaStat is the observable state of one replica, surfaced by the
+// serving tier's /stats and /metrics. It is an alias of the wire type so
+// remote workers report the same shape without an import cycle.
+type ReplicaStat = remote.ReplicaStat
 
 // replicaState is the routing-side view of one replica: health, demand and
 // a read counter. Failure is a routing property, not a data property — a
@@ -22,53 +31,71 @@ type replicaState struct {
 	// failed removes the replica from query routing (set on the first
 	// query error, or manually via Engine.FailReplica).
 	failed atomic.Bool
-	// inflight counts queries currently executing on the replica; the
+	// inflight counts requests currently executing on the replica; the
 	// picker prefers the least-loaded healthy replica.
 	inflight atomic.Int64
-	// reads counts queries ever routed to the replica (stage-1 and
+	// reads counts requests ever routed to the replica (stage-1 and
 	// stage-2 scatter legs both count).
 	reads atomic.Uint64
 }
 
-// replicaGroup is one shard's replica set: R byte-identical core.Systems
-// (equal seeds, equal ingest order) behind a picker. Any healthy replica
-// answers any request for the group's slice of the corpus with the exact
-// bytes every other replica would produce, which is what makes failover
-// transparent.
-type replicaGroup struct {
+// Local is one in-process shard: a replica group of R byte-identical
+// core.Systems (equal seeds, equal ingest order) behind a health-aware
+// picker. It implements remote.ShardBackend, so an Engine composes it
+// interchangeably with remote.Client shards, and cmd/lovoshard hosts one
+// behind a remote.Server. Any healthy replica answers any request for the
+// shard's slice of the corpus with the exact bytes every other replica
+// would produce, which is what makes failover transparent.
+type Local struct {
 	replicas []*core.System
 	state    []replicaState
 	// rr rotates the picker's scan start so replicas with equal in-flight
 	// load alternate (plain round-robin when the group is idle).
 	rr atomic.Uint64
+	// faultHook, when set (tests only), may inject an error before a
+	// replica call, exercising the failover path.
+	faultHook func(replica int) error
 }
 
-func newReplicaGroup(r int, cfg core.Config) (*replicaGroup, error) {
-	g := &replicaGroup{
+// NewLocal constructs an in-process shard of r equal-seeded replicas.
+func NewLocal(r int, cfg core.Config) (*Local, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("shard: need at least 1 replica, got %d", r)
+	}
+	l := &Local{
 		replicas: make([]*core.System, r),
 		state:    make([]replicaState, r),
 	}
-	for i := range g.replicas {
+	for i := range l.replicas {
 		s, err := core.New(cfg)
 		if err != nil {
 			return nil, err
 		}
-		g.replicas[i] = s
+		l.replicas[i] = s
 	}
-	return g, nil
+	return l, nil
 }
+
+// System exposes one replica's core.System (tests, experiments, stats).
+func (l *Local) System(replica int) *core.System { return l.replicas[replica] }
+
+// Replicas returns the replica count R.
+func (l *Local) Replicas() int { return len(l.replicas) }
+
+// Config returns the resolved system configuration.
+func (l *Local) Config() core.Config { return l.replicas[0].Config() }
 
 // pick chooses the serving replica: scanning from a rotating round-robin
 // start, it takes the healthy replica with the fewest in-flight requests —
 // so an idle group alternates replicas and a loaded group routes around
 // the busy ones. Returns -1 when every replica is failed.
-func (g *replicaGroup) pick() int {
-	start := int(g.rr.Add(1)-1) % len(g.replicas)
+func (l *Local) pick() int {
+	start := int(l.rr.Add(1)-1) % len(l.replicas)
 	best := -1
 	var bestLoad int64
-	for off := range g.replicas {
-		i := (start + off) % len(g.replicas)
-		st := &g.state[i]
+	for off := range l.replicas {
+		i := (start + off) % len(l.replicas)
+		st := &l.state[i]
 		if st.failed.Load() {
 			continue
 		}
@@ -80,7 +107,7 @@ func (g *replicaGroup) pick() int {
 	return best
 }
 
-// replicaFault reports whether a query error indicts the replica that
+// replicaFault reports whether a request error indicts the replica that
 // returned it. Errors that depend only on the request — unanswerable query
 // text — would reproduce on every replica, so failing over on them would
 // only burn healthy replicas.
@@ -88,23 +115,22 @@ func replicaFault(err error) bool {
 	return !errors.Is(err, core.ErrNoRecognisedTerms)
 }
 
-// withReplica runs fn against one healthy replica of group gi, marking a
-// replica that returns a fault unhealthy and transparently retrying the
-// next healthy one. fn observes a fully-functional core.System; the error
-// it returns decides failover (see replicaFault).
-func (e *Engine) withReplica(gi int, fn func(sys *core.System) error) error {
-	g := e.groups[gi]
+// withReplica runs fn against one healthy replica, marking a replica that
+// returns a fault unhealthy and transparently retrying the next healthy
+// one. fn observes a fully-functional core.System; the error it returns
+// decides failover (see replicaFault).
+func (l *Local) withReplica(fn func(sys *core.System) error) error {
 	var lastErr error
 	var marked []int
-	for attempt := 0; attempt < len(g.replicas); attempt++ {
-		ri := g.pick()
+	for attempt := 0; attempt < len(l.replicas); attempt++ {
+		ri := l.pick()
 		if ri < 0 {
 			break
 		}
-		st := &g.state[ri]
+		st := &l.state[ri]
 		st.inflight.Add(1)
 		st.reads.Add(1)
-		err := e.callReplica(gi, ri, fn)
+		err := l.callReplica(ri, fn)
 		st.inflight.Add(-1)
 		if err == nil {
 			return nil
@@ -126,7 +152,7 @@ func (e *Engine) withReplica(gi int, fn func(sys *core.System) error) error {
 		// per-request instead. A genuinely broken replica still stays
 		// failed whenever any peer answers.
 		for _, ri := range marked {
-			g.state[ri].failed.Store(false)
+			l.state[ri].failed.Store(false)
 		}
 		return lastErr
 	}
@@ -135,52 +161,214 @@ func (e *Engine) withReplica(gi int, fn func(sys *core.System) error) error {
 
 // callReplica dispatches fn to one replica, routing through the test-only
 // fault hook when set.
-func (e *Engine) callReplica(gi, ri int, fn func(sys *core.System) error) error {
-	if e.faultHook != nil {
-		if err := e.faultHook(gi, ri); err != nil {
+func (l *Local) callReplica(ri int, fn func(sys *core.System) error) error {
+	if l.faultHook != nil {
+		if err := l.faultHook(ri); err != nil {
 			return err
 		}
 	}
-	return fn(e.groups[gi].replicas[ri])
+	return fn(l.replicas[ri])
 }
 
-// Replicas returns the replica count per group (R).
-func (e *Engine) Replicas() int { return len(e.groups[0].replicas) }
+// Fail removes one replica from query routing — the operational "kill" used
+// by failover drills. The replica keeps receiving ingest, so Revive
+// restores it with the same corpus as its peers.
+func (l *Local) Fail(replica int) { l.state[replica].failed.Store(true) }
 
-// FailReplica removes one replica from query routing — the operational
-// "kill" used by failover drills. The replica keeps receiving ingest, so
-// ReviveReplica restores it with the same corpus as its peers.
-func (e *Engine) FailReplica(group, replica int) {
-	e.groups[group].state[replica].failed.Store(true)
+// Revive returns a failed replica to query routing.
+func (l *Local) Revive(replica int) { l.state[replica].failed.Store(false) }
+
+// --- remote.ShardBackend implementation --------------------------------
+
+// Ingest routes one video to every replica. Failed replicas ingest too:
+// failure is a routing state, and a revived replica must hold the same
+// corpus as its peers. Every replica is attempted even when one errors —
+// aborting mid-fan-out would leave the group diverged — and if the error
+// hits only some replicas (a nondeterministic fault; a deterministic one
+// reproduces on all byte-identical peers), the diverged replicas are pulled
+// from routing so the group keeps answering with one consistent corpus.
+func (l *Local) Ingest(v *video.Video) error {
+	errs := make([]error, len(l.replicas))
+	for ri, s := range l.replicas {
+		errs[ri] = s.Ingest(v)
+	}
+	l.markDiverged(errs)
+	return firstErr(errs)
 }
 
-// ReviveReplica returns a failed replica to query routing.
-func (e *Engine) ReviveReplica(group, replica int) {
-	e.groups[group].state[replica].failed.Store(false)
+// IngestVideos ingests a slice of videos in order on every replica, one
+// goroutine per replica, so per-replica state is byte-identical to a serial
+// ingest of the slice — and therefore identical across the group.
+func (l *Local) IngestVideos(vs []*video.Video) error {
+	r := len(l.replicas)
+	errs := make([]error, r)
+	core.ParallelFor(r, r, func(ri int) {
+		for _, v := range vs {
+			if err := l.replicas[ri].Ingest(v); err != nil {
+				errs[ri] = fmt.Errorf("replica %d: %w", ri, err)
+				return
+			}
+		}
+	})
+	l.markDiverged(errs)
+	return firstErr(errs)
 }
 
-// ReplicaStat is the observable state of one replica, surfaced by the
-// serving tier's /stats and /metrics.
-type ReplicaStat struct {
-	Healthy  bool   `json:"healthy"`
-	Reads    uint64 `json:"reads"`
-	Inflight int64  `json:"inflight"`
+// markDiverged pulls replicas whose ingest failed while a peer succeeded
+// out of routing (a deterministic fault hits every replica and marks none).
+func (l *Local) markDiverged(errs []error) {
+	anyOK, anyErr := false, false
+	for _, err := range errs {
+		if err == nil {
+			anyOK = true
+		} else {
+			anyErr = true
+		}
+	}
+	if !anyOK || !anyErr {
+		return
+	}
+	for ri, err := range errs {
+		if err != nil {
+			l.state[ri].failed.Store(true)
+		}
+	}
+}
+
+// BuildIndex builds every non-empty replica's index in parallel. An empty
+// shard (fewer videos than shards) is skipped — it answers queries with
+// zero hits either way.
+func (l *Local) BuildIndex() error {
+	r := len(l.replicas)
+	errs := make([]error, r)
+	core.ParallelFor(r, r, func(ri int) {
+		sys := l.replicas[ri]
+		if sys.Entities() == 0 {
+			return
+		}
+		if err := sys.BuildIndex(); err != nil {
+			errs[ri] = fmt.Errorf("replica %d: %w", ri, err)
+		}
+	})
+	return firstErr(errs)
+}
+
+// FastSearch runs stage 1 on one healthy replica, failing over on faults.
+func (l *Local) FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error) {
+	var hits []core.ResultObject
+	err := l.withReplica(func(sys *core.System) error {
+		fh, err := sys.FastSearch(text, opts)
+		if err != nil {
+			return err
+		}
+		hits = fh.Objects
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hits, nil
+}
+
+// GroundCandidates runs stage 2 on one healthy replica, failing over on
+// faults.
+func (l *Local) GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+	var gs []core.Grounding
+	err := l.withReplica(func(sys *core.System) error {
+		gs = sys.GroundCandidates(text, refs, workers)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// Stats returns one replica's ingest statistics (copies don't multiply the
+// corpus, so the primary speaks for the group).
+func (l *Local) Stats() (core.IngestStats, error) { return l.replicas[0].Stats(), nil }
+
+// Entities returns the shard's indexed patch-vector count.
+func (l *Local) Entities() (int, error) { return l.replicas[0].Entities(), nil }
+
+// Built reports whether every non-empty replica has built its index.
+func (l *Local) Built() (bool, error) {
+	for _, s := range l.replicas {
+		if s.Entities() > 0 && !s.Built() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IngestGen returns the minimum replica mutation generation. The minimum —
+// not the primary's value — matters mid-fan-out: a request may be served by
+// a replica that hasn't received the newest video yet, and stamping its
+// answer with a generation the laggard hasn't reached would let that stale
+// answer survive in a cache forever. Under the minimum, the generation only
+// advances after the laggard catches up, invalidating anything computed
+// before.
+func (l *Local) IngestGen() (uint64, error) {
+	gen := l.replicas[0].IngestGen()
+	for _, s := range l.replicas[1:] {
+		if sg := s.IngestGen(); sg < gen {
+			gen = sg
+		}
+	}
+	return gen, nil
 }
 
 // ReplicaStats snapshots per-replica health, read counts and in-flight
-// load, indexed [group][replica].
-func (e *Engine) ReplicaStats() [][]ReplicaStat {
-	out := make([][]ReplicaStat, len(e.groups))
-	for gi, g := range e.groups {
-		out[gi] = make([]ReplicaStat, len(g.replicas))
-		for ri := range g.replicas {
-			st := &g.state[ri]
-			out[gi][ri] = ReplicaStat{
-				Healthy:  !st.failed.Load(),
-				Reads:    st.reads.Load(),
-				Inflight: st.inflight.Load(),
-			}
+// load.
+func (l *Local) ReplicaStats() ([]ReplicaStat, error) {
+	out := make([]ReplicaStat, len(l.replicas))
+	for ri := range l.replicas {
+		st := &l.state[ri]
+		out[ri] = ReplicaStat{
+			Healthy:  !st.failed.Load(),
+			Reads:    st.reads.Load(),
+			Inflight: st.inflight.Load(),
 		}
 	}
-	return out
+	return out, nil
 }
+
+// ConfigSummary digests the shard's resolved configuration.
+func (l *Local) ConfigSummary() (remote.ConfigSummary, error) {
+	return remote.Summarize(l.Config(), len(l.replicas)), nil
+}
+
+// SaveSnapshot serialises one replica's full system state (the primary
+// speaks for its byte-identical group). Must not run concurrently with
+// ingest or index builds.
+func (l *Local) SaveSnapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := l.replicas[0].SaveSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadSnapshot restores a SaveSnapshot payload into every replica of this
+// freshly-constructed shard — the replica count need not match the saver's.
+func (l *Local) LoadSnapshot(data []byte) error {
+	for ri, s := range l.replicas {
+		if err := s.LoadSnapshot(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("replica %d: %w", ri, err)
+		}
+	}
+	return nil
+}
+
+// Ping reports whether the shard can serve: at least one healthy replica.
+func (l *Local) Ping() error {
+	for ri := range l.replicas {
+		if !l.state[ri].failed.Load() {
+			return nil
+		}
+	}
+	return ErrAllReplicasDown
+}
+
+// Close is a no-op for an in-process shard.
+func (l *Local) Close() error { return nil }

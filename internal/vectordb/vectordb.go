@@ -31,6 +31,24 @@ const (
 	IndexHNSW  IndexKind = "hnsw"
 )
 
+// ParseKind resolves a command-line index name to its kind; the empty
+// string selects the default (IMI), and "bf" aliases the brute-force flat
+// scan.
+func ParseKind(name string) (IndexKind, error) {
+	switch name {
+	case "", "imi":
+		return IndexIMI, nil
+	case "ivfpq":
+		return IndexIVFPQ, nil
+	case "hnsw":
+		return IndexHNSW, nil
+	case "flat", "bf":
+		return IndexFlat, nil
+	default:
+		return "", fmt.Errorf("unknown index %q (imi|ivfpq|hnsw|flat)", name)
+	}
+}
+
 // IndexOptions is the union of per-kind build options; zero values select
 // defaults.
 type IndexOptions struct {
