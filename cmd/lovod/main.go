@@ -22,6 +22,9 @@
 //	curl localhost:8077/healthz
 //	curl -X POST localhost:8077/query \
 //	  -d '{"query": "A red car driving in the center of the road."}'
+//	curl -X POST localhost:8077/query \
+//	  -d '{"query": "A red car driving in the center of the road.",
+//	       "options": {"min_recall": 0.9}}'
 //	curl -X POST localhost:8077/query/batch \
 //	  -d '{"queries": ["A truck driving on the road.", "A person walking on the street."]}'
 //	curl localhost:8077/stats
@@ -53,7 +56,8 @@ func main() {
 		shards     = flag.Int("shards", 4, "shard count (videos partition by ID modulo shards; ignored with -shard-addrs)")
 		replicas   = flag.Int("replicas", 1, "replicas per shard (queries pick one; ingest fans to all)")
 		index      = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat")
-		cache      = flag.Int("cache", 256, "query-result cache capacity in entries (0 disables)")
+		cache      = flag.Int("cache", 512, "query-result cache capacity in entries (0 disables; default from the cachesweep bench)")
+		minRecall  = flag.Float64("min-recall", 0, "default stage-1 recall bound in (0,1] applied to queries without their own min_recall; 0 keeps the fixed default knobs")
 		addr       = flag.String("addr", ":8077", "listen address")
 		workers    = flag.Int("workers", 0, "per-shard worker pool (0 = NumCPU)")
 		saveFile   = flag.String("save", "", "after ingest and indexing, write an engine snapshot to this file")
@@ -67,6 +71,9 @@ func main() {
 	kind, err := vectordb.ParseKind(*index)
 	if err != nil {
 		fatal(err)
+	}
+	if err := core.ValidateMinRecall(*minRecall); err != nil {
+		fatal(fmt.Errorf("-min-recall: %w", err))
 	}
 	cfg := core.Config{Seed: *seed, Index: kind, Workers: *workers}
 
@@ -117,7 +124,14 @@ func main() {
 	log.Printf("ready: %d keyframes, %d indexed patch vectors (aggregate shard-time: processing %s, indexing %s)",
 		st.Keyframes, st.Tokens, st.Processing.Round(1e6), st.Indexing.Round(1e6))
 
-	srv := server.New(eng, server.Config{CacheSize: *cache, Shards: eng.Shards()})
+	srv := server.New(eng, server.Config{
+		CacheSize:        *cache,
+		Shards:           eng.Shards(),
+		DefaultMinRecall: *minRecall,
+	})
+	if *minRecall > 0 {
+		log.Printf("planner: default accuracy bound min_recall=%.2f (per-request min_recall overrides)", *minRecall)
+	}
 	log.Printf("serving on %s (POST /query, POST /query/batch, GET /stats /healthz /metrics)", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)

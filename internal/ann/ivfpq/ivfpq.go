@@ -210,6 +210,15 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 	if ix.rawData != nil {
 		// Over-fetch for exact refinement.
 		shortlistK = k * 4
+		if p.Exhaustive {
+			// An exhaustive search must be exact by construction (recall 1),
+			// not "exact over an ADC shortlist": retain every entity for the
+			// exact re-scoring pass, so a quantization near-tie at the
+			// shortlist cut can never drop a true top-k item — and per-shard
+			// exhaustive top-k lists merge into the monolithic answer bit
+			// for bit.
+			shortlistK = ix.count
+		}
 	}
 	top := mat.GetTopK(shortlistK)
 	defer mat.PutTopK(top)

@@ -266,6 +266,64 @@ func TestReplicationStructure(t *testing.T) {
 	}
 }
 
+func TestPlannerBenchStructure(t *testing.T) {
+	tbl, err := Run("planner", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed, three bounds, exhaustive.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "fixed defaults" || tbl.Rows[0][1] != "fixed" {
+		t.Fatalf("fixed baseline row: %v", tbl.Rows[0])
+	}
+	// The exhaustive ceiling measures recall 1 by construction.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "exhaustive" || last[3] != "1.000" {
+		t.Fatalf("exhaustive row: %v", last)
+	}
+	// Bounded rows plan adaptively, never via the fixed path.
+	for _, row := range tbl.Rows[1:4] {
+		if !strings.Contains(row[1], "adaptive") {
+			t.Fatalf("bounded mode %q planned %q, want adaptive", row[0], row[1])
+		}
+	}
+	if len(tbl.Notes) == 0 {
+		t.Fatal("missing planner-vs-fixed note")
+	}
+}
+
+func TestCacheSweepStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache replay too slow for -short")
+	}
+	tbl, err := Run("cachesweep", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Caching disabled: zero hits, by definition.
+	if tbl.Rows[0][0] != "0" || tbl.Rows[0][1] != "0.000" {
+		t.Fatalf("disabled-cache row: %v", tbl.Rows[0])
+	}
+	// The largest cache must do no worse than the smallest non-zero one.
+	if tbl.Rows[len(tbl.Rows)-1][1] < tbl.Rows[1][1] {
+		t.Fatalf("hit rate fell with capacity: %v vs %v", tbl.Rows[1], tbl.Rows[len(tbl.Rows)-1])
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "recommended default") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing recommended-default note: %v", tbl.Notes)
+	}
+}
+
 func TestLOVOMethodContract(t *testing.T) {
 	m := NewLOVO(7)
 	if m.Name() != "LOVO" {

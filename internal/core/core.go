@@ -110,6 +110,11 @@ type Config struct {
 	// fan-out. Zero means runtime.NumCPU(); 1 forces the serial paths.
 	// Results are byte-identical at every setting.
 	Workers int
+	// PlannerValidateEvery is the planner's validation cadence: every Nth
+	// adaptive plan is measured inline against exact-search ground truth
+	// and the safety margin adapted from the error (default 64; negative
+	// disables validation).
+	PlannerValidateEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +167,9 @@ func (c Config) withDefaults() Config {
 	if c.Rerank.Seed == 0 {
 		c.Rerank.Seed = c.Seed ^ 0x2e2a
 	}
+	if c.PlannerValidateEvery == 0 {
+		c.PlannerValidateEvery = 64
+	}
 	return c
 }
 
@@ -204,6 +212,11 @@ type System struct {
 
 	stats IngestStats
 	built bool
+
+	// planner accumulates selectivity samples at ingest and calibrates
+	// index effort lazily; it resolves accuracy-bounded queries into
+	// concrete plans.
+	planner *planner
 
 	// ingestGen counts completed mutations (Ingest, BuildIndex, snapshot
 	// loads). Serving tiers use it to invalidate query-result caches: a
@@ -260,6 +273,7 @@ func New(cfg Config) (*System, error) {
 
 		keyframes: make(map[frameKey]*video.Frame),
 	}
+	s.planner = newPlanner(cfg)
 	s.vitCfg = vit.Config{GridW: cfg.GridW, GridH: cfg.GridH, Encoder: s.vision}
 	if cfg.Streaming {
 		seg, err := vectordb.NewSegmented("patches",
@@ -326,6 +340,7 @@ func (s *System) Ingest(v *video.Video) error {
 		s.keyframes[frameKey{v.ID, f.Index}] = &fc
 		s.stats.Keyframes++
 		s.mu.Unlock()
+		s.planner.noteFrame(&fc)
 		for _, tok := range encoded[i] {
 			pid := PackPatchID(v.ID, f.Index, tok.Patch)
 			row := relational.Row{
@@ -339,6 +354,7 @@ func (s *System) Ingest(v *video.Video) error {
 			if err := s.insertVector(pid, tok.Class); err != nil {
 				return fmt.Errorf("core: inserting patch vector: %w", err)
 			}
+			s.planner.observe(tok.Class)
 		}
 		s.mu.Lock()
 		s.stats.Tokens += len(encoded[i])

@@ -1,0 +1,68 @@
+package core
+
+import "time"
+
+// PlanTarget is the deployment surface a plan executes against: something
+// that can scatter stage 1 and stage 2. A single System is a one-leg
+// target; shard.Engine is an N-leg target whose stage-2 refs route to the
+// shard owning each keyframe; RPC workers sit behind either leg
+// transparently. ExecutePlan is the only composition of the stage
+// functions — core, engine and remote all answer through it, so equal
+// plans produce equal bytes on every deployment shape.
+type PlanTarget interface {
+	// ScatterSearch runs stage 1 on every leg, returning one canonical
+	// (score desc, patch ID asc) hit list per leg.
+	ScatterSearch(text string, plan Plan) ([][]ResultObject, error)
+	// ScatterGround runs stage 2 over the candidate frames; groundings
+	// align with refs.
+	ScatterGround(text string, refs []FrameRef, workers int) ([]Grounding, error)
+}
+
+// ExecutePlan runs Algorithm 2 under an explicit plan: scatter fast search,
+// merge to the global top-FastK, collapse to candidate frames, then either
+// return deduplicated hits (SkipRerank) or select the rerank budget, ground
+// each candidate and rank. workers bounds the stage-2 fan-out (zero
+// inherits the target's configuration); results are identical at every
+// width.
+func ExecutePlan(t PlanTarget, text string, plan Plan, workers int) (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	lists, err := t.ScatterSearch(text, plan)
+	if err != nil {
+		return nil, err
+	}
+	merged := MergeHits(lists, plan.FastK)
+	refs := CandidateFrames(merged)
+	res.CandidateFrames = len(refs)
+	res.FastSearch = time.Since(start)
+
+	if plan.SkipRerank {
+		res.Objects = DedupHits(merged, plan.FastK)
+		return res, nil
+	}
+
+	rstart := time.Now()
+	refs = SelectForRerank(refs, plan.RerankFrames)
+	groundings, err := t.ScatterGround(text, refs, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Objects = RankGroundings(groundings, plan.TopN)
+	res.Rerank = time.Since(rstart)
+	return res, nil
+}
+
+// systemTarget adapts a System to the one-leg PlanTarget.
+type systemTarget struct{ s *System }
+
+func (t systemTarget) ScatterSearch(text string, plan Plan) ([][]ResultObject, error) {
+	fh, err := t.s.SearchPlanned(text, plan)
+	if err != nil {
+		return nil, err
+	}
+	return [][]ResultObject{fh.Objects}, nil
+}
+
+func (t systemTarget) ScatterGround(text string, refs []FrameRef, workers int) ([]Grounding, error) {
+	return t.s.GroundCandidates(text, refs, workers), nil
+}

@@ -1,0 +1,551 @@
+// The planner turns the accuracy-bounded query API (QueryOptions.MinRecall)
+// into concrete plans. It never guesses from formulas: selectivity is
+// sampled at ingest (per-term posting statistics, a deterministic sketch of
+// the stored score distribution) and index effort is calibrated against
+// exact-search ground truth — a ladder of NProbe/Ef rungs, each measured on
+// probe vectors drawn from the stored sample and from vocabulary-term
+// embeddings. Plan choice is then a lookup: the cheapest rung whose
+// worst-case calibrated recall clears the bound plus a safety margin, with
+// escalation to exact search when nothing qualifies or no calibration data
+// exists. A validation loop periodically re-measures a live query's plan
+// against exact ground truth and folds the error back into the margin, the
+// sample-plan-execute-with-uncertainty loop MIRIS runs for video predicates.
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/ann"
+	"repro/internal/mat"
+	"repro/internal/query"
+	"repro/internal/vectordb"
+	"repro/internal/video"
+)
+
+// TermCount is one vocabulary term's posting statistics: how many object
+// observations and distinct keyframes of this system's corpus carry it.
+type TermCount struct {
+	Name    string
+	Objects int
+	Frames  int
+}
+
+// Rung is one calibrated point on the index effort ladder: the recall the
+// index delivered at this NProbe (IMI/IVF-PQ) or Ef (HNSW) against the
+// exact top-FastK, measured over the probe set. MinRecall is the
+// worst-case probe — the value plan selection trusts; MeanRecall is
+// reported for observability.
+type Rung struct {
+	NProbe     int
+	Ef         int
+	MinRecall  float64
+	MeanRecall float64
+}
+
+// PlanStats is the codec-friendly planning digest one shard exports: the
+// selectivity sample, posting statistics and calibrated effort ladder a
+// coordinator combines to plan across shards it cannot see into.
+type PlanStats struct {
+	// Entities is the shard's indexed vector count.
+	Entities int
+	// Dim is the sample vector dimensionality (ProjDim).
+	Dim int
+	// SampleEvery is the sketch stride: each sample vector stands for this
+	// many stored vectors, which is the weight per-shard k estimation uses.
+	SampleEvery int
+	// Sample is the flattened, unit-normalised vector sketch in insertion
+	// order (len = Dim * count).
+	Sample []float32
+	// Terms is the per-term posting statistics, sorted by name.
+	Terms []TermCount
+	// Rungs is the calibrated effort ladder (empty until calibration).
+	Rungs []Rung
+	// Calibrated reports whether Rungs is trustworthy; a shard that is
+	// empty, unbuilt or never calibrated forces exact planning.
+	Calibrated bool
+	// Margin is the shard's current validation-adjusted safety margin.
+	Margin float64
+}
+
+type termStat struct {
+	objects int
+	frames  int
+}
+
+const (
+	// plannerSampleCap bounds the vector sketch; on overflow the sketch
+	// thins to every second vector and doubles its stride, staying
+	// deterministic for equal ingest orders (so replicas agree).
+	plannerSampleCap = 512
+	// plannerProbeVecs and plannerProbeTerms bound the calibration probe
+	// set: evenly-spaced stored vectors plus embeddings of the corpus's
+	// most frequent vocabulary terms (text-shaped probes, since live
+	// queries are text embeddings, not stored vectors).
+	plannerProbeVecs  = 12
+	plannerProbeTerms = 8
+	// plannerInitMargin is the initial safety margin added to the caller's
+	// bound before rung selection; the validation loop adapts it.
+	plannerInitMargin = 0.02
+	// plannerMaxMargin caps margin growth so one pathological query cannot
+	// push every later plan to exact forever.
+	plannerMaxMargin = 0.25
+)
+
+// planner holds one System's planning state. All fields are guarded by mu;
+// ingest-side hooks (observe, noteFrame) are cheap and run on the ingest
+// goroutine, calibration runs lazily on the first bounded plan after a
+// corpus change.
+type planner struct {
+	mu          sync.Mutex
+	dim         int
+	terms       map[string]*termStat
+	sample      []float32
+	sampleEvery int
+	seen        int
+
+	rungs         []Rung
+	calibrated    bool
+	calibGen      uint64
+	calibEntities int
+
+	margin        float64
+	planned       int
+	validateEvery int
+	lastMeasured  float64
+}
+
+func newPlanner(cfg Config) *planner {
+	return &planner{
+		dim:           cfg.ProjDim,
+		terms:         make(map[string]*termStat),
+		sampleEvery:   1,
+		margin:        plannerInitMargin,
+		validateEvery: cfg.PlannerValidateEvery,
+	}
+}
+
+// reset drops all planning state (snapshot restore rebuilds it from the
+// restored corpus).
+func (p *planner) reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.terms = make(map[string]*termStat)
+	p.sample = nil
+	p.sampleEvery = 1
+	p.seen = 0
+	p.rungs = nil
+	p.calibrated = false
+	p.calibGen = 0
+	p.calibEntities = 0
+	p.planned = 0
+	p.margin = plannerInitMargin
+	p.lastMeasured = 0
+}
+
+// observe folds one inserted vector into the score-distribution sketch:
+// every sampleEvery-th vector is kept (normalised, as stored), and the
+// sketch thins deterministically when full.
+func (p *planner) observe(v []float32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen%p.sampleEvery == 0 {
+		w := make([]float32, len(v))
+		copy(w, v)
+		mat.Normalize(w)
+		p.sample = append(p.sample, w...)
+		if len(p.sample) >= plannerSampleCap*p.dim {
+			p.thinLocked()
+		}
+	}
+	p.seen++
+}
+
+// thinLocked halves the sketch, keeping every second vector. Kept vectors
+// sit on the doubled stride's lattice, so future picks stay consistent.
+func (p *planner) thinLocked() {
+	n := len(p.sample) / p.dim
+	kept := 0
+	for i := 0; i < n; i += 2 {
+		copy(p.sample[kept*p.dim:(kept+1)*p.dim], p.sample[i*p.dim:(i+1)*p.dim])
+		kept++
+	}
+	p.sample = p.sample[:kept*p.dim]
+	p.sampleEvery *= 2
+}
+
+// noteFrame folds one ingested keyframe into the per-term posting
+// statistics: each term of the frame's objects (class, attributes,
+// behaviours) and scene context counts one frame, and object-level terms
+// additionally count their occurrences.
+func (p *planner) noteFrame(f *video.Frame) {
+	counts := make(map[string]int)
+	for i := range f.Objects {
+		o := &f.Objects[i]
+		counts[o.Class]++
+		for _, a := range o.Attrs {
+			counts[a]++
+		}
+		for _, b := range o.Behaviors {
+			counts[b]++
+		}
+	}
+	for _, c := range f.Context {
+		if _, ok := counts[c]; !ok {
+			counts[c] = 0
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for t, n := range counts {
+		st := p.terms[t]
+		if st == nil {
+			st = &termStat{}
+			p.terms[t] = st
+		}
+		st.frames++
+		st.objects += n
+	}
+}
+
+// probeVectorsLocked draws up to plannerProbeVecs evenly spaced vectors
+// from the sketch.
+func (p *planner) probeVectorsLocked() [][]float32 {
+	n := len(p.sample) / p.dim
+	if n == 0 {
+		return nil
+	}
+	count := plannerProbeVecs
+	if count > n {
+		count = n
+	}
+	out := make([][]float32, 0, count)
+	for i := 0; i < count; i++ {
+		idx := i * n / count
+		v := make([]float32, p.dim)
+		copy(v, p.sample[idx*p.dim:(idx+1)*p.dim])
+		out = append(out, v)
+	}
+	return out
+}
+
+// topTermsLocked returns the n most frequent term names (by distinct
+// frames, ties by name) — the text-probe set for calibration.
+func (p *planner) topTermsLocked(n int) []string {
+	type tc struct {
+		name   string
+		frames int
+	}
+	all := make([]tc, 0, len(p.terms))
+	for name, st := range p.terms {
+		all = append(all, tc{name, st.frames})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].frames != all[j].frames {
+			return all[i].frames > all[j].frames
+		}
+		return all[i].name < all[j].name
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}
+
+// ensureCalibratedLocked brings the effort ladder up to date with the
+// corpus. Calibration is lazy — it runs on the first bounded plan (or
+// PlanStats export) after a mutation — and tolerant of small growth: once
+// calibrated, the ladder is reused until the corpus grows by more than a
+// quarter, so a bounded query stream concurrent with trickle ingest does
+// not recalibrate per video.
+func (p *planner) ensureCalibratedLocked(s *System) {
+	gen := s.IngestGen()
+	if gen == p.calibGen {
+		return
+	}
+	ent := s.Entities()
+	if p.calibrated && s.Built() && ent >= p.calibEntities && ent <= p.calibEntities+p.calibEntities/4 {
+		p.calibGen = gen
+		return
+	}
+	p.calibrateLocked(s, gen, ent)
+}
+
+// calibrateLocked measures the effort ladder against exact-search ground
+// truth: for each probe, the exact top-FastK is computed once by
+// exhaustive scan, then each rung's approximate search is scored against
+// it. The ladder stops early once worst-case recall saturates.
+func (p *planner) calibrateLocked(s *System, gen uint64, ent int) {
+	p.calibGen = gen
+	p.calibEntities = ent
+	p.calibrated = false
+	p.rungs = nil
+	if ent == 0 || !s.Built() {
+		return
+	}
+	if s.cfg.Index == vectordb.IndexFlat {
+		// Flat search is exact at every setting.
+		p.rungs = []Rung{{MinRecall: 1, MeanRecall: 1}}
+		p.calibrated = true
+		return
+	}
+	probes := p.probeVectorsLocked()
+	probes = append(probes, s.probeTextVectors(p.topTermsLocked(plannerProbeTerms))...)
+	if len(probes) == 0 {
+		return
+	}
+	k := s.cfg.FastK
+	exact := make([]map[int64]bool, len(probes))
+	for i, q := range probes {
+		hits, err := s.searchVectors(q, k, ann.Params{Exhaustive: true})
+		if err != nil {
+			return
+		}
+		ids := make(map[int64]bool, len(hits))
+		for _, h := range hits {
+			ids[h.ID] = true
+		}
+		exact[i] = ids
+	}
+	var ladder []Rung
+	if s.cfg.Index == vectordb.IndexHNSW {
+		for _, ef := range []int{16, 32, 64, 128, 256} {
+			ladder = append(ladder, Rung{Ef: ef})
+		}
+	} else {
+		maxProbe := s.cfg.IndexOptions.M
+		for _, np := range []int{1, 2, 4, 8, 16, 32, 64} {
+			if maxProbe > 0 && np > maxProbe {
+				break
+			}
+			ladder = append(ladder, Rung{NProbe: np})
+		}
+	}
+	for _, rung := range ladder {
+		minR, sum := 1.0, 0.0
+		for i, q := range probes {
+			hits, err := s.searchVectors(q, k, ann.Params{NProbe: rung.NProbe, Ef: rung.Ef})
+			if err != nil {
+				return
+			}
+			overlap := 0
+			for _, h := range hits {
+				if exact[i][h.ID] {
+					overlap++
+				}
+			}
+			r := 1.0
+			if len(exact[i]) > 0 {
+				r = float64(overlap) / float64(len(exact[i]))
+			}
+			if r < minR {
+				minR = r
+			}
+			sum += r
+		}
+		rung.MinRecall = minR
+		rung.MeanRecall = sum / float64(len(probes))
+		p.rungs = append(p.rungs, rung)
+		if minR >= 0.999 {
+			break
+		}
+	}
+	p.calibrated = true
+}
+
+// plan chooses the cheapest plan predicted to satisfy opts.MinRecall: the
+// first ladder rung whose worst-case calibrated recall clears the bound
+// plus the safety margin, escalating to exact search when none does or no
+// calibration data exists (an empty, unbuilt or never-sampled system plans
+// exact — recall 1 by construction, never a silent miss). Every
+// validateEvery-th adaptive plan is validated inline against exact ground
+// truth for the live query; a miss both escalates that query to exact and
+// widens the margin for later ones.
+func (p *planner) plan(s *System, text string, opts QueryOptions) Plan {
+	base := s.cfg.FixedPlan(opts)
+	exact := func() Plan {
+		e := base
+		e.Exact = true
+		e.Kind = PlanAdaptiveExact
+		e.PredictedRecall = 1
+		return e
+	}
+	if opts.Exhaustive {
+		return exact()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureCalibratedLocked(s)
+	if !p.calibrated || len(p.rungs) == 0 {
+		return exact()
+	}
+	need := opts.MinRecall + p.margin
+	var chosen *Rung
+	for i := range p.rungs {
+		if p.rungs[i].MinRecall >= need {
+			chosen = &p.rungs[i]
+			break
+		}
+	}
+	if chosen == nil {
+		return exact()
+	}
+	pl := base
+	pl.Kind = PlanAdaptive
+	pl.PredictedRecall = chosen.MinRecall
+	if chosen.NProbe > 0 {
+		pl.NProbe = chosen.NProbe
+	}
+	if chosen.Ef > 0 {
+		pl.Ef = chosen.Ef
+	}
+	if !pl.SkipRerank {
+		if m, ok := p.rarestTermFramesLocked(text); ok {
+			pl.RerankFrames = AdaptRerankBudget(m, base.RerankFrames, base.TopN)
+		}
+	}
+	p.planned++
+	if p.validateEvery > 0 && p.planned%p.validateEvery == 0 {
+		if measured, err := s.StageRecall(text, pl); err == nil {
+			p.lastMeasured = measured
+			if measured < opts.MinRecall {
+				p.margin = math.Min(plannerMaxMargin, p.margin+(opts.MinRecall-measured)+0.01)
+				return exact()
+			}
+			if measured-opts.MinRecall > p.margin {
+				p.margin = math.Max(0.01, p.margin*0.9)
+			}
+		}
+	}
+	return pl
+}
+
+// rarestTermFramesLocked estimates how many distinct keyframes can match
+// the query at all: the smallest per-term frame count over the query's
+// fast-search terms. A term absent from the corpus estimates zero.
+func (p *planner) rarestTermFramesLocked(text string) (int, bool) {
+	parsed := query.Parse(text)
+	m, found := 0, false
+	for _, t := range parsed.FastTerms() {
+		frames := 0
+		if st, ok := p.terms[t.Name]; ok {
+			frames = st.frames
+		}
+		if !found || frames < m {
+			m, found = frames, true
+		}
+	}
+	return m, found
+}
+
+// AdaptRerankBudget trims the stage-2 frame budget for selective queries:
+// when at most m frames can match, examining many more than m candidates
+// only burns transformer passes on frames that cannot ground. The budget
+// never grows past the configured default (the fixed path's cost ceiling)
+// and never shrinks below the answer size.
+func AdaptRerankBudget(m, def, topN int) int {
+	budget := m + 4
+	floor := topN
+	if floor < 8 {
+		floor = 8
+	}
+	if budget < floor {
+		budget = floor
+	}
+	if budget > def {
+		budget = def
+	}
+	return budget
+}
+
+// PlanStats exports the planning digest a scatter-gather coordinator
+// combines across shards: selectivity sample, posting statistics, and the
+// calibrated effort ladder (calibrating lazily first if the corpus changed).
+func (s *System) PlanStats() PlanStats {
+	p := s.planner
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureCalibratedLocked(s)
+	st := PlanStats{
+		Entities:    s.Entities(),
+		Dim:         p.dim,
+		SampleEvery: p.sampleEvery,
+		Sample:      append([]float32(nil), p.sample...),
+		Rungs:       append([]Rung(nil), p.rungs...),
+		Calibrated:  p.calibrated,
+		Margin:      p.margin,
+	}
+	st.Terms = make([]TermCount, 0, len(p.terms))
+	for name, ts := range p.terms {
+		st.Terms = append(st.Terms, TermCount{Name: name, Objects: ts.objects, Frames: ts.frames})
+	}
+	sort.Slice(st.Terms, func(i, j int) bool { return st.Terms[i].Name < st.Terms[j].Name })
+	return st
+}
+
+// LastMeasuredRecall reports the most recent validation-loop measurement
+// (0 until the loop has run) — adaptive plans report measured recall the
+// way the ANN indexes report theirs.
+func (s *System) LastMeasuredRecall() float64 {
+	s.planner.mu.Lock()
+	defer s.planner.mu.Unlock()
+	return s.planner.lastMeasured
+}
+
+// probeTextVectors embeds vocabulary terms as fast-search query vectors —
+// calibration probes shaped like live queries.
+func (s *System) probeTextVectors(terms []string) [][]float32 {
+	var out [][]float32
+	for _, t := range terms {
+		parsed := query.Parse(t)
+		qv := s.text.FastVec(parsed)
+		if mat.Norm(qv) == 0 {
+			continue
+		}
+		out = append(out, s.space.Project(qv))
+	}
+	return out
+}
+
+// StageRecall measures a plan's stage-1 recall for one query text against
+// the exact top-FastK ground truth: |plan hits ∩ exact hits| / |exact
+// hits|. This is the planner's validation measurement and the bench
+// harness's "measured recall" column.
+func (s *System) StageRecall(text string, plan Plan) (float64, error) {
+	plan = s.cfg.NormalizePlan(plan)
+	q, err := s.encodeQuery(text)
+	if err != nil {
+		return 0, err
+	}
+	exact, err := s.searchVectors(q, plan.FastK, ann.Params{Exhaustive: true})
+	if err != nil {
+		return 0, err
+	}
+	if len(exact) == 0 {
+		return 1, nil
+	}
+	k := plan.ShardK
+	if k <= 0 {
+		k = plan.FastK
+	}
+	hits, err := s.searchVectors(q, k, ann.Params{NProbe: plan.NProbe, Ef: plan.Ef, Exhaustive: plan.Exact})
+	if err != nil {
+		return 0, err
+	}
+	ids := make(map[int64]bool, len(hits))
+	for _, h := range hits {
+		ids[h.ID] = true
+	}
+	overlap := 0
+	for _, h := range exact {
+		if ids[h.ID] {
+			overlap++
+		}
+	}
+	return float64(overlap) / float64(len(exact)), nil
+}

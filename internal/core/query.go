@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -29,6 +30,35 @@ type QueryOptions struct {
 	// (zero inherits Config.Workers, which defaults to runtime.NumCPU();
 	// 1 forces the serial rerank). Output is identical at every setting.
 	Workers int
+	// MinRecall, when non-zero, is the accuracy bound: the planner picks
+	// the cheapest plan whose calibrated stage-1 recall (against the exact
+	// top-FastK) is predicted to reach at least this value, escalating to
+	// exact search when no approximate setting qualifies. Must lie in
+	// (0, 1]; zero keeps the fixed default plan. Validate with
+	// ValidateMinRecall before accepting untrusted input.
+	MinRecall float64
+	// Plan, when non-nil, pins the execution plan explicitly: the query
+	// runs these exact knobs (zero fields resolved against the Config by
+	// NormalizePlan) and ignores the other option fields and the planner.
+	// A pinned plan answers byte-identically across local, sharded,
+	// replicated and remote deployments.
+	Plan *Plan
+}
+
+// ErrBadMinRecall marks a MinRecall bound outside (0, 1] — a caller input
+// error serving tiers map to 400.
+var ErrBadMinRecall = errors.New("core: MinRecall must lie in (0, 1]")
+
+// ValidateMinRecall rejects accuracy bounds outside (0, 1]. Zero is valid
+// and means "no bound" (the fixed default plan).
+func ValidateMinRecall(r float64) error {
+	if r == 0 {
+		return nil
+	}
+	if math.IsNaN(r) || r < 0 || r > 1 {
+		return fmt.Errorf("%w (got %v)", ErrBadMinRecall, r)
+	}
+	return nil
 }
 
 // ResultObject is one retrieved object.
@@ -97,26 +127,42 @@ type FastHits struct {
 	Elapsed time.Duration
 }
 
-// FastSearch runs stage 1 of Algorithm 2: encode the query, fast-search the
-// vector index for the top-fastK patches, and join the hits against the
-// relational store. Hits are returned in canonical (score desc, patch ID
-// asc) order. Safe to call concurrently with Ingest.
-func (s *System) FastSearch(text string, opts QueryOptions) (*FastHits, error) {
-	fastK := opts.FastK
-	if fastK == 0 {
-		fastK = s.cfg.FastK
-	}
-	start := time.Now()
+// encodeQuery parses and embeds a query text into the projected fast-search
+// space, rejecting texts with no recognised vocabulary term.
+func (s *System) encodeQuery(text string) (mat.Vec, error) {
 	parsed := query.Parse(text)
 	qvec := s.text.FastVec(parsed)
 	if mat.Norm(qvec) == 0 {
 		return nil, fmt.Errorf("core: query %q: %w", text, ErrNoRecognisedTerms)
 	}
-	qproj := s.space.Project(qvec)
-	hits, err := s.searchVectors(qproj, fastK, ann.Params{
-		NProbe:     s.cfg.NProbe,
-		Ef:         s.cfg.Ef,
-		Exhaustive: opts.Exhaustive,
+	return s.space.Project(qvec), nil
+}
+
+// FastSearch runs stage 1 of Algorithm 2 under the fixed plan the options
+// resolve to: encode the query, fast-search the vector index for the
+// top-fastK patches, and join the hits against the relational store. Hits
+// are returned in canonical (score desc, patch ID asc) order. Safe to call
+// concurrently with Ingest.
+func (s *System) FastSearch(text string, opts QueryOptions) (*FastHits, error) {
+	return s.SearchPlanned(text, s.cfg.FixedPlan(opts))
+}
+
+// SearchPlanned runs stage 1 under an explicit plan: the leg's own depth
+// (ShardK) and index effort (Exact/NProbe/Ef) come from the plan, not the
+// Config. This is the stage-1 leg every deployment shape executes — the
+// single system directly, each shard of an engine via Plan.Leg, and RPC
+// workers behind the wire's fast-search op.
+func (s *System) SearchPlanned(text string, plan Plan) (*FastHits, error) {
+	plan = s.cfg.NormalizePlan(plan)
+	start := time.Now()
+	qproj, err := s.encodeQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	hits, err := s.searchVectors(qproj, plan.ShardK, ann.Params{
+		NProbe:     plan.NProbe,
+		Ef:         plan.Ef,
+		Exhaustive: plan.Exact,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fast search: %w", err)
@@ -326,43 +372,42 @@ func RankGroundings(groundings []Grounding, topN int) []ResultObject {
 	return kept
 }
 
-// Query executes the two-stage strategy of Algorithm 2 by composing the
-// stage functions above — the same functions shard.Engine composes across
-// shards, so a one-shard engine answers byte-identically to this path.
-func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
-	fastK := opts.FastK
-	if fastK == 0 {
-		fastK = s.cfg.FastK
+// PlanQuery resolves the plan one query will execute: the pinned plan when
+// QueryOptions.Plan is set, the planner's cheapest bound-satisfying plan
+// when MinRecall is set, and otherwise the fixed default plan — exactly the
+// knobs every query ran with before plans existed.
+func (s *System) PlanQuery(text string, opts QueryOptions) (Plan, error) {
+	if err := ValidateMinRecall(opts.MinRecall); err != nil {
+		return Plan{}, err
 	}
-	topN := opts.TopN
-	if topN == 0 {
-		topN = s.cfg.TopN
+	if opts.Plan != nil {
+		return s.cfg.NormalizePlan(*opts.Plan), nil
 	}
+	if opts.MinRecall > 0 {
+		return s.planner.plan(s, text, opts), nil
+	}
+	return s.cfg.FixedPlan(opts), nil
+}
 
-	res := &Result{}
-	fh, err := s.FastSearch(text, opts)
+// QueryPlanned executes an explicit plan through the shared executor —
+// the same composition of the stage functions shard.Engine and the RPC
+// workers run, so equal plans answer byte-identically on every deployment
+// shape.
+func (s *System) QueryPlanned(text string, plan Plan, workers int) (*Result, error) {
+	return ExecutePlan(systemTarget{s}, text, s.cfg.NormalizePlan(plan), workers)
+}
+
+// Query executes the two-stage strategy of Algorithm 2: resolve a plan
+// (fixed, pinned or planner-chosen per the options), then run it through
+// the shared executor — the same stage composition shard.Engine scatters
+// across shards, so a one-shard engine answers byte-identically to this
+// path.
+func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	plan, err := s.PlanQuery(text, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.FastSearch = fh.Elapsed
-	refs := CandidateFrames(fh.Objects)
-	res.CandidateFrames = len(refs)
-
-	if opts.DisableRerank {
-		res.Objects = DedupHits(fh.Objects, fastK)
-		return res, nil
-	}
-
-	rerankFrames := opts.RerankFrames
-	if rerankFrames == 0 {
-		rerankFrames = s.cfg.RerankFrames
-	}
-	rstart := time.Now()
-	refs = SelectForRerank(refs, rerankFrames)
-	groundings := s.GroundCandidates(text, refs, opts.Workers)
-	res.Objects = RankGroundings(groundings, topN)
-	res.Rerank = time.Since(rstart)
-	return res, nil
+	return s.QueryPlanned(text, plan, opts.Workers)
 }
 
 // QueryBatch answers many queries concurrently across at most clients
@@ -390,6 +435,34 @@ func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*
 	errs := make([]error, len(texts))
 	ParallelFor(len(texts), clients, func(i int) {
 		results[i], errs[i] = s.Query(texts[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d (%q): %w", i, texts[i], err)
+		}
+	}
+	return results, nil
+}
+
+// QueryBatchPlanned executes one pre-resolved plan per query concurrently
+// across at most clients goroutines — the serving tier's batch path, which
+// plans (and cache-keys) each query before execution. Plans align with
+// texts; results align with texts.
+func (s *System) QueryBatchPlanned(texts []string, plans []Plan, workers, clients int) ([]*Result, error) {
+	if len(plans) != len(texts) {
+		return nil, fmt.Errorf("core: batch of %d texts given %d plans", len(texts), len(plans))
+	}
+	if clients == 0 {
+		clients = s.cfg.Workers
+	}
+	clients = ResolveWorkers(clients)
+	if workers == 0 && clients > 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(texts))
+	errs := make([]error, len(texts))
+	ParallelFor(len(texts), clients, func(i int) {
+		results[i], errs[i] = s.QueryPlanned(texts[i], plans[i], workers)
 	})
 	for i, err := range errs {
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/mat"
 	"repro/internal/relational"
 	"repro/internal/vectordb"
 	"repro/internal/video"
@@ -165,6 +166,20 @@ func (s *System) LoadSnapshot(r io.Reader) error {
 	s.db = db
 	s.col = col
 	s.mu.Unlock()
+	// Rebuild the planner's selectivity state from the restored corpus:
+	// keyframes re-feed the posting statistics in their canonical (video,
+	// frame) snapshot order and the vector scan re-feeds the
+	// score-distribution sketch in insertion order, so a loaded system
+	// plans like the one that saved it. Calibration stays lazy.
+	s.planner.reset()
+	for _, kf := range meta.Keyframes {
+		f := kf.Frame
+		s.planner.noteFrame(&f)
+	}
+	col.Scan(func(id int64, v mat.Vec) bool {
+		s.planner.observe(v)
+		return true
+	})
 	s.ingestGen.Add(1)
 	return nil
 }

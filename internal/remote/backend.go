@@ -88,9 +88,10 @@ type ShardBackend interface {
 	Ingest(v *video.Video) error
 	// BuildIndex builds (or, in streaming mode, seals) the shard's index.
 	BuildIndex() error
-	// FastSearch runs stage 1 against the shard's slice of the corpus,
-	// returning its local top-fastK hits in canonical order.
-	FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error)
+	// FastSearch runs stage 1 against the shard's slice of the corpus
+	// under the plan's leg knobs (ShardK depth, Exact/NProbe/Ef effort),
+	// returning its local top-ShardK hits in canonical order.
+	FastSearch(text string, plan core.Plan) ([]core.ResultObject, error)
 	// GroundCandidates runs stage 2 over the candidate frames this shard
 	// owns; groundings align with refs.
 	GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error)
@@ -103,6 +104,11 @@ type ShardBackend interface {
 	// IngestGen returns the shard's mutation generation (the minimum
 	// across replicas, so a cached answer can never outlive a laggard).
 	IngestGen() (uint64, error)
+	// PlanStats exports the shard's planning digest — selectivity sample,
+	// per-term posting statistics and calibrated effort ladder — which the
+	// coordinator's planner combines across shards (calibrating the shard
+	// lazily if its corpus changed since the last export).
+	PlanStats() (core.PlanStats, error)
 	// ReplicaStats snapshots per-replica health and read counts.
 	ReplicaStats() ([]ReplicaStat, error)
 	// ConfigSummary digests the shard's resolved configuration.

@@ -86,11 +86,11 @@ func (c *chaosBackend) perturb() error {
 	return nil
 }
 
-func (c *chaosBackend) FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error) {
+func (c *chaosBackend) FastSearch(text string, plan core.Plan) ([]core.ResultObject, error) {
 	if err := c.perturb(); err != nil {
 		return nil, err
 	}
-	return c.ShardBackend.FastSearch(text, opts)
+	return c.ShardBackend.FastSearch(text, plan)
 }
 
 func (c *chaosBackend) GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {

@@ -287,6 +287,8 @@ func opName(op byte) string {
 		return "load-snapshot"
 	case opIngestBatch:
 		return "ingest-batch"
+	case opPlanStats:
+		return "plan-stats"
 	}
 	return fmt.Sprintf("op-%d", op)
 }
@@ -382,11 +384,11 @@ func (c *Client) BuildIndex() error {
 	return err
 }
 
-// FastSearch runs stage 1 on the worker.
-func (c *Client) FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error) {
+// FastSearch runs stage 1 on the worker under the plan's leg knobs.
+func (c *Client) FastSearch(text string, plan core.Plan) ([]core.ResultObject, error) {
 	e := &enc{}
 	e.str(text)
-	appendOptions(e, opts)
+	appendPlan(e, plan)
 	resp, err := c.call(opFastSearch, e.b, false)
 	if err != nil {
 		return nil, err
@@ -397,6 +399,22 @@ func (c *Client) FastSearch(text string, opts core.QueryOptions) ([]core.ResultO
 		return nil, err
 	}
 	return hits, nil
+}
+
+// PlanStats fetches the worker's planning digest. It rides the retried
+// read path (not the metadata fast path): the first fetch after a corpus
+// change calibrates worker-side, and the sample payload is KB-scale.
+func (c *Client) PlanStats() (core.PlanStats, error) {
+	resp, err := c.call(opPlanStats, nil, false)
+	if err != nil {
+		return core.PlanStats{}, err
+	}
+	d := &dec{b: resp}
+	st := readPlanStats(d)
+	if err := d.finish(); err != nil {
+		return core.PlanStats{}, err
+	}
+	return st, nil
 }
 
 // GroundCandidates runs stage 2 on the worker over the refs it owns.

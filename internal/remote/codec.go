@@ -141,24 +141,108 @@ func (d *dec) finish() error {
 
 // --- message encodings -------------------------------------------------
 
-func appendOptions(e *enc, o core.QueryOptions) {
-	e.i64(int64(o.FastK))
-	e.i64(int64(o.TopN))
-	e.boolean(o.DisableRerank)
-	e.boolean(o.Exhaustive)
-	e.i64(int64(o.RerankFrames))
-	e.i64(int64(o.Workers))
+// appendPlan encodes one execution plan — the stage-op payload replacing
+// the old per-query options. Plan.ShardKs deliberately has no encoding:
+// the coordinator resolves each leg with Plan.Leg before dispatch, so only
+// the leg's own ShardK travels.
+func appendPlan(e *enc, p core.Plan) {
+	e.boolean(p.Exact)
+	e.i64(int64(p.FastK))
+	e.i64(int64(p.ShardK))
+	e.i64(int64(p.NProbe))
+	e.i64(int64(p.Ef))
+	e.i64(int64(p.RerankFrames))
+	e.i64(int64(p.TopN))
+	e.boolean(p.SkipRerank)
+	e.str(string(p.Kind))
+	e.f64(p.PredictedRecall)
 }
 
-func readOptions(d *dec) core.QueryOptions {
-	return core.QueryOptions{
-		FastK:         d.intv(),
-		TopN:          d.intv(),
-		DisableRerank: d.boolean(),
-		Exhaustive:    d.boolean(),
-		RerankFrames:  d.intv(),
-		Workers:       d.intv(),
+func readPlan(d *dec) core.Plan {
+	return core.Plan{
+		Exact:           d.boolean(),
+		FastK:           d.intv(),
+		ShardK:          d.intv(),
+		NProbe:          d.intv(),
+		Ef:              d.intv(),
+		RerankFrames:    d.intv(),
+		TopN:            d.intv(),
+		SkipRerank:      d.boolean(),
+		Kind:            core.PlanKind(d.str()),
+		PredictedRecall: d.f64(),
 	}
+}
+
+func appendPlanStats(e *enc, st core.PlanStats) {
+	e.i64(int64(st.Entities))
+	e.i64(int64(st.Dim))
+	e.i64(int64(st.SampleEvery))
+	e.u32(uint32(len(st.Sample)))
+	for _, v := range st.Sample {
+		e.f32(v)
+	}
+	e.u32(uint32(len(st.Terms)))
+	for _, t := range st.Terms {
+		e.str(t.Name)
+		e.i64(int64(t.Objects))
+		e.i64(int64(t.Frames))
+	}
+	e.u32(uint32(len(st.Rungs)))
+	for _, r := range st.Rungs {
+		e.i64(int64(r.NProbe))
+		e.i64(int64(r.Ef))
+		e.f64(r.MinRecall)
+		e.f64(r.MeanRecall)
+	}
+	e.boolean(st.Calibrated)
+	e.f64(st.Margin)
+}
+
+// Per-element floors for the PlanStats list counts: a sample element is one
+// f32; a term is at least an empty string (u32 length) plus two i64; a rung
+// is two i64 plus two f64.
+const (
+	encSampleElemSize = 4
+	encTermMinSize    = 4 + 16
+	encRungSize       = 32
+)
+
+func readPlanStats(d *dec) core.PlanStats {
+	st := core.PlanStats{
+		Entities:    d.intv(),
+		Dim:         d.intv(),
+		SampleEvery: d.intv(),
+	}
+	if n := d.count(encSampleElemSize); d.err == nil && n > 0 {
+		st.Sample = make([]float32, 0, n)
+		for i := 0; i < n; i++ {
+			st.Sample = append(st.Sample, d.f32())
+		}
+	}
+	if n := d.count(encTermMinSize); d.err == nil && n > 0 {
+		st.Terms = make([]core.TermCount, 0, n)
+		for i := 0; i < n; i++ {
+			st.Terms = append(st.Terms, core.TermCount{Name: d.str(), Objects: d.intv(), Frames: d.intv()})
+			if d.err != nil {
+				return core.PlanStats{}
+			}
+		}
+	}
+	if n := d.count(encRungSize); d.err == nil && n > 0 {
+		st.Rungs = make([]core.Rung, 0, n)
+		for i := 0; i < n; i++ {
+			st.Rungs = append(st.Rungs, core.Rung{
+				NProbe: d.intv(), Ef: d.intv(),
+				MinRecall: d.f64(), MeanRecall: d.f64(),
+			})
+		}
+	}
+	st.Calibrated = d.boolean()
+	st.Margin = d.f64()
+	if d.err != nil {
+		return core.PlanStats{}
+	}
+	return st
 }
 
 func appendObject(e *enc, o core.ResultObject) {

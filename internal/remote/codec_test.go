@@ -100,24 +100,66 @@ func roundTrip[T any](t *testing.T, name string, v T, fill func(*enc, T), read f
 	}
 }
 
-func TestOptionsRoundTrip(t *testing.T) {
+func TestPlanRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	cases := []core.QueryOptions{
+	kinds := []core.PlanKind{"", core.PlanFixed, core.PlanPinned, core.PlanAdaptive, core.PlanAdaptiveExact}
+	cases := []core.Plan{
 		{}, // all zero
-		{FastK: 1 << 30, TopN: -1, RerankFrames: math.MaxInt32, Workers: -7},
+		{Exact: true, FastK: 1 << 30, ShardK: -1, RerankFrames: math.MaxInt32, TopN: -7,
+			Kind: core.PlanAdaptiveExact, PredictedRecall: 1},
 	}
 	for i := 0; i < 100; i++ {
-		cases = append(cases, core.QueryOptions{
-			FastK:         rng.Intn(1 << 16),
-			TopN:          rng.Intn(1 << 10),
-			DisableRerank: rng.Intn(2) == 0,
-			Exhaustive:    rng.Intn(2) == 0,
-			RerankFrames:  rng.Intn(1 << 10),
-			Workers:       rng.Intn(64) - 1,
+		cases = append(cases, core.Plan{
+			Exact:           rng.Intn(2) == 0,
+			FastK:           rng.Intn(1 << 16),
+			ShardK:          rng.Intn(1 << 16),
+			NProbe:          rng.Intn(1 << 8),
+			Ef:              rng.Intn(1 << 10),
+			RerankFrames:    rng.Intn(1 << 10),
+			TopN:            rng.Intn(1 << 10),
+			SkipRerank:      rng.Intn(2) == 0,
+			Kind:            kinds[rng.Intn(len(kinds))],
+			PredictedRecall: randF64(rng),
 		})
 	}
 	for _, c := range cases {
-		roundTrip(t, "options", c, appendOptions, readOptions)
+		roundTrip(t, "plan", c, appendPlan, readPlan)
+	}
+}
+
+func TestPlanStatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []core.PlanStats{
+		{}, // empty shard: no sample, no terms, no rungs
+		{Entities: math.MaxInt32, Dim: 1, SampleEvery: 1 << 20,
+			Sample:     []float32{math.MaxFloat32},
+			Terms:      []core.TermCount{{Name: strings.Repeat("t", 1 << 10), Objects: -1, Frames: math.MaxInt32}},
+			Rungs:      []core.Rung{{NProbe: 64, MinRecall: 1, MeanRecall: 1}},
+			Calibrated: true, Margin: 0.25},
+	}
+	for i := 0; i < 60; i++ {
+		st := core.PlanStats{
+			Entities:    rng.Intn(1 << 24),
+			Dim:         rng.Intn(64) + 1,
+			SampleEvery: 1 << rng.Intn(10),
+			Calibrated:  rng.Intn(2) == 0,
+			Margin:      randF64(rng),
+		}
+		for j := rng.Intn(20); j > 0; j-- {
+			st.Sample = append(st.Sample, randF32(rng))
+		}
+		for j := rng.Intn(6); j > 0; j-- {
+			st.Terms = append(st.Terms, core.TermCount{
+				Name: strings.Repeat("x", rng.Intn(12)), Objects: rng.Intn(1 << 20), Frames: rng.Intn(1 << 20)})
+		}
+		for j := rng.Intn(7); j > 0; j-- {
+			st.Rungs = append(st.Rungs, core.Rung{
+				NProbe: rng.Intn(64), Ef: rng.Intn(256), MinRecall: rng.Float64(), MeanRecall: rng.Float64()})
+		}
+		cases = append(cases, st)
+	}
+	for _, c := range cases {
+		roundTrip(t, "plan-stats", c, appendPlanStats, readPlanStats)
 	}
 }
 
@@ -265,10 +307,10 @@ func TestDecoderRejectsForgedCounts(t *testing.T) {
 // a complete value is corrupt, not "close enough".
 func TestDecoderRejectsTrailingGarbage(t *testing.T) {
 	e := &enc{}
-	appendOptions(e, core.QueryOptions{FastK: 3})
+	appendPlan(e, core.Plan{FastK: 3})
 	e.u8(0xAB)
 	d := &dec{b: e.b}
-	readOptions(d)
+	readPlan(d)
 	if err := d.finish(); err == nil {
 		t.Fatal("trailing bytes must error")
 	}

@@ -238,15 +238,25 @@ func (s *Server) handle(op byte, body []byte) (status byte, resp []byte) {
 
 	case opFastSearch:
 		text := d.str()
-		opts := readOptions(d)
+		plan := readPlan(d)
 		if err := d.finish(); err != nil {
 			return encodeError(err)
 		}
-		hits, err := s.backend.FastSearch(text, opts)
+		hits, err := s.backend.FastSearch(text, plan)
 		if err != nil {
 			return encodeError(err)
 		}
 		appendObjects(e, hits)
+
+	case opPlanStats:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		st, err := s.backend.PlanStats()
+		if err != nil {
+			return encodeError(err)
+		}
+		appendPlanStats(e, st)
 
 	case opGround:
 		text := d.str()

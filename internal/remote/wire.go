@@ -38,6 +38,10 @@ const (
 	// gob blobs), amortising the per-call dial + round trip that
 	// dataset-scale ingest would otherwise pay once per video.
 	opIngestBatch
+	// opPlanStats fetches the shard's planning digest (selectivity sample,
+	// posting statistics, calibrated effort ladder) for the coordinator's
+	// accuracy-bounded planner.
+	opPlanStats
 )
 
 const (

@@ -2,18 +2,19 @@ package server
 
 import (
 	"container/list"
-	"fmt"
 	"sync"
 
 	"repro/internal/core"
 )
 
-// cacheKey canonicalises (query text, options) into the cache key. Every
-// field that changes the answer participates; Workers does not (results are
-// identical at every width, by the engine's determinism contract).
-func cacheKey(text string, opts core.QueryOptions) string {
-	return fmt.Sprintf("%s\x00k=%d n=%d r=%t e=%t f=%d",
-		text, opts.FastK, opts.TopN, opts.DisableRerank, opts.Exhaustive, opts.RerankFrames)
+// cacheKey canonicalises (query text, resolved plan) into the cache key.
+// Plan.Key covers every field that changes the answer and excludes the
+// provenance fields (kind, predicted recall), so a pinned plan and an
+// adaptive plan that resolved to the same knobs share one entry; request
+// Workers never participates (results are identical at every width, by the
+// engine's determinism contract).
+func cacheKey(text string, plan core.Plan) string {
+	return text + "\x00" + plan.Key()
 }
 
 // resultCache is a bounded LRU over query results, stamped with the

@@ -16,23 +16,34 @@ import (
 	"repro/internal/shard"
 )
 
-// fakeBackend is a controllable Backend: Query can be gated to hold a
-// request in flight, and both query paths record the rerank width the
+// fakeBackend is a controllable Backend: QueryPlanned can be gated to hold
+// a request in flight, and both query paths record the rerank width the
 // server handed them.
 type fakeBackend struct {
 	mu           sync.Mutex
 	queryCalls   int
 	queryWorkers []int
 	batchWorkers []int
+	planOpts     []core.QueryOptions
 
-	entered chan struct{} // receives one token per Query entry, if set
-	release chan struct{} // Query blocks until closed, if set
+	entered chan struct{} // receives one token per QueryPlanned entry, if set
+	release chan struct{} // QueryPlanned blocks until closed, if set
 }
 
-func (f *fakeBackend) Query(text string, opts core.QueryOptions) (*core.Result, error) {
+func (f *fakeBackend) PlanQuery(text string, opts core.QueryOptions) (core.Plan, error) {
+	if err := core.ValidateMinRecall(opts.MinRecall); err != nil {
+		return core.Plan{}, err
+	}
+	f.mu.Lock()
+	f.planOpts = append(f.planOpts, opts)
+	f.mu.Unlock()
+	return core.Config{}.Resolved().FixedPlan(opts), nil
+}
+
+func (f *fakeBackend) QueryPlanned(text string, plan core.Plan, workers int) (*core.Result, error) {
 	f.mu.Lock()
 	f.queryCalls++
-	f.queryWorkers = append(f.queryWorkers, opts.Workers)
+	f.queryWorkers = append(f.queryWorkers, workers)
 	f.mu.Unlock()
 	if f.entered != nil {
 		f.entered <- struct{}{}
@@ -43,9 +54,9 @@ func (f *fakeBackend) Query(text string, opts core.QueryOptions) (*core.Result, 
 	return &core.Result{CandidateFrames: 1}, nil
 }
 
-func (f *fakeBackend) QueryBatch(texts []string, opts core.QueryOptions, clients int) ([]*core.Result, error) {
+func (f *fakeBackend) QueryBatchPlanned(texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
 	f.mu.Lock()
-	f.batchWorkers = append(f.batchWorkers, opts.Workers)
+	f.batchWorkers = append(f.batchWorkers, workers)
 	f.mu.Unlock()
 	out := make([]*core.Result, len(texts))
 	for i := range out {
@@ -58,6 +69,135 @@ func (f *fakeBackend) Stats() core.IngestStats { return core.IngestStats{} }
 func (f *fakeBackend) Entities() int           { return 1 }
 func (f *fakeBackend) Built() bool             { return true }
 func (f *fakeBackend) IngestGen() uint64       { return 1 }
+
+// TestOptionValidationRejectsBadKnobs pins the input-validation hardening:
+// negative or absurd integer knobs and a min_recall outside (0, 1] must
+// answer 400 with an error naming the offending field, on both query
+// endpoints, without the backend ever being consulted.
+func TestOptionValidationRejectsBadKnobs(t *testing.T) {
+	fb := &fakeBackend{}
+	ts := httptest.NewServer(New(fb, Config{CacheSize: 4}))
+	defer ts.Close()
+	cases := []struct {
+		name  string
+		opts  QueryOptionsJSON
+		field string
+	}{
+		{"negative fast_k", QueryOptionsJSON{FastK: -1}, "fast_k"},
+		{"absurd fast_k", QueryOptionsJSON{FastK: maxKnob + 1}, "fast_k"},
+		{"negative top_n", QueryOptionsJSON{TopN: -3}, "top_n"},
+		{"absurd top_n", QueryOptionsJSON{TopN: maxKnob + 1}, "top_n"},
+		{"negative rerank_frames", QueryOptionsJSON{RerankFrames: -1}, "rerank_frames"},
+		{"absurd rerank_frames", QueryOptionsJSON{RerankFrames: maxKnob + 1}, "rerank_frames"},
+		{"negative min_recall", QueryOptionsJSON{MinRecall: -0.5}, "min_recall"},
+		{"min_recall above one", QueryOptionsJSON{MinRecall: 1.01}, "min_recall"},
+	}
+	for _, c := range cases {
+		for _, path := range []string{"/query", "/query/batch"} {
+			var resp *http.Response
+			var data []byte
+			if path == "/query" {
+				resp, data = postJSON(t, ts.URL+path, queryRequest{Query: "a red car", Options: c.opts})
+			} else {
+				resp, data = postJSON(t, ts.URL+path, batchRequest{Queries: []string{"a red car"}, Options: c.opts})
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d want 400: %s", c.name, path, resp.StatusCode, data)
+				continue
+			}
+			var e map[string]string
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatalf("%s %s: non-JSON error body %q", c.name, path, data)
+			}
+			if !strings.Contains(e["error"], c.field) {
+				t.Errorf("%s %s: error %q must name field %s", c.name, path, e["error"], c.field)
+			}
+		}
+	}
+	fb.mu.Lock()
+	calls := fb.queryCalls
+	fb.mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("invalid options must never reach the backend, got %d calls", calls)
+	}
+	// The boundary values are legal: knobs at the cap, min_recall exactly 1.
+	resp, data := postJSON(t, ts.URL+"/query",
+		queryRequest{Query: "a red car", Options: QueryOptionsJSON{FastK: maxKnob, MinRecall: 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("boundary options must pass, got %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestDefaultMinRecallApplied: a server booted with a default accuracy
+// bound applies it to requests that set no min_recall of their own, and a
+// request's explicit bound always wins.
+func TestDefaultMinRecallApplied(t *testing.T) {
+	fb := &fakeBackend{}
+	ts := httptest.NewServer(New(fb, Config{DefaultMinRecall: 0.9}))
+	defer ts.Close()
+	if resp, data := postJSON(t, ts.URL+"/query", queryRequest{Query: "a red car"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unbounded query: %d: %s", resp.StatusCode, data)
+	}
+	if resp, data := postJSON(t, ts.URL+"/query",
+		queryRequest{Query: "a red car", Options: QueryOptionsJSON{MinRecall: 0.5}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bounded query: %d: %s", resp.StatusCode, data)
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if len(fb.planOpts) != 2 {
+		t.Fatalf("planned %d queries, want 2", len(fb.planOpts))
+	}
+	if fb.planOpts[0].MinRecall != 0.9 {
+		t.Errorf("server default not applied: planned with MinRecall %v, want 0.9", fb.planOpts[0].MinRecall)
+	}
+	if fb.planOpts[1].MinRecall != 0.5 {
+		t.Errorf("request bound must override the default: got %v, want 0.5", fb.planOpts[1].MinRecall)
+	}
+}
+
+// TestPlanReporting: every answer echoes the resolved plan, /stats counts
+// chosen plans by kind, and /metrics exports lovod_plan_chosen_total.
+func TestPlanReporting(t *testing.T) {
+	fb := &fakeBackend{}
+	ts := httptest.NewServer(New(fb, Config{CacheSize: 4}))
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL+"/query", queryRequest{Query: "a red car"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Plan.Kind != string(core.PlanFixed) || qr.Plan.FastK <= 0 {
+		t.Fatalf("response must echo the resolved plan, got %+v", qr.Plan)
+	}
+	_, _ = postJSON(t, ts.URL+"/query/batch", batchRequest{Queries: []string{"a truck"}})
+
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if st.Plans[string(core.PlanFixed)] != 2 {
+		t.Fatalf("/stats must count both chosen plans by kind, got %v", st.Plans)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(raw), `lovod_plan_chosen_total{kind="fixed"} 2`) {
+		t.Fatalf("metrics missing plan counter:\n%s", raw)
+	}
+}
 
 // TestBatchNarrowsRerankWidthUnderOverlap pins the fixed guard: while a
 // /query holds the serving tier, an overlapping /query/batch must hand the

@@ -107,10 +107,49 @@ type serverMetrics struct {
 	batchQueries atomic.Uint64 // individual queries served via /query/batch
 	errors       atomic.Uint64 // requests rejected or failed
 	latency      *histogram    // per-query serve latency (cache hits included)
+
+	planMu sync.Mutex
+	plans  map[string]uint64 // resolved plans by kind (cache hits included)
 }
 
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{latency: newHistogram()}
+	return &serverMetrics{latency: newHistogram(), plans: make(map[string]uint64)}
+}
+
+// notePlan counts one resolved plan of the given kind.
+func (m *serverMetrics) notePlan(kind string) {
+	m.planMu.Lock()
+	m.plans[kind]++
+	m.planMu.Unlock()
+}
+
+// planCounts snapshots the per-kind plan counters; nil when no query has
+// been planned yet (so /stats omits the field instead of showing {}).
+func (m *serverMetrics) planCounts() map[string]uint64 {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	if len(m.plans) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.plans))
+	for k, v := range m.plans {
+		out[k] = v
+	}
+	return out
+}
+
+// writePlanMetrics renders the per-kind plan counter with a kind label, in
+// sorted order so scrapes are byte-stable.
+func writePlanMetrics(w io.Writer, plans map[string]uint64) {
+	fmt.Fprintf(w, "# TYPE lovod_plan_chosen_total counter\n")
+	kinds := make([]string, 0, len(plans))
+	for k := range plans {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "lovod_plan_chosen_total{kind=\"%s\"} %d\n", k, plans[k])
+	}
 }
 
 func counter(w io.Writer, name string, v uint64) {

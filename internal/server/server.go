@@ -15,9 +15,13 @@
 // /query/batch requests narrow each query's rerank pool to one worker so
 // concurrent traffic never oversubscribes the cores.
 //
-// The cache keys on (query text, options) and stamps every entry with the
-// backend's ingest generation, so any ingest or index build anywhere in the
-// engine invalidates stale answers on their next lookup.
+// Every query is planned before it executes: the backend resolves the
+// request options into an explicit core.Plan (fixed, pinned, or chosen by
+// the accuracy-bounded planner when "min_recall" is set), the cache keys on
+// (query text, resolved plan), and the response echoes the plan that ran.
+// Each entry is stamped with the backend's ingest generation, so any ingest
+// or index build anywhere in the engine invalidates stale answers on their
+// next lookup.
 package server
 
 import (
@@ -35,14 +39,24 @@ import (
 )
 
 // Backend answers queries for the server: both *core.System and
-// *shard.Engine satisfy it.
+// *shard.Engine satisfy it. The server always queries in two steps — plan,
+// then execute — so it can key the result cache on the resolved plan and
+// report which plans the backend is choosing.
 type Backend interface {
-	Query(text string, opts core.QueryOptions) (*core.Result, error)
-	QueryBatch(texts []string, opts core.QueryOptions, clients int) ([]*core.Result, error)
+	PlanQuery(text string, opts core.QueryOptions) (core.Plan, error)
+	QueryPlanned(text string, plan core.Plan, workers int) (*core.Result, error)
+	QueryBatchPlanned(texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error)
 	Stats() core.IngestStats
 	Entities() int
 	Built() bool
 	IngestGen() uint64
+}
+
+// RecallReporter is the optional backend surface of a planning backend
+// (*core.System and *shard.Engine both satisfy it); when present, /stats
+// reports the most recent recall measured by the planner's validation loop.
+type RecallReporter interface {
+	LastMeasuredRecall() float64
 }
 
 // ReplicaReporter is the optional backend surface of a replicated engine
@@ -69,6 +83,12 @@ type Config struct {
 	// Shards is reported in /stats (informational; the backend hides its
 	// own partitioning).
 	Shards int
+	// DefaultMinRecall, when in (0, 1], applies the accuracy bound to every
+	// request that does not set "min_recall" itself, sending it through the
+	// cost-based planner instead of the fixed default knobs. Zero keeps
+	// unbounded requests on the fixed defaults. Requests that do set
+	// "min_recall" (or "exhaustive") are unaffected.
+	DefaultMinRecall float64
 }
 
 // Server is the HTTP serving tier. It implements http.Handler.
@@ -116,6 +136,10 @@ type QueryOptionsJSON struct {
 	DisableRerank bool `json:"disable_rerank,omitempty"`
 	Exhaustive    bool `json:"exhaustive,omitempty"`
 	RerankFrames  int  `json:"rerank_frames,omitempty"`
+	// MinRecall, when set, asks the planner for the cheapest plan predicted
+	// to reach this stage-1 recall (0 < min_recall <= 1) instead of the
+	// fixed default knobs.
+	MinRecall float64 `json:"min_recall,omitempty"`
 }
 
 func (o QueryOptionsJSON) toCore() core.QueryOptions {
@@ -125,7 +149,47 @@ func (o QueryOptionsJSON) toCore() core.QueryOptions {
 		DisableRerank: o.DisableRerank,
 		Exhaustive:    o.Exhaustive,
 		RerankFrames:  o.RerankFrames,
+		MinRecall:     o.MinRecall,
 	}
+}
+
+// resolveOptions converts validated wire options to core options, filling in
+// the server's default accuracy bound for requests that set none.
+func (s *Server) resolveOptions(o QueryOptionsJSON) core.QueryOptions {
+	opts := o.toCore()
+	if opts.MinRecall == 0 {
+		opts.MinRecall = s.cfg.DefaultMinRecall
+	}
+	return opts
+}
+
+// maxKnob bounds the integer query knobs: anything past a million entries
+// per knob is a typo or abuse, not a query, and would only commit the
+// backend to absurd allocation.
+const maxKnob = 1 << 20
+
+// validateOptions rejects unexecutable option payloads up front, naming the
+// offending field — negative or absurd knobs would otherwise surface as
+// undefined backend behaviour (or an allocation) deep in the query path.
+func validateOptions(o QueryOptionsJSON) error {
+	switch {
+	case o.FastK < 0:
+		return fmt.Errorf("options.fast_k must be >= 0, got %d", o.FastK)
+	case o.FastK > maxKnob:
+		return fmt.Errorf("options.fast_k must be <= %d, got %d", maxKnob, o.FastK)
+	case o.TopN < 0:
+		return fmt.Errorf("options.top_n must be >= 0, got %d", o.TopN)
+	case o.TopN > maxKnob:
+		return fmt.Errorf("options.top_n must be <= %d, got %d", maxKnob, o.TopN)
+	case o.RerankFrames < 0:
+		return fmt.Errorf("options.rerank_frames must be >= 0, got %d", o.RerankFrames)
+	case o.RerankFrames > maxKnob:
+		return fmt.Errorf("options.rerank_frames must be <= %d, got %d", maxKnob, o.RerankFrames)
+	}
+	if err := core.ValidateMinRecall(o.MinRecall); err != nil {
+		return fmt.Errorf("options.min_recall must lie in (0, 1], got %v", o.MinRecall)
+	}
+	return nil
 }
 
 // BoxJSON is a bounding box on the wire.
@@ -145,6 +209,36 @@ type ObjectJSON struct {
 	PatchID  int64   `json:"patch_id"`
 }
 
+// PlanJSON is the resolved execution plan on the wire: the exact knobs this
+// query ran with, and the planner's provenance (kind, predicted recall).
+type PlanJSON struct {
+	Kind            string  `json:"kind"`
+	Exact           bool    `json:"exact,omitempty"`
+	FastK           int     `json:"fast_k"`
+	ShardK          int     `json:"shard_k"`
+	NProbe          int     `json:"nprobe,omitempty"`
+	Ef              int     `json:"ef,omitempty"`
+	RerankFrames    int     `json:"rerank_frames"`
+	TopN            int     `json:"top_n"`
+	SkipRerank      bool    `json:"skip_rerank,omitempty"`
+	PredictedRecall float64 `json:"predicted_recall,omitempty"`
+}
+
+func toPlanJSON(p core.Plan) PlanJSON {
+	return PlanJSON{
+		Kind:            string(p.Kind),
+		Exact:           p.Exact,
+		FastK:           p.FastK,
+		ShardK:          p.ShardK,
+		NProbe:          p.NProbe,
+		Ef:              p.Ef,
+		RerankFrames:    p.RerankFrames,
+		TopN:            p.TopN,
+		SkipRerank:      p.SkipRerank,
+		PredictedRecall: p.PredictedRecall,
+	}
+}
+
 // QueryResponse is the answer to one query.
 type QueryResponse struct {
 	Objects         []ObjectJSON `json:"objects"`
@@ -152,6 +246,10 @@ type QueryResponse struct {
 	FastSearchMs    float64      `json:"fast_search_ms"`
 	RerankMs        float64      `json:"rerank_ms"`
 	Cached          bool         `json:"cached"`
+	// Plan is the resolved plan this answer was computed under (for cache
+	// hits: the plan the cached answer was computed under — identical, since
+	// the cache keys on it).
+	Plan PlanJSON `json:"plan"`
 }
 
 type queryRequest struct {
@@ -168,7 +266,7 @@ type batchResponse struct {
 	Results []QueryResponse `json:"results"`
 }
 
-func toResponse(res *core.Result, cached bool) QueryResponse {
+func toResponse(res *core.Result, plan core.Plan, cached bool) QueryResponse {
 	objs := make([]ObjectJSON, len(res.Objects))
 	for i, o := range res.Objects {
 		objs[i] = ObjectJSON{
@@ -185,6 +283,7 @@ func toResponse(res *core.Result, cached bool) QueryResponse {
 		FastSearchMs:    float64(res.FastSearch.Microseconds()) / 1000,
 		RerankMs:        float64(res.Rerank.Microseconds()) / 1000,
 		Cached:          cached,
+		Plan:            toPlanJSON(plan),
 	}
 }
 
@@ -237,11 +336,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "empty query")
 		return
 	}
+	if err := validateOptions(req.Options); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if !s.backend.Built() {
 		s.failUnavailable(w)
 		return
 	}
-	opts := req.Options.toCore()
+	opts := s.resolveOptions(req.Options)
 	// The same guard QueryBatch applies between its clients, applied
 	// between HTTP requests: a lone query gets the full parallel rerank,
 	// but once requests overlap, per-query NumCPU-wide grounding pools
@@ -252,29 +355,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Add(-1)
 	start := time.Now()
-	res, cached, err := s.query(req.Query, opts)
+	res, plan, cached, err := s.query(req.Query, opts)
 	if err != nil {
 		s.fail(w, queryErrStatus(err), "%v", err)
 		return
 	}
 	s.metrics.latency.observe(time.Since(start))
 	s.metrics.queries.Add(1)
-	writeJSON(w, http.StatusOK, toResponse(res, cached))
+	writeJSON(w, http.StatusOK, toResponse(res, plan, cached))
 }
 
-// query serves one query through the cache, coalescing concurrent
-// identical misses onto one backend call: without the single-flight guard,
-// a thundering herd of the same cold query would recompute it once per
-// request. The reported cached flag stays false for coalesced waiters —
-// the backend did run for them, just not once each.
-func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, bool, error) {
-	key := cacheKey(text, opts)
+// query plans one query, then serves the plan through the cache, coalescing
+// concurrent identical misses onto one backend call: without the
+// single-flight guard, a thundering herd of the same cold query would
+// recompute it once per request. The reported cached flag stays false for
+// coalesced waiters — the backend did run for them, just not once each.
+//
+// Keying on the resolved plan (rather than the raw options) means requests
+// that resolve to the same execution — a pinned plan and the option knobs
+// it mirrors, say — share one cache entry, and adaptive requests are cached
+// per chosen plan, not per bound.
+func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, core.Plan, bool, error) {
+	plan, err := s.backend.PlanQuery(text, opts)
+	if err != nil {
+		return nil, core.Plan{}, false, err
+	}
+	s.metrics.notePlan(string(plan.Kind))
+	key := cacheKey(text, plan)
 	gen := s.backend.IngestGen()
 	if res, ok := s.cache.get(key, gen); ok {
-		return res, true, nil
+		return res, plan, true, nil
 	}
 	res, coalesced, err := s.flight.do(flightKey(key, gen), func() (*core.Result, error) {
-		res, err := s.backend.Query(text, opts)
+		res, err := s.backend.QueryPlanned(text, plan, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -284,12 +397,12 @@ func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, bool,
 		return res, nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, plan, false, err
 	}
 	if coalesced {
 		s.cache.noteCoalesced()
 	}
-	return res, false, nil
+	return res, plan, false, nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -311,11 +424,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := validateOptions(req.Options); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if !s.backend.Built() {
 		s.failUnavailable(w)
 		return
 	}
-	opts := req.Options.toCore()
+	opts := s.resolveOptions(req.Options)
 	// The same rerank-width guard handleQuery applies: a batch overlapping
 	// any other /query or /query/batch must narrow each query's grounding
 	// pool to one worker — the batch's own client pool (and the other
@@ -327,29 +444,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 	gen := s.backend.IngestGen()
 
-	// Serve what the cache can, batch the rest through the backend's
-	// concurrent client pool.
+	// Plan every query, serve what the cache can (keyed on each resolved
+	// plan), and batch the rest through the backend's concurrent client
+	// pool with their plans pre-resolved.
 	start := time.Now()
 	out := make([]QueryResponse, len(req.Queries))
 	var missTexts []string
+	var missPlans []core.Plan
 	var missIdx []int
 	for i, q := range req.Queries {
-		if res, ok := s.cache.get(cacheKey(q, opts), gen); ok {
-			out[i] = toResponse(res, true)
+		plan, err := s.backend.PlanQuery(q, opts)
+		if err != nil {
+			s.fail(w, queryErrStatus(err), "batch query %d (%q): %v", i, q, err)
+			return
+		}
+		s.metrics.notePlan(string(plan.Kind))
+		if res, ok := s.cache.get(cacheKey(q, plan), gen); ok {
+			out[i] = toResponse(res, plan, true)
 			continue
 		}
 		missTexts = append(missTexts, q)
+		missPlans = append(missPlans, plan)
 		missIdx = append(missIdx, i)
 	}
 	if len(missTexts) > 0 {
-		results, err := s.backend.QueryBatch(missTexts, opts, 0)
+		results, err := s.backend.QueryBatchPlanned(missTexts, missPlans, opts.Workers, 0)
 		if err != nil {
 			s.fail(w, queryErrStatus(err), "%v", err)
 			return
 		}
 		for j, res := range results {
-			s.cache.put(cacheKey(missTexts[j], opts), gen, res)
-			out[missIdx[j]] = toResponse(res, false)
+			s.cache.put(cacheKey(missTexts[j], missPlans[j]), gen, res)
+			out[missIdx[j]] = toResponse(res, missPlans[j], false)
 		}
 	}
 	elapsed := time.Since(start)
@@ -376,14 +502,20 @@ type StatsResponse struct {
 	// Backends reports per-shard backend kind, address and health when the
 	// backend is a distributed engine.
 	Backends      []shard.BackendStat `json:"backends,omitempty"`
-	IngestGen     uint64              `json:"ingest_gen"`
-	Cache         CacheStats          `json:"cache"`
-	QueriesTotal  uint64              `json:"queries_total"`
-	BatchTotal    uint64              `json:"batch_queries_total"`
-	ErrorsTotal   uint64              `json:"errors_total"`
-	LatencyP50Ms  float64             `json:"latency_p50_ms"`
-	LatencyP99Ms  float64             `json:"latency_p99_ms"`
-	UptimeSeconds float64             `json:"uptime_seconds"`
+	IngestGen    uint64     `json:"ingest_gen"`
+	Cache        CacheStats `json:"cache"`
+	QueriesTotal uint64     `json:"queries_total"`
+	BatchTotal   uint64     `json:"batch_queries_total"`
+	ErrorsTotal  uint64     `json:"errors_total"`
+	// Plans counts resolved plans by kind ("fixed", "pinned", "adaptive",
+	// "adaptive-exact") across /query and /query/batch.
+	Plans map[string]uint64 `json:"plans,omitempty"`
+	// LastMeasuredRecall is the stage-1 recall most recently measured by the
+	// planner's validation loop; 0 until a validation probe has run.
+	LastMeasuredRecall float64 `json:"last_measured_recall,omitempty"`
+	LatencyP50Ms       float64 `json:"latency_p50_ms"`
+	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -400,22 +532,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if bb, ok := s.backend.(BackendReporter); ok {
 		backends = bb.BackendStats()
 	}
+	var measured float64
+	if rr, ok := s.backend.(RecallReporter); ok {
+		measured = rr.LastMeasuredRecall()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Ingest:        s.backend.Stats(),
-		Entities:      s.backend.Entities(),
-		Built:         s.backend.Built(),
-		Shards:        s.cfg.Shards,
-		Replicas:      replicas,
-		ReplicaGroups: groups,
-		Backends:      backends,
-		IngestGen:     s.backend.IngestGen(),
-		Cache:         s.cache.stats(),
-		QueriesTotal:  s.metrics.queries.Load(),
-		BatchTotal:    s.metrics.batchQueries.Load(),
-		ErrorsTotal:   s.metrics.errors.Load(),
-		LatencyP50Ms:  s.metrics.latency.quantile(0.50) * 1000,
-		LatencyP99Ms:  s.metrics.latency.quantile(0.99) * 1000,
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Ingest:             s.backend.Stats(),
+		Entities:           s.backend.Entities(),
+		Built:              s.backend.Built(),
+		Shards:             s.cfg.Shards,
+		Replicas:           replicas,
+		ReplicaGroups:      groups,
+		Backends:           backends,
+		IngestGen:          s.backend.IngestGen(),
+		Cache:              s.cache.stats(),
+		QueriesTotal:       s.metrics.queries.Load(),
+		BatchTotal:         s.metrics.batchQueries.Load(),
+		ErrorsTotal:        s.metrics.errors.Load(),
+		Plans:              s.metrics.planCounts(),
+		LastMeasuredRecall: measured,
+		LatencyP50Ms:       s.metrics.latency.quantile(0.50) * 1000,
+		LatencyP99Ms:       s.metrics.latency.quantile(0.99) * 1000,
+		UptimeSeconds:      time.Since(s.started).Seconds(),
 	})
 }
 
@@ -464,6 +602,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge(w, "lovod_cache_entries", float64(cs.Entries))
 	gauge(w, "lovod_index_entities", float64(s.backend.Entities()))
 	gauge(w, "lovod_ingest_generation", float64(s.backend.IngestGen()))
+	writePlanMetrics(w, s.metrics.planCounts())
+	if rr, ok := s.backend.(RecallReporter); ok {
+		gauge(w, "lovod_planner_last_measured_recall", rr.LastMeasuredRecall())
+	}
 	if rb, ok := s.backend.(ReplicaReporter); ok {
 		writeReplicaMetrics(w, rb.ReplicaStats())
 	}

@@ -36,7 +36,6 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -68,6 +67,9 @@ type Engine struct {
 	// faultHook, when set (tests only), may inject an error before a
 	// replica call on a local backend, exercising the failover path.
 	faultHook func(group, replica int) error
+	// planner resolves accuracy-bounded queries into scatter plans from
+	// the shards' exported planning digests.
+	planner *enginePlanner
 }
 
 // New constructs an engine with n in-process shards of one replica each.
@@ -124,13 +126,15 @@ func NewWithBackends(backends []remote.ShardBackend, cfg core.Config) (*Engine, 
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("shard: need at least 1 backend")
 	}
-	return &Engine{
+	e := &Engine{
 		backends:  backends,
 		cfg:       cfg.Resolved(),
 		lastGen:   make([]atomic.Uint64, len(backends)),
 		bootID:    make([]atomic.Uint64, len(backends)),
 		stateLost: make([]atomic.Bool, len(backends)),
-	}, nil
+	}
+	e.planner = newEnginePlanner(e.cfg)
+	return e, nil
 }
 
 // Shards returns the shard (backend) count.
@@ -223,31 +227,19 @@ func (e *Engine) BuildIndex() error {
 	return firstErr(errs)
 }
 
-// Query answers a natural-language object query with both stages scattered:
-// every shard fast-searches its local index, the hit lists merge into the
-// deterministic global top-fastK, and each candidate frame reranks on the
-// shard that owns its keyframe. The final ranking runs the same
-// core.RankGroundings the single-system path runs, and the answer is
-// independent of which replicas — or hosts — served. Any shard leg that
-// fails (after worker-side failover and transport retries) fails the whole
-// query: a partial merge is never returned.
-func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
-	fastK := opts.FastK
-	if fastK == 0 {
-		fastK = e.cfg.FastK
-	}
-	topN := opts.TopN
-	if topN == 0 {
-		topN = e.cfg.TopN
-	}
-	res := &core.Result{}
+// engineTarget adapts an Engine to the shared executor's N-leg PlanTarget:
+// stage 1 scatters every shard with its own plan leg, stage 2 routes each
+// candidate frame to the shard owning its keyframe and reassembles
+// groundings in global candidate order — so the final ranking sees exactly
+// what a single system would.
+type engineTarget struct{ e *Engine }
 
-	// Stage 1 scatter: local top-fastK per shard, merged to global top-fastK.
+func (t engineTarget) ScatterSearch(text string, plan core.Plan) ([][]core.ResultObject, error) {
+	e := t.e
 	lists := make([][]core.ResultObject, len(e.backends))
 	errs := make([]error, len(e.backends))
-	start := time.Now()
 	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
-		hits, err := e.backends[i].FastSearch(text, opts)
+		hits, err := e.backends[i].FastSearch(text, plan.Leg(i))
 		if err != nil {
 			errs[i] = fmt.Errorf("shard %d: %w", i, err)
 			return
@@ -257,25 +249,11 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	merged := core.MergeHits(lists, fastK)
-	refs := core.CandidateFrames(merged)
-	res.CandidateFrames = len(refs)
-	res.FastSearch = time.Since(start)
+	return lists, nil
+}
 
-	if opts.DisableRerank {
-		res.Objects = core.DedupHits(merged, fastK)
-		return res, nil
-	}
-
-	// Stage 2 scatter: ground each candidate on the shard that owns its
-	// keyframe, then reassemble groundings in global candidate order so the
-	// final ranking sees exactly what a single system would.
-	rerankFrames := opts.RerankFrames
-	if rerankFrames == 0 {
-		rerankFrames = e.cfg.RerankFrames
-	}
-	rstart := time.Now()
-	refs = core.SelectForRerank(refs, rerankFrames)
+func (t engineTarget) ScatterGround(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+	e := t.e
 	type routed struct {
 		refs []core.FrameRef
 		pos  []int
@@ -292,7 +270,7 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 		if len(byShard[i].refs) == 0 {
 			return
 		}
-		gs, err := e.backends[i].GroundCandidates(text, byShard[i].refs, opts.Workers)
+		gs, err := e.backends[i].GroundCandidates(text, byShard[i].refs, workers)
 		if err != nil {
 			gerrs[i] = fmt.Errorf("shard %d: %w", i, err)
 			return
@@ -308,9 +286,46 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 	if err := firstErr(gerrs); err != nil {
 		return nil, err
 	}
-	res.Objects = core.RankGroundings(groundings, topN)
-	res.Rerank = time.Since(rstart)
-	return res, nil
+	return groundings, nil
+}
+
+// PlanQuery resolves the plan one query will execute: the pinned plan when
+// QueryOptions.Plan is set, the engine planner's cheapest bound-satisfying
+// scatter plan when MinRecall is set, and otherwise the fixed default plan.
+func (e *Engine) PlanQuery(text string, opts core.QueryOptions) (core.Plan, error) {
+	if err := core.ValidateMinRecall(opts.MinRecall); err != nil {
+		return core.Plan{}, err
+	}
+	if opts.Plan != nil {
+		return e.cfg.NormalizePlan(*opts.Plan), nil
+	}
+	if opts.MinRecall > 0 {
+		return e.planner.plan(e, text, opts), nil
+	}
+	return e.cfg.FixedPlan(opts), nil
+}
+
+// QueryPlanned executes an explicit plan through the shared executor — the
+// same stage composition core.System.Query runs, scattered across shards,
+// so equal plans answer byte-identically on every deployment shape.
+func (e *Engine) QueryPlanned(text string, plan core.Plan, workers int) (*core.Result, error) {
+	return core.ExecutePlan(engineTarget{e}, text, e.cfg.NormalizePlan(plan), workers)
+}
+
+// Query answers a natural-language object query with both stages scattered:
+// every shard fast-searches its local index under its plan leg, the hit
+// lists merge into the deterministic global top-fastK, and each candidate
+// frame reranks on the shard that owns its keyframe. The final ranking runs
+// the same core.RankGroundings the single-system path runs, and the answer
+// is independent of which replicas — or hosts — served. Any shard leg that
+// fails (after worker-side failover and transport retries) fails the whole
+// query: a partial merge is never returned.
+func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
+	plan, err := e.PlanQuery(text, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryPlanned(text, plan, opts.Workers)
 }
 
 // QueryBatch answers many queries concurrently across at most clients
@@ -331,6 +346,33 @@ func (e *Engine) QueryBatch(texts []string, opts core.QueryOptions, clients int)
 	errs := make([]error, len(texts))
 	core.ParallelFor(len(texts), clients, func(i int) {
 		results[i], errs[i] = e.Query(texts[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: batch query %d (%q): %w", i, texts[i], err)
+		}
+	}
+	return results, nil
+}
+
+// QueryBatchPlanned executes one pre-resolved plan per query concurrently
+// across at most clients goroutines — the serving tier's batch path, which
+// plans (and cache-keys) each query before execution.
+func (e *Engine) QueryBatchPlanned(texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
+	if len(plans) != len(texts) {
+		return nil, fmt.Errorf("shard: batch of %d texts given %d plans", len(texts), len(plans))
+	}
+	if clients == 0 {
+		clients = e.cfg.Workers
+	}
+	clients = core.ResolveWorkers(clients)
+	if workers == 0 && clients > 1 {
+		workers = 1
+	}
+	results := make([]*core.Result, len(texts))
+	errs := make([]error, len(texts))
+	core.ParallelFor(len(texts), clients, func(i int) {
+		results[i], errs[i] = e.QueryPlanned(texts[i], plans[i], workers)
 	})
 	for i, err := range errs {
 		if err != nil {

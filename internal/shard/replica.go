@@ -253,11 +253,12 @@ func (l *Local) BuildIndex() error {
 	return firstErr(errs)
 }
 
-// FastSearch runs stage 1 on one healthy replica, failing over on faults.
-func (l *Local) FastSearch(text string, opts core.QueryOptions) ([]core.ResultObject, error) {
+// FastSearch runs stage 1 under the plan's leg knobs on one healthy
+// replica, failing over on faults.
+func (l *Local) FastSearch(text string, plan core.Plan) ([]core.ResultObject, error) {
 	var hits []core.ResultObject
 	err := l.withReplica(func(sys *core.System) error {
-		fh, err := sys.FastSearch(text, opts)
+		fh, err := sys.SearchPlanned(text, plan)
 		if err != nil {
 			return err
 		}
@@ -268,6 +269,18 @@ func (l *Local) FastSearch(text string, opts core.QueryOptions) ([]core.ResultOb
 		return nil, err
 	}
 	return hits, nil
+}
+
+// PlanStats exports one healthy replica's planning digest — replicas are
+// byte-identical and sample deterministically, so any replica speaks for
+// the group.
+func (l *Local) PlanStats() (core.PlanStats, error) {
+	var st core.PlanStats
+	err := l.withReplica(func(sys *core.System) error {
+		st = sys.PlanStats()
+		return nil
+	})
+	return st, err
 }
 
 // GroundCandidates runs stage 2 on one healthy replica, failing over on

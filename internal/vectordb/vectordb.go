@@ -214,6 +214,20 @@ func (c *Collection) vector(i int) mat.Vec {
 	return c.data[i*c.schema.Dim : (i+1)*c.schema.Dim]
 }
 
+// Scan visits every stored vector in insertion order until fn returns
+// false. The visited slice aliases the store — fn must not retain or
+// mutate it — and the collection is read-locked for the whole scan, so fn
+// must not call back into the collection.
+func (c *Collection) Scan(fn func(id int64, v mat.Vec) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, id := range c.ids {
+		if !fn(id, c.vector(i)) {
+			return
+		}
+	}
+}
+
 // Vector fetches a stored vector by id.
 func (c *Collection) Vector(id int64) (mat.Vec, error) {
 	c.mu.RLock()

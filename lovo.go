@@ -52,8 +52,15 @@ type (
 	Result = core.Result
 	// ResultObject is one retrieved object.
 	ResultObject = core.ResultObject
-	// QueryOptions tunes a single query (rerank/ANNS ablations, depths).
+	// QueryOptions tunes a single query (rerank/ANNS ablations, depths,
+	// the MinRecall accuracy bound, and plan pinning via Plan).
 	QueryOptions = core.QueryOptions
+	// Plan is an explicit, executable description of one query: every
+	// stage-1 and stage-2 knob resolved to a concrete value. Obtain one
+	// from PlanQuery and pin it via QueryOptions.Plan to replay the exact
+	// same execution later — a pinned plan answers byte-identically on
+	// every deployment shape (single system, sharded, replicated, remote).
+	Plan = core.Plan
 	// IngestStats reports Video Summary counters and timings.
 	IngestStats = core.IngestStats
 	// Dataset is a generated benchmark workload.
@@ -214,11 +221,30 @@ func (s *System) BuildIndex() error {
 // run from many goroutines concurrently, including while Ingest continues.
 // On a sharded system both stages scatter and the merged answer is
 // deterministic — byte-identical to the single-system path for one shard.
+//
+// With no options set, Query executes the system's fixed default plan.
+// Setting QueryOptions.MinRecall (in (0, 1]) instead asks the cost-based
+// planner for the cheapest plan predicted to reach that stage-1 recall,
+// calibrated against exact-search ground truth at build time; setting
+// QueryOptions.Plan replays a previously resolved plan verbatim.
 func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 	if s.engine != nil {
 		return s.engine.Query(text, opts)
 	}
 	return s.inner.Query(text, opts)
+}
+
+// PlanQuery resolves the plan Query would execute for text under opts —
+// the fixed defaults, the caller's pinned plan normalized, or the
+// planner's cheapest bound-satisfying plan when MinRecall is set —
+// without executing it. Pin the returned plan via QueryOptions.Plan to
+// replay it byte-identically, on this system or any other deployment
+// shape built from the same corpus and seed.
+func (s *System) PlanQuery(text string, opts QueryOptions) (Plan, error) {
+	if s.engine != nil {
+		return s.engine.PlanQuery(text, opts)
+	}
+	return s.inner.PlanQuery(text, opts)
 }
 
 // QueryBatch answers many queries concurrently across at most clients
