@@ -65,6 +65,7 @@ func main() {
 		shardAddrs = flag.String("shard-addrs", "", "comma-separated lovoshard worker addresses; enables coordinator mode (one remote shard per address)")
 		connectTO  = flag.Duration("connect-timeout", 3*time.Second, "per-worker dial timeout for -shard-addrs (boot fails fast on an unreachable worker)")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "per-call deadline for shard RPCs")
+		debugAddr  = flag.String("debug-addr", "", "optional second listen address for the debug tier (/debug/queries, /debug/pprof/*); keep it off the public port")
 	)
 	flag.Parse()
 
@@ -132,7 +133,16 @@ func main() {
 	if *minRecall > 0 {
 		log.Printf("planner: default accuracy bound min_recall=%.2f (per-request min_recall overrides)", *minRecall)
 	}
-	log.Printf("serving on %s (POST /query, POST /query/batch, GET /stats /healthz /metrics)", *addr)
+	if *debugAddr != "" {
+		dh := srv.DebugHandler()
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dh); err != nil {
+				fatal(fmt.Errorf("debug listener: %w", err))
+			}
+		}()
+		log.Printf("debug tier on %s (GET /debug/queries, /debug/pprof/)", *debugAddr)
+	}
+	log.Printf("serving on %s (POST /query, POST /query/batch, GET /stats /healthz /metrics /debug/queries)", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

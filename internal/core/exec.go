@@ -1,6 +1,12 @@
 package core
 
-import "time"
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // PlanTarget is the deployment surface a plan executes against: something
 // that can scatter stage 1 and stage 2. A single System is a one-leg
@@ -9,13 +15,18 @@ import "time"
 // transparently. ExecutePlan is the only composition of the stage
 // functions — core, engine and remote all answer through it, so equal
 // plans produce equal bytes on every deployment shape.
+//
+// The context carries the tracing recorder (see internal/obs) — targets
+// thread it into every leg so per-shard and per-replica spans land in the
+// query's trace. It carries no cancellation semantics here: plans run to
+// completion for determinism.
 type PlanTarget interface {
 	// ScatterSearch runs stage 1 on every leg, returning one canonical
 	// (score desc, patch ID asc) hit list per leg.
-	ScatterSearch(text string, plan Plan) ([][]ResultObject, error)
+	ScatterSearch(ctx context.Context, text string, plan Plan) ([][]ResultObject, error)
 	// ScatterGround runs stage 2 over the candidate frames; groundings
 	// align with refs.
-	ScatterGround(text string, refs []FrameRef, workers int) ([]Grounding, error)
+	ScatterGround(ctx context.Context, text string, refs []FrameRef, workers int) ([]Grounding, error)
 }
 
 // ExecutePlan runs Algorithm 2 under an explicit plan: scatter fast search,
@@ -23,16 +34,24 @@ type PlanTarget interface {
 // return deduplicated hits (SkipRerank) or select the rerank budget, ground
 // each candidate and rank. workers bounds the stage-2 fan-out (zero
 // inherits the target's configuration); results are identical at every
-// width.
-func ExecutePlan(t PlanTarget, text string, plan Plan, workers int) (*Result, error) {
+// width — and at every tracing setting: spans observe, never steer.
+func ExecutePlan(ctx context.Context, t PlanTarget, text string, plan Plan, workers int) (*Result, error) {
 	res := &Result{}
 	start := time.Now()
-	lists, err := t.ScatterSearch(text, plan)
+	sctx, ssp := obs.Start(ctx, "stage1")
+	lists, err := t.ScatterSearch(sctx, text, plan)
 	if err != nil {
+		ssp.End()
 		return nil, err
 	}
+	_, msp := obs.Start(sctx, "merge")
 	merged := MergeHits(lists, plan.FastK)
 	refs := CandidateFrames(merged)
+	if msp.On() {
+		msp.Detail(fmt.Sprintf("legs=%d hits=%d frames=%d", len(lists), len(merged), len(refs)))
+	}
+	msp.End()
+	ssp.End()
 	res.CandidateFrames = len(refs)
 	res.FastSearch = time.Since(start)
 
@@ -42,12 +61,18 @@ func ExecutePlan(t PlanTarget, text string, plan Plan, workers int) (*Result, er
 	}
 
 	rstart := time.Now()
+	rctx, rsp := obs.Start(ctx, "rerank")
 	refs = SelectForRerank(refs, plan.RerankFrames)
-	groundings, err := t.ScatterGround(text, refs, workers)
+	if rsp.On() {
+		rsp.Detail(fmt.Sprintf("frames=%d", len(refs)))
+	}
+	groundings, err := t.ScatterGround(rctx, text, refs, workers)
 	if err != nil {
+		rsp.End()
 		return nil, err
 	}
 	res.Objects = RankGroundings(groundings, plan.TopN)
+	rsp.End()
 	res.Rerank = time.Since(rstart)
 	return res, nil
 }
@@ -55,14 +80,14 @@ func ExecutePlan(t PlanTarget, text string, plan Plan, workers int) (*Result, er
 // systemTarget adapts a System to the one-leg PlanTarget.
 type systemTarget struct{ s *System }
 
-func (t systemTarget) ScatterSearch(text string, plan Plan) ([][]ResultObject, error) {
-	fh, err := t.s.SearchPlanned(text, plan)
+func (t systemTarget) ScatterSearch(ctx context.Context, text string, plan Plan) ([][]ResultObject, error) {
+	fh, err := t.s.SearchPlanned(ctx, text, plan)
 	if err != nil {
 		return nil, err
 	}
 	return [][]ResultObject{fh.Objects}, nil
 }
 
-func (t systemTarget) ScatterGround(text string, refs []FrameRef, workers int) ([]Grounding, error) {
-	return t.s.GroundCandidates(text, refs, workers), nil
+func (t systemTarget) ScatterGround(ctx context.Context, text string, refs []FrameRef, workers int) ([]Grounding, error) {
+	return t.s.GroundCandidates(ctx, text, refs, workers), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -119,7 +120,7 @@ func TestDefaultPlanMatchesFixedKnobs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := sys.QueryPlanned(text, plan, opts.Workers)
+		got, err := sys.QueryPlanned(context.Background(), text, plan, opts.Workers)
 		if err != nil {
 			t.Fatal(err)
 		}

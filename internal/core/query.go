@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/ann"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/video"
 )
@@ -144,29 +146,39 @@ func (s *System) encodeQuery(text string) (mat.Vec, error) {
 // are returned in canonical (score desc, patch ID asc) order. Safe to call
 // concurrently with Ingest.
 func (s *System) FastSearch(text string, opts QueryOptions) (*FastHits, error) {
-	return s.SearchPlanned(text, s.cfg.FixedPlan(opts))
+	return s.SearchPlanned(context.Background(), text, s.cfg.FixedPlan(opts))
 }
 
 // SearchPlanned runs stage 1 under an explicit plan: the leg's own depth
 // (ShardK) and index effort (Exact/NProbe/Ef) come from the plan, not the
 // Config. This is the stage-1 leg every deployment shape executes — the
 // single system directly, each shard of an engine via Plan.Leg, and RPC
-// workers behind the wire's fast-search op.
-func (s *System) SearchPlanned(text string, plan Plan) (*FastHits, error) {
+// workers behind the wire's fast-search op. A traced context records
+// encode / ANN / metadata-join sub-spans.
+func (s *System) SearchPlanned(ctx context.Context, text string, plan Plan) (*FastHits, error) {
 	plan = s.cfg.NormalizePlan(plan)
 	start := time.Now()
+	_, esp := obs.Start(ctx, "encode")
 	qproj, err := s.encodeQuery(text)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, asp := obs.Start(ctx, "ann")
 	hits, err := s.searchVectors(qproj, plan.ShardK, ann.Params{
 		NProbe:     plan.NProbe,
 		Ef:         plan.Ef,
 		Exhaustive: plan.Exact,
 	})
+	if asp.On() {
+		asp.Detail(fmt.Sprintf("k=%d hits=%d", plan.ShardK, len(hits)))
+	}
+	asp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: fast search: %w", err)
 	}
+	_, jsp := obs.Start(ctx, "join")
+	defer jsp.End()
 	objects := make([]ResultObject, 0, len(hits))
 	for _, h := range hits {
 		row, err := s.patches.Get(h.ID)
@@ -271,13 +283,16 @@ func SelectForRerank(refs []FrameRef, budget int) []FrameRef {
 // cross-modality transformer, fanning out across at most workers
 // goroutines. Groundings align with refs. Frames this system does not own
 // (no retained keyframe) come back with Grounds=false, so a scatter-gather
-// engine may safely route only the refs a shard owns.
-func (s *System) GroundCandidates(text string, refs []FrameRef, workers int) []Grounding {
+// engine may safely route only the refs a shard owns. A traced context
+// records one span per grounded frame — the per-frame rerank batches are
+// the dominant cost, so their spans are where a slow stage 2 localises.
+func (s *System) GroundCandidates(ctx context.Context, text string, refs []FrameRef, workers int) []Grounding {
 	parsed := query.Parse(text)
 	toks := s.text.Tokens(parsed)
 	if workers == 0 {
 		workers = s.cfg.Workers
 	}
+	rsp := obs.FromContext(ctx)
 	// Each candidate frame grounds independently, so the transformer
 	// forward passes — the dominant cost of Algorithm 2 — fan out across
 	// the worker pool. Outputs land in a slot indexed by candidate
@@ -286,6 +301,11 @@ func (s *System) GroundCandidates(text string, refs []FrameRef, workers int) []G
 	ParallelFor(len(refs), ResolveWorkers(workers), func(i int) {
 		ref := refs[i]
 		out[i].Ref = ref
+		if rsp.On() {
+			fsp := rsp.Child("rerank.frame")
+			fsp.Detail(fmt.Sprintf("video=%d frame=%d", ref.VideoID, ref.FrameIdx))
+			defer fsp.End()
+		}
 		f, ok := s.Keyframe(ref.VideoID, ref.FrameIdx)
 		if !ok {
 			return
@@ -392,9 +412,10 @@ func (s *System) PlanQuery(text string, opts QueryOptions) (Plan, error) {
 // QueryPlanned executes an explicit plan through the shared executor —
 // the same composition of the stage functions shard.Engine and the RPC
 // workers run, so equal plans answer byte-identically on every deployment
-// shape.
-func (s *System) QueryPlanned(text string, plan Plan, workers int) (*Result, error) {
-	return ExecutePlan(systemTarget{s}, text, s.cfg.NormalizePlan(plan), workers)
+// shape. The context carries the tracing recorder; context.Background()
+// (or any untraced context) runs the allocation-free disabled path.
+func (s *System) QueryPlanned(ctx context.Context, text string, plan Plan, workers int) (*Result, error) {
+	return ExecutePlan(ctx, systemTarget{s}, text, s.cfg.NormalizePlan(plan), workers)
 }
 
 // Query executes the two-stage strategy of Algorithm 2: resolve a plan
@@ -403,11 +424,20 @@ func (s *System) QueryPlanned(text string, plan Plan, workers int) (*Result, err
 // across shards, so a one-shard engine answers byte-identically to this
 // path.
 func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	return s.QueryCtx(context.Background(), text, opts)
+}
+
+// QueryCtx is Query with a caller context, so a traced caller gets plan
+// and execution spans in its trace. Tracing never changes the answer:
+// QueryCtx and Query return identical bytes for identical inputs.
+func (s *System) QueryCtx(ctx context.Context, text string, opts QueryOptions) (*Result, error) {
+	_, psp := obs.Start(ctx, "plan")
 	plan, err := s.PlanQuery(text, opts)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.QueryPlanned(text, plan, opts.Workers)
+	return s.QueryPlanned(ctx, text, plan, opts.Workers)
 }
 
 // QueryBatch answers many queries concurrently across at most clients
@@ -447,8 +477,9 @@ func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*
 // QueryBatchPlanned executes one pre-resolved plan per query concurrently
 // across at most clients goroutines — the serving tier's batch path, which
 // plans (and cache-keys) each query before execution. Plans align with
-// texts; results align with texts.
-func (s *System) QueryBatchPlanned(texts []string, plans []Plan, workers, clients int) ([]*Result, error) {
+// texts; results align with texts. The context threads the tracing
+// recorder into every query of the batch.
+func (s *System) QueryBatchPlanned(ctx context.Context, texts []string, plans []Plan, workers, clients int) ([]*Result, error) {
 	if len(plans) != len(texts) {
 		return nil, fmt.Errorf("core: batch of %d texts given %d plans", len(texts), len(plans))
 	}
@@ -462,7 +493,7 @@ func (s *System) QueryBatchPlanned(texts []string, plans []Plan, workers, client
 	results := make([]*Result, len(texts))
 	errs := make([]error, len(texts))
 	ParallelFor(len(texts), clients, func(i int) {
-		results[i], errs[i] = s.QueryPlanned(texts[i], plans[i], workers)
+		results[i], errs[i] = s.QueryPlanned(ctx, texts[i], plans[i], workers)
 	})
 	for i, err := range errs {
 		if err != nil {

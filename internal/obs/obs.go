@@ -1,0 +1,248 @@
+// Package obs is the query-tracing spine: a per-query tree of timed spans
+// recorded through a context-carried handle, built so the disabled path is
+// free. A Span is a two-word value (trace pointer + index); when no trace
+// rides the context every operation on the zero Span is a nil check and
+// Start returns the context unchanged — no allocation, no time syscall, no
+// lock. Layers therefore thread spans unconditionally and only pay when a
+// caller opted in by attaching a Trace.
+//
+// Spans live in one flat, append-only slice per trace (parent links by
+// index), which keeps recording to a single short critical section and
+// makes the tree trivially codec-friendly: the remote worker exports its
+// flat spans on the response wire and the coordinator grafts them under
+// the RPC leg that issued the call, re-basing parents by offset. Span
+// trees are advisory observability data — they must never influence an
+// answer; the conformance pins in internal/remote run with tracing forced
+// on to hold that line.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one recorded span in a trace's flat span list. Start is the
+// offset from the trace's time zero and Parent indexes into the same list
+// (-1 marks a root), so a slice of SpanData is self-contained: it can
+// cross the RPC wire and be re-rooted on the far side with index
+// arithmetic alone.
+type SpanData struct {
+	Name   string
+	Detail string
+	Parent int32
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Trace collects the spans of one query. All methods are safe for
+// concurrent use; scatter legs record in parallel.
+type Trace struct {
+	id uint64
+	t0 time.Time
+
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewTrace starts an empty trace identified by id (use NewID on the query
+// origin; remote workers reuse the coordinator's id for correlation).
+func NewTrace(id uint64) *Trace {
+	return &Trace{id: id, t0: time.Now()}
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() uint64 { return t.id }
+
+// Export snapshots the recorded spans. The copy is detached: callers may
+// hold it while the trace keeps recording.
+func (t *Trace) Export() []SpanData {
+	t.mu.Lock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// start appends an open span and returns its handle.
+func (t *Trace) start(name string, parent int32) Span {
+	off := time.Since(t.t0)
+	t.mu.Lock()
+	i := int32(len(t.spans))
+	t.spans = append(t.spans, SpanData{Name: name, Parent: parent, Start: off})
+	t.mu.Unlock()
+	return Span{t: t, i: i}
+}
+
+// Root opens a top-level span (no parent). The typical query has exactly
+// one, opened by the serving tier; sibling roots are legal.
+func (t *Trace) Root(name string) Span { return t.start(name, -1) }
+
+// Span is a handle to one span of a trace — a value, copied freely. The
+// zero Span is the disabled recorder: every method no-ops.
+type Span struct {
+	t *Trace
+	i int32
+}
+
+// On reports whether the span records anywhere. Guard any work done only
+// to build a Detail string:
+//
+//	if sp.On() { sp.Detail(fmt.Sprintf("shard=%d", i)) }
+func (s Span) On() bool { return s.t != nil }
+
+// TraceID returns the owning trace's id, or zero for the disabled span —
+// which doubles as the wire encoding: a zero trace id on a request means
+// "untraced, send no spans back".
+func (s Span) TraceID() uint64 {
+	if s.t == nil {
+		return 0
+	}
+	return s.t.id
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the later
+// duration; ending the zero Span is a no-op.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Since(s.t.t0)
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.i]
+	sp.Dur = now - sp.Start
+	s.t.mu.Unlock()
+}
+
+// Detail attaches a free-form annotation (overwriting any previous one).
+func (s Span) Detail(d string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.i].Detail = d
+	s.t.mu.Unlock()
+}
+
+// Child opens a sub-span without touching a context — the scatter loops
+// use it where the parent handle is already at hand.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.start(name, s.i)
+}
+
+// Graft splices an exported span forest (typically a remote worker's)
+// under this span: worker roots become children of s, non-root parents
+// shift by the insertion offset, and start offsets re-anchor at this
+// span's start — the worker's clock is not ours, so its subtree is pinned
+// to the moment the RPC leg began, which bounds it from below. Grafting
+// onto the zero Span discards the spans.
+func (s Span) Graft(spans []SpanData) {
+	if s.t == nil || len(spans) == 0 {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	base := int32(len(t.spans))
+	anchor := t.spans[s.i].Start
+	for _, sp := range spans {
+		if sp.Parent < 0 {
+			sp.Parent = s.i
+		} else {
+			sp.Parent += base
+		}
+		sp.Start += anchor
+		t.spans = append(t.spans, sp)
+	}
+	t.mu.Unlock()
+}
+
+// spanKey carries the current Span through a context. An empty struct key
+// makes the disabled-path Value lookup allocation-free.
+type spanKey struct{}
+
+// With returns a context carrying s as the current span. Attaching the
+// zero Span returns ctx unchanged, so the disabled path never allocates.
+func With(ctx context.Context, s Span) context.Context {
+	if s.t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the current span, or the zero Span when the context
+// carries no trace.
+func FromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(spanKey{}).(Span)
+	return s
+}
+
+// Start opens a child of the context's current span and returns a context
+// carrying it. With no trace in ctx it returns (ctx, Span{}) untouched —
+// the hot-path contract: zero allocations, zero clock reads.
+func Start(ctx context.Context, name string) (context.Context, Span) {
+	cur := FromContext(ctx)
+	if cur.t == nil {
+		return ctx, Span{}
+	}
+	sp := cur.Child(name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// idBase seeds trace ids from the kernel RNG once so ids from restarted
+// processes don't collide; successive ids increment atomically. NewID
+// never returns zero — zero is the wire's "untraced" sentinel.
+var idBase = func() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15 // fixed odd base; ids stay unique in-process
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var idSeq atomic.Uint64
+
+// NewID returns a fresh nonzero trace id.
+func NewID() uint64 {
+	for {
+		id := idBase + idSeq.Add(1)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// Node is one vertex of the nested span tree Tree assembles from a flat
+// export — the shape the serving tier serialises for debug=true.
+type Node struct {
+	Name     string
+	Detail   string
+	Start    time.Duration
+	Dur      time.Duration
+	Children []*Node
+}
+
+// Tree nests a flat span list by parent index, preserving recording order
+// among siblings. Spans with out-of-range parents are treated as roots
+// rather than dropped — a defensive stance for wire-supplied data.
+func Tree(spans []SpanData) []*Node {
+	nodes := make([]*Node, len(spans))
+	for i, sp := range spans {
+		nodes[i] = &Node{Name: sp.Name, Detail: sp.Detail, Start: sp.Start, Dur: sp.Dur}
+	}
+	var roots []*Node
+	for i, sp := range spans {
+		if sp.Parent >= 0 && int(sp.Parent) < len(spans) && int(sp.Parent) != i {
+			p := nodes[sp.Parent]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}

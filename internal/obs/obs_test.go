@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestTreeStructure pins the flat-slice representation: spans nest by
+// parent index, siblings keep recording order, and End fixes durations.
+func TestTreeStructure(t *testing.T) {
+	tr := NewTrace(NewID())
+	root := tr.Root("query")
+	_, s1 := Start(With(context.Background(), root), "stage1")
+	a := s1.Child("stage1.shard")
+	a.Detail("shard=0")
+	a.End()
+	b := s1.Child("stage1.shard")
+	b.Detail("shard=1")
+	b.End()
+	s1.End()
+	rr := root.Child("rerank")
+	rr.End()
+	root.End()
+
+	roots := Tree(tr.Export())
+	if len(roots) != 1 || roots[0].Name != "query" {
+		t.Fatalf("want one root 'query', got %+v", roots)
+	}
+	q := roots[0]
+	if len(q.Children) != 2 || q.Children[0].Name != "stage1" || q.Children[1].Name != "rerank" {
+		t.Fatalf("root children = %+v", q.Children)
+	}
+	st := q.Children[0]
+	if len(st.Children) != 2 {
+		t.Fatalf("stage1 children = %+v", st.Children)
+	}
+	if st.Children[0].Detail != "shard=0" || st.Children[1].Detail != "shard=1" {
+		t.Fatalf("sibling order lost: %+v", st.Children)
+	}
+	if q.Dur <= 0 {
+		t.Fatalf("root duration not fixed: %v", q.Dur)
+	}
+}
+
+// TestGraftRebases pins the wire splice: a worker's exported forest lands
+// under the leg span, with parents shifted and starts re-anchored at the
+// leg's own start offset.
+func TestGraftRebases(t *testing.T) {
+	worker := NewTrace(42)
+	wroot := worker.Root("worker.stage1")
+	enc := wroot.Child("encode")
+	enc.End()
+	wroot.End()
+	exported := worker.Export()
+
+	coord := NewTrace(NewID())
+	croot := coord.Root("query")
+	time.Sleep(time.Millisecond) // leg starts measurably after the root
+	leg := croot.Child("stage1.shard")
+	leg.Graft(exported)
+	leg.End()
+	croot.End()
+
+	roots := Tree(coord.Export())
+	if len(roots) != 1 {
+		t.Fatalf("want one root, got %d", len(roots))
+	}
+	legN := roots[0].Children[0]
+	if legN.Name != "stage1.shard" || len(legN.Children) != 1 {
+		t.Fatalf("leg = %+v", legN)
+	}
+	wn := legN.Children[0]
+	if wn.Name != "worker.stage1" || len(wn.Children) != 1 || wn.Children[0].Name != "encode" {
+		t.Fatalf("grafted subtree = %+v", wn)
+	}
+	// Re-anchoring: the worker root's offset was 0 in its own trace, so
+	// after the graft it must equal the leg's start, which is > 0 here.
+	if legN.Start <= 0 || wn.Start < legN.Start {
+		t.Fatalf("graft not re-anchored: leg start %v, worker start %v", legN.Start, wn.Start)
+	}
+}
+
+// TestTreeDefensive pins the wire-facing stance: forged parent indices
+// (out of range, self-referential) become roots instead of dropping spans
+// or looping.
+func TestTreeDefensive(t *testing.T) {
+	spans := []SpanData{
+		{Name: "a", Parent: 99},
+		{Name: "b", Parent: 1}, // self
+		{Name: "c", Parent: -7},
+	}
+	roots := Tree(spans)
+	if len(roots) != 3 {
+		t.Fatalf("defensive roots = %d, want 3", len(roots))
+	}
+}
+
+// TestDisabledPathAllocationFree is the tentpole's gate: with no trace on
+// the context, the entire span surface — Start, End, Detail, Child, With,
+// FromContext, Graft — must do zero allocations, so tracing can thread
+// through every layer unconditionally.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := Start(ctx, "stage1")
+		if c != ctx {
+			t.Fatal("untraced Start must return ctx unchanged")
+		}
+		sp.Detail("never recorded")
+		child := sp.Child("x")
+		child.End()
+		sp.Graft(nil)
+		sp.End()
+		_ = With(ctx, sp)
+		_ = FromContext(ctx)
+		if sp.On() || sp.TraceID() != 0 {
+			t.Fatal("zero span must report disabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestNewIDNeverZero pins the wire sentinel: zero means untraced, so ids
+// must never be zero.
+func TestNewIDNeverZero(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if NewID() == 0 {
+			t.Fatal("NewID returned the untraced sentinel")
+		}
+	}
+}
+
+// BenchmarkStartDisabled measures the untraced hot path the query layers
+// pay on every call when tracing is off.
+func BenchmarkStartDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "stage1")
+		sp.End()
+	}
+}
+
+// BenchmarkStartEnabled measures the traced path for the README's overhead
+// numbers: one child span recorded per op.
+func BenchmarkStartEnabled(b *testing.B) {
+	tr := NewTrace(1)
+	root := tr.Root("query")
+	ctx := With(context.Background(), root)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "stage1")
+		sp.End()
+		if i%1024 == 0 { // keep the slice from growing unboundedly
+			tr.mu.Lock()
+			tr.spans = tr.spans[:1]
+			tr.mu.Unlock()
+		}
+	}
+}

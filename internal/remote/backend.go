@@ -24,6 +24,8 @@
 package remote
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/video"
 )
@@ -90,11 +92,15 @@ type ShardBackend interface {
 	BuildIndex() error
 	// FastSearch runs stage 1 against the shard's slice of the corpus
 	// under the plan's leg knobs (ShardK depth, Exact/NProbe/Ef effort),
-	// returning its local top-ShardK hits in canonical order.
-	FastSearch(text string, plan core.Plan) ([]core.ResultObject, error)
+	// returning its local top-ShardK hits in canonical order. The context
+	// carries the query's tracing recorder (see internal/obs): a remote
+	// backend ships the trace id over the wire and grafts the worker's
+	// exported spans back into the caller's trace; tracing never changes
+	// the hits.
+	FastSearch(ctx context.Context, text string, plan core.Plan) ([]core.ResultObject, error)
 	// GroundCandidates runs stage 2 over the candidate frames this shard
-	// owns; groundings align with refs.
-	GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error)
+	// owns; groundings align with refs. Context as on FastSearch.
+	GroundCandidates(ctx context.Context, text string, refs []core.FrameRef, workers int) ([]core.Grounding, error)
 	// Stats returns the shard's ingest statistics (one replica's view).
 	Stats() (core.IngestStats, error)
 	// Entities returns the shard's indexed patch-vector count.

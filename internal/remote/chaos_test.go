@@ -8,6 +8,7 @@ package remote_test
 // Run with -race: the second test layers concurrent ingest on top.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -86,18 +87,18 @@ func (c *chaosBackend) perturb() error {
 	return nil
 }
 
-func (c *chaosBackend) FastSearch(text string, plan core.Plan) ([]core.ResultObject, error) {
+func (c *chaosBackend) FastSearch(ctx context.Context, text string, plan core.Plan) ([]core.ResultObject, error) {
 	if err := c.perturb(); err != nil {
 		return nil, err
 	}
-	return c.ShardBackend.FastSearch(text, plan)
+	return c.ShardBackend.FastSearch(ctx, text, plan)
 }
 
-func (c *chaosBackend) GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+func (c *chaosBackend) GroundCandidates(ctx context.Context, text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
 	if err := c.perturb(); err != nil {
 		return nil, err
 	}
-	return c.ShardBackend.GroundCandidates(text, refs, workers)
+	return c.ShardBackend.GroundCandidates(ctx, text, refs, workers)
 }
 
 // chaosEngine builds an n-shard remote engine whose workers sit behind

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -163,7 +165,16 @@ func (c *Client) put(conn net.Conn) {
 // have been sent. Application-level errors (the worker executed and said
 // no) never retry on either path.
 func (c *Client) call(op byte, body []byte, mutating bool) ([]byte, error) {
-	return c.do(op, body, mutating, false)
+	return c.do(context.Background(), op, body, mutating, false)
+}
+
+// callCtx is call with the query's tracing context: under a traced context
+// every transport attempt — including the retried, failed ones — records a
+// sibling "rpc" span, so a flaky or slow leg is attributable from the
+// coordinator trace even when the retry machinery hides it from the
+// answer.
+func (c *Client) callCtx(ctx context.Context, op byte, body []byte) ([]byte, error) {
+	return c.do(ctx, op, body, false, false)
 }
 
 // meta performs a lightweight metadata exchange (stats, health, generation
@@ -174,10 +185,10 @@ func (c *Client) call(op byte, body []byte, mutating bool) ([]byte, error) {
 // request one DialTimeout, not Retries x Timeout. Stale pooled connections
 // still discard and redial for free.
 func (c *Client) meta(op byte) ([]byte, error) {
-	return c.do(op, nil, false, true)
+	return c.do(context.Background(), op, nil, false, true)
 }
 
-func (c *Client) do(op byte, body []byte, mutating, light bool) ([]byte, error) {
+func (c *Client) do(ctx context.Context, op byte, body []byte, mutating, light bool) ([]byte, error) {
 	req := make([]byte, 0, 1+len(body))
 	req = append(req, op)
 	req = append(req, body...)
@@ -206,7 +217,16 @@ func (c *Client) do(op byte, body []byte, mutating, light bool) ([]byte, error) 
 			continue
 		}
 
+		_, asp := obs.Start(ctx, "rpc")
 		resp, err := c.exchange(conn, req, mutating, light)
+		if asp.On() {
+			if err != nil {
+				asp.Detail(fmt.Sprintf("%s addr=%s err=%v", opName(op), c.addr, err))
+			} else {
+				asp.Detail(fmt.Sprintf("%s addr=%s", opName(op), c.addr))
+			}
+		}
+		asp.End()
 		if err == nil {
 			c.put(conn)
 			status := resp[0]
@@ -384,17 +404,27 @@ func (c *Client) BuildIndex() error {
 	return err
 }
 
-// FastSearch runs stage 1 on the worker under the plan's leg knobs.
-func (c *Client) FastSearch(text string, plan core.Plan) ([]core.ResultObject, error) {
+// FastSearch runs stage 1 on the worker under the plan's leg knobs. Under
+// a traced context the request carries the trace id; the worker measures
+// its own spans and ships them back after the hits, and this side grafts
+// them under the current span — so the coordinator trace holds real
+// worker-side stage-1 timings, not just client-observed RTT.
+func (c *Client) FastSearch(ctx context.Context, text string, plan core.Plan) ([]core.ResultObject, error) {
+	sp := obs.FromContext(ctx)
+	tid := sp.TraceID()
 	e := &enc{}
 	e.str(text)
 	appendPlan(e, plan)
-	resp, err := c.call(opFastSearch, e.b, false)
+	e.u64(tid)
+	resp, err := c.callCtx(ctx, opFastSearch, e.b)
 	if err != nil {
 		return nil, err
 	}
 	d := &dec{b: resp}
 	hits := readObjects(d)
+	if tid != 0 {
+		sp.Graft(readSpans(d))
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -418,17 +448,25 @@ func (c *Client) PlanStats() (core.PlanStats, error) {
 }
 
 // GroundCandidates runs stage 2 on the worker over the refs it owns.
-func (c *Client) GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+// Trace propagation works as on FastSearch: the id rides the request, the
+// worker's spans ride the response.
+func (c *Client) GroundCandidates(ctx context.Context, text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+	sp := obs.FromContext(ctx)
+	tid := sp.TraceID()
 	e := &enc{}
 	e.str(text)
 	appendRefs(e, refs)
 	e.i64(int64(workers))
-	resp, err := c.call(opGround, e.b, false)
+	e.u64(tid)
+	resp, err := c.callCtx(ctx, opGround, e.b)
 	if err != nil {
 		return nil, err
 	}
 	d := &dec{b: resp}
 	gs := readGroundings(d)
+	if tid != 0 {
+		sp.Graft(readSpans(d))
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -353,6 +354,50 @@ func readGroundings(d *dec) []core.Grounding {
 		gs = append(gs, g)
 	}
 	return gs
+}
+
+// appendSpans encodes a worker's exported trace spans — the observability
+// sidecar a traced stage op rides home on the response, after the answer
+// payload (mirroring how opPlanStats ships planning digests). Span.Start
+// and Dur travel as ns offsets from the worker trace's time zero; Parent
+// is an index into the same list (-1 = worker-side root), so the
+// coordinator can graft the forest under the RPC leg span with index
+// arithmetic alone.
+func appendSpans(e *enc, spans []obs.SpanData) {
+	e.u32(uint32(len(spans)))
+	for _, sp := range spans {
+		e.str(sp.Name)
+		e.str(sp.Detail)
+		e.u32(uint32(sp.Parent))
+		e.i64(int64(sp.Start))
+		e.i64(int64(sp.Dur))
+	}
+}
+
+// encSpanMinSize is the smallest encoded span: two empty strings (u32
+// lengths), parent u32, start and dur i64.
+const encSpanMinSize = 4 + 4 + 4 + 8 + 8
+
+func readSpans(d *dec) []obs.SpanData {
+	n := d.count(encSpanMinSize)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	spans := make([]obs.SpanData, 0, n)
+	for i := 0; i < n; i++ {
+		sp := obs.SpanData{
+			Name:   d.str(),
+			Detail: d.str(),
+			Parent: int32(d.u32()),
+			Start:  time.Duration(d.i64()),
+			Dur:    time.Duration(d.i64()),
+		}
+		if d.err != nil {
+			return nil
+		}
+		spans = append(spans, sp)
+	}
+	return spans
 }
 
 func appendStats(e *enc, st core.IngestStats) {

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -165,6 +167,40 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
+// workerTrace is the worker-side trace of one stage op. The zero value is
+// the free disabled recorder for untraced requests.
+type workerTrace struct {
+	t    *obs.Trace
+	root obs.Span
+}
+
+// traceRequest starts the worker-side trace for one stage op: with a zero
+// trace id (untraced caller) it returns the free disabled recorder; a
+// nonzero id starts a fresh worker trace under the coordinator's id whose
+// spans ship back on the response for the coordinator to graft.
+func traceRequest(tid uint64, rootName string) (context.Context, workerTrace) {
+	if tid == 0 {
+		return context.Background(), workerTrace{}
+	}
+	t := obs.NewTrace(tid)
+	root := t.Root(rootName)
+	return obs.With(context.Background(), root), workerTrace{t: t, root: root}
+}
+
+// End closes the worker's root span.
+func (w workerTrace) End() { w.root.End() }
+
+// appendTrace appends the request's worker-side spans to a stage-op
+// response — only for traced requests, so untraced responses carry not a
+// single extra byte and the client knows by the id it sent whether spans
+// follow the answer payload.
+func appendTrace(e *enc, w workerTrace) {
+	if w.t == nil {
+		return
+	}
+	appendSpans(e, w.t.Export())
+}
+
 // handle dispatches one decoded request. A panic anywhere in decode or in
 // the backend converts to an error response — a malformed or hostile frame
 // must never take the worker down.
@@ -239,14 +275,18 @@ func (s *Server) handle(op byte, body []byte) (status byte, resp []byte) {
 	case opFastSearch:
 		text := d.str()
 		plan := readPlan(d)
+		tid := d.u64()
 		if err := d.finish(); err != nil {
 			return encodeError(err)
 		}
-		hits, err := s.backend.FastSearch(text, plan)
+		ctx, root := traceRequest(tid, "worker.stage1")
+		hits, err := s.backend.FastSearch(ctx, text, plan)
+		root.End()
 		if err != nil {
 			return encodeError(err)
 		}
 		appendObjects(e, hits)
+		appendTrace(e, root)
 
 	case opPlanStats:
 		if err := d.finish(); err != nil {
@@ -262,14 +302,18 @@ func (s *Server) handle(op byte, body []byte) (status byte, resp []byte) {
 		text := d.str()
 		refs := readRefs(d)
 		workers := d.intv()
+		tid := d.u64()
 		if err := d.finish(); err != nil {
 			return encodeError(err)
 		}
-		gs, err := s.backend.GroundCandidates(text, refs, workers)
+		ctx, root := traceRequest(tid, "worker.rerank")
+		gs, err := s.backend.GroundCandidates(ctx, text, refs, workers)
+		root.End()
 		if err != nil {
 			return encodeError(err)
 		}
 		appendGroundings(e, gs)
+		appendTrace(e, root)
 
 	case opStats:
 		if err := d.finish(); err != nil {

@@ -1,0 +1,77 @@
+package remote
+
+// Wire tests for the trace sidecar: exported span lists must round-trip
+// bit-exactly, fail on every truncation, and never let a forged span count
+// commit the decoder to a huge allocation — the same standards the answer
+// payloads are held to, because a hostile worker response must not be able
+// to take the coordinator down through its observability channel.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func randSpans(rng *rand.Rand, maxLen int) []obs.SpanData {
+	n := rng.Intn(maxLen + 1)
+	if n == 0 {
+		return nil
+	}
+	spans := make([]obs.SpanData, n)
+	for i := range spans {
+		spans[i] = obs.SpanData{
+			Name:   strings.Repeat("n", rng.Intn(16)),
+			Detail: strings.Repeat("d", rng.Intn(24)),
+			Parent: int32(rng.Intn(n+2) - 1), // mix roots (-1) and forged indices
+			Start:  time.Duration(rng.Int63()),
+			Dur:    time.Duration(rng.Int63() - rng.Int63()),
+		}
+	}
+	return spans
+}
+
+func TestSpansRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := [][]obs.SpanData{
+		nil, // untraced: zero spans
+		{{Name: "worker.stage1", Parent: -1, Start: 0, Dur: time.Second}},
+		{
+			{Name: "worker.stage1", Parent: -1, Dur: 3 * time.Millisecond},
+			{Name: "encode", Detail: "terms=4", Parent: 0, Start: time.Microsecond, Dur: time.Microsecond},
+			{Name: "ann", Detail: "k=128 hits=96", Parent: 0, Start: 2 * time.Microsecond},
+		},
+	}
+	for i := 0; i < 80; i++ {
+		cases = append(cases, randSpans(rng, 12))
+	}
+	for _, c := range cases {
+		roundTrip(t, "spans", c, appendSpans, readSpans)
+	}
+}
+
+// TestSpansForgedCount pins the allocation guard: a header declaring more
+// spans than the body could possibly hold must error out of d.count before
+// any per-span allocation happens.
+func TestSpansForgedCount(t *testing.T) {
+	for _, forged := range []uint32{2, 1 << 16, 1<<32 - 1} {
+		e := &enc{}
+		e.u32(forged)
+		// One valid span's worth of bytes — always fewer than forged claims.
+		e.str("worker.stage1")
+		e.str("")
+		e.u32(uint32(0xFFFFFFFF)) // parent -1
+		e.i64(0)
+		e.i64(int64(time.Millisecond))
+		d := &dec{b: e.b}
+		spans := readSpans(d)
+		if err := d.finish(); err == nil {
+			t.Fatalf("forged count %d decoded without error (got %d spans)", forged, len(spans))
+		}
+		if len(spans) != 0 {
+			t.Fatalf("forged count %d still yielded %d spans", forged, len(spans))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,6 +29,9 @@ type fakeBackend struct {
 
 	entered chan struct{} // receives one token per QueryPlanned entry, if set
 	release chan struct{} // QueryPlanned blocks until closed, if set
+
+	notBuilt bool  // Built() reports false, so queries answer 503
+	queryErr error // QueryPlanned fails with this, if set
 }
 
 func (f *fakeBackend) PlanQuery(text string, opts core.QueryOptions) (core.Plan, error) {
@@ -40,7 +44,7 @@ func (f *fakeBackend) PlanQuery(text string, opts core.QueryOptions) (core.Plan,
 	return core.Config{}.Resolved().FixedPlan(opts), nil
 }
 
-func (f *fakeBackend) QueryPlanned(text string, plan core.Plan, workers int) (*core.Result, error) {
+func (f *fakeBackend) QueryPlanned(ctx context.Context, text string, plan core.Plan, workers int) (*core.Result, error) {
 	f.mu.Lock()
 	f.queryCalls++
 	f.queryWorkers = append(f.queryWorkers, workers)
@@ -51,10 +55,13 @@ func (f *fakeBackend) QueryPlanned(text string, plan core.Plan, workers int) (*c
 	if f.release != nil {
 		<-f.release
 	}
+	if f.queryErr != nil {
+		return nil, f.queryErr
+	}
 	return &core.Result{CandidateFrames: 1}, nil
 }
 
-func (f *fakeBackend) QueryBatchPlanned(texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
+func (f *fakeBackend) QueryBatchPlanned(ctx context.Context, texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
 	f.mu.Lock()
 	f.batchWorkers = append(f.batchWorkers, workers)
 	f.mu.Unlock()
@@ -67,7 +74,7 @@ func (f *fakeBackend) QueryBatchPlanned(texts []string, plans []core.Plan, worke
 
 func (f *fakeBackend) Stats() core.IngestStats { return core.IngestStats{} }
 func (f *fakeBackend) Entities() int           { return 1 }
-func (f *fakeBackend) Built() bool             { return true }
+func (f *fakeBackend) Built() bool             { return !f.notBuilt }
 func (f *fakeBackend) IngestGen() uint64       { return 1 }
 
 // TestOptionValidationRejectsBadKnobs pins the input-validation hardening:

@@ -75,20 +75,36 @@ func (h *histogram) quantile(q float64) float64 {
 
 // writeProm renders the histogram in Prometheus text exposition format.
 func (h *histogram) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	h.writePromSeries(w, name, "")
+}
+
+// writePromSeries renders the bucket/sum/count series with an optional
+// extra label (the caller owns the # TYPE header, so many labeled series
+// can share one metric family).
+func (h *histogram) writePromSeries(w io.Writer, name, label string) {
 	h.mu.Lock()
 	counts := append([]uint64(nil), h.counts...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	sep := ""
+	if label != "" {
+		sep = ","
+	}
 	var cum uint64
 	for i, ub := range latencyBuckets {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(ub), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, label, sep, promFloat(ub), cum)
 	}
 	cum += counts[len(latencyBuckets)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, label, sep, cum)
+	if label == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, promFloat(sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, count)
+	}
 }
 
 // promFloat formats a float the way Prometheus expects (no exponent for
@@ -101,6 +117,19 @@ func promFloat(v float64) string {
 	return s
 }
 
+// queryStages are the per-stage latency series under lovod_stage_seconds:
+// plan resolution and the cache lookup are measured server-side on every
+// query; stage1 (scatter + merge) and rerank come from the backend's
+// Result timings, so they only record on queries that actually executed
+// (cache hits have no stage-1 to attribute).
+var queryStages = []string{"plan", "cache", "stage1", "rerank"}
+
+// errorKinds are the lovod_query_errors_total label values: "validation"
+// (the request itself is bad — 4xx), "not_ready" (the index is still
+// building), "backend_down" (a shard backend is unreachable), "internal"
+// (everything that is our fault).
+var errorKinds = []string{"validation", "not_ready", "backend_down", "internal"}
+
 // serverMetrics aggregates the serving-tier counters exposed at /metrics.
 type serverMetrics struct {
 	queries      atomic.Uint64 // /query requests answered (cache hits included)
@@ -108,12 +137,79 @@ type serverMetrics struct {
 	errors       atomic.Uint64 // requests rejected or failed
 	latency      *histogram    // per-query serve latency (cache hits included)
 
+	// stages holds one fixed histogram per query stage (see queryStages),
+	// rendered as lovod_stage_seconds{stage="..."}. Debug-tier endpoints
+	// never observe into these — nor into latency — so observability
+	// traffic cannot pollute the serving series.
+	stages map[string]*histogram
+
 	planMu sync.Mutex
 	plans  map[string]uint64 // resolved plans by kind (cache hits included)
+
+	errMu    sync.Mutex
+	errKinds map[string]uint64 // failed requests by kind (see errorKinds)
 }
 
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{latency: newHistogram(), plans: make(map[string]uint64)}
+	stages := make(map[string]*histogram, len(queryStages))
+	for _, st := range queryStages {
+		stages[st] = newHistogram()
+	}
+	return &serverMetrics{
+		latency:  newHistogram(),
+		stages:   stages,
+		plans:    make(map[string]uint64),
+		errKinds: make(map[string]uint64),
+	}
+}
+
+// observeStage records one stage duration into its labeled histogram.
+// Unknown stages are dropped rather than grown: the label set is fixed so
+// /metrics cardinality cannot creep.
+func (m *serverMetrics) observeStage(stage string, d time.Duration) {
+	if h, ok := m.stages[stage]; ok {
+		h.observe(d)
+	}
+}
+
+// noteError counts one failed request under its kind label (plus the
+// untyped errors total, kept for compatibility).
+func (m *serverMetrics) noteError(kind string) {
+	m.errors.Add(1)
+	m.errMu.Lock()
+	m.errKinds[kind]++
+	m.errMu.Unlock()
+}
+
+// errorCounts snapshots the per-kind error counters.
+func (m *serverMetrics) errorCounts() map[string]uint64 {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	out := make(map[string]uint64, len(m.errKinds))
+	for k, v := range m.errKinds {
+		out[k] = v
+	}
+	return out
+}
+
+// writeStageMetrics renders the per-stage latency histograms as one
+// labeled family, in declaration order so scrapes are byte-stable.
+func (m *serverMetrics) writeStageMetrics(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, st := range queryStages {
+		m.stages[st].writePromSeries(w, name, fmt.Sprintf("stage=%q", st))
+	}
+}
+
+// writeErrorMetrics renders the per-kind error counter. Every kind prints
+// even at zero, so dashboards see the full label set from the first
+// scrape.
+func (m *serverMetrics) writeErrorMetrics(w io.Writer) {
+	counts := m.errorCounts()
+	fmt.Fprintf(w, "# TYPE lovod_query_errors_total counter\n")
+	for _, k := range errorKinds {
+		fmt.Fprintf(w, "lovod_query_errors_total{kind=%q} %d\n", k, counts[k])
+	}
 }
 
 // notePlan counts one resolved plan of the given kind.

@@ -4,11 +4,12 @@
 //
 // Endpoints:
 //
-//	POST /query        {"query": "...", "options": {...}} -> ranked objects
-//	POST /query/batch  {"queries": [...], "options": {...}} -> per-query results
-//	GET  /stats        ingest, cache, replica and latency statistics as JSON
-//	GET  /healthz      liveness (always 200 once listening; reports built)
-//	GET  /metrics      Prometheus text-format counters and latency histogram
+//	POST /query          {"query": "...", "options": {...}} -> ranked objects
+//	POST /query/batch    {"queries": [...], "options": {...}} -> per-query results
+//	GET  /stats          ingest, cache, replica and latency statistics as JSON
+//	GET  /healthz        liveness (always 200 once listening; reports built)
+//	GET  /metrics        Prometheus text-format counters and latency histograms
+//	GET  /debug/queries  the slowest recent query traces as JSON (see debug.go)
 //
 // Every endpoint enforces its method (405 otherwise). Concurrent identical
 // cache misses coalesce onto one backend call, and overlapping /query or
@@ -25,6 +26,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,17 +37,20 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
 // Backend answers queries for the server: both *core.System and
 // *shard.Engine satisfy it. The server always queries in two steps — plan,
 // then execute — so it can key the result cache on the resolved plan and
-// report which plans the backend is choosing.
+// report which plans the backend is choosing. The query contexts carry the
+// request's tracing recorder (see internal/obs); tracing never changes an
+// answer.
 type Backend interface {
 	PlanQuery(text string, opts core.QueryOptions) (core.Plan, error)
-	QueryPlanned(text string, plan core.Plan, workers int) (*core.Result, error)
-	QueryBatchPlanned(texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error)
+	QueryPlanned(ctx context.Context, text string, plan core.Plan, workers int) (*core.Result, error)
+	QueryBatchPlanned(ctx context.Context, texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error)
 	Stats() core.IngestStats
 	Entities() int
 	Built() bool
@@ -89,6 +94,11 @@ type Config struct {
 	// unbounded requests on the fixed defaults. Requests that do set
 	// "min_recall" (or "exhaustive") are unaffected.
 	DefaultMinRecall float64
+	// SlowLogSize bounds the /debug/queries ring of slowest recent traces
+	// (0 selects the default of 16; negative disables the slow log and
+	// with it per-request tracing for requests that don't ask for
+	// debug=true).
+	SlowLogSize int
 }
 
 // Server is the HTTP serving tier. It implements http.Handler.
@@ -98,6 +108,7 @@ type Server struct {
 	cache   *resultCache
 	metrics *serverMetrics
 	flight  *flightGroup
+	slow    *slowLog
 	mux     *http.ServeMux
 	started time.Time
 
@@ -115,6 +126,7 @@ func New(backend Backend, cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheSize),
 		metrics: newServerMetrics(),
 		flight:  newFlightGroup(),
+		slow:    newSlowLog(cfg.SlowLogSize),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -123,6 +135,7 @@ func New(backend Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	return s
 }
 
@@ -250,11 +263,17 @@ type QueryResponse struct {
 	// hits: the plan the cached answer was computed under — identical, since
 	// the cache keys on it).
 	Plan PlanJSON `json:"plan"`
+	// Trace is the query's span tree, echoed only when the request set
+	// "debug": true. Tracing observes the execution — it never changes the
+	// answer.
+	Trace *SpanJSON `json:"trace,omitempty"`
 }
 
 type queryRequest struct {
 	Query   string           `json:"query"`
 	Options QueryOptionsJSON `json:"options"`
+	// Debug asks the server to echo the query's span tree in the response.
+	Debug bool `json:"debug,omitempty"`
 }
 
 type batchRequest struct {
@@ -304,7 +323,7 @@ func (s *Server) failUnavailable(w http.ResponseWriter) {
 			}
 		}
 		if len(down) > 0 {
-			s.fail(w, http.StatusServiceUnavailable,
+			s.failKind(w, http.StatusServiceUnavailable, "backend_down",
 				"%d shard backend(s) unreachable: %s", len(down), strings.Join(down, ", "))
 			return
 		}
@@ -354,15 +373,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.Workers = 1
 	}
 	defer s.inflight.Add(-1)
+	// Trace the query whenever anyone could see the trace: the slow log
+	// retains the slowest recent ones for /debug/queries, and debug=true
+	// echoes this one in the response. Tracing records what the execution
+	// did — it never steers it, so answers are byte-identical either way.
+	ctx := r.Context()
+	var trace *obs.Trace
+	var root obs.Span
+	if req.Debug || s.slow.enabled() {
+		trace = obs.NewTrace(obs.NewID())
+		root = trace.Root("query")
+		ctx = obs.With(ctx, root)
+	}
 	start := time.Now()
-	res, plan, cached, err := s.query(req.Query, opts)
+	res, plan, cached, err := s.query(ctx, req.Query, opts)
 	if err != nil {
 		s.fail(w, queryErrStatus(err), "%v", err)
 		return
 	}
-	s.metrics.latency.observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.metrics.latency.observe(elapsed)
 	s.metrics.queries.Add(1)
-	writeJSON(w, http.StatusOK, toResponse(res, plan, cached))
+	resp := toResponse(res, plan, cached)
+	if trace != nil {
+		root.End()
+		tree := spanTree(trace.Export())
+		s.slow.note(slowEntry{
+			At:         time.Now(),
+			Query:      req.Query,
+			PlanKind:   string(plan.Kind),
+			Cached:     cached,
+			DurationMs: float64(elapsed.Microseconds()) / 1000,
+			Trace:      tree,
+		})
+		if req.Debug {
+			resp.Trace = tree
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // query plans one query, then serves the plan through the cache, coalescing
@@ -375,22 +423,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // that resolve to the same execution — a pinned plan and the option knobs
 // it mirrors, say — share one cache entry, and adaptive requests are cached
 // per chosen plan, not per bound.
-func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, core.Plan, bool, error) {
+func (s *Server) query(ctx context.Context, text string, opts core.QueryOptions) (*core.Result, core.Plan, bool, error) {
+	planStart := time.Now()
+	_, psp := obs.Start(ctx, "plan")
 	plan, err := s.backend.PlanQuery(text, opts)
+	psp.End()
+	s.metrics.observeStage("plan", time.Since(planStart))
 	if err != nil {
 		return nil, core.Plan{}, false, err
 	}
 	s.metrics.notePlan(string(plan.Kind))
+	cacheStart := time.Now()
+	_, csp := obs.Start(ctx, "cache")
 	key := cacheKey(text, plan)
 	gen := s.backend.IngestGen()
-	if res, ok := s.cache.get(key, gen); ok {
+	res, hit := s.cache.get(key, gen)
+	if hit {
+		csp.Detail("hit")
+	} else {
+		csp.Detail("miss")
+	}
+	csp.End()
+	s.metrics.observeStage("cache", time.Since(cacheStart))
+	if hit {
 		return res, plan, true, nil
 	}
 	res, coalesced, err := s.flight.do(flightKey(key, gen), func() (*core.Result, error) {
-		res, err := s.backend.QueryPlanned(text, plan, opts.Workers)
+		res, err := s.backend.QueryPlanned(ctx, text, plan, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
+		// The leader attributes the stage timings exactly once per
+		// execution — coalesced waiters rode this run, they didn't repeat
+		// it.
+		s.metrics.observeStage("stage1", res.FastSearch)
+		s.metrics.observeStage("rerank", res.Rerank)
 		// Publish before the flight entry drops, so a request arriving
 		// after coalescing ends hits the cache instead of recomputing.
 		s.cache.put(key, gen, res)
@@ -400,6 +467,9 @@ func (s *Server) query(text string, opts core.QueryOptions) (*core.Result, core.
 		return nil, plan, false, err
 	}
 	if coalesced {
+		// A waiter's trace carries no stage-1/rerank spans of its own (the
+		// leader's request ran them); the cache span says why.
+		csp.Detail("miss coalesced")
 		s.cache.noteCoalesced()
 	}
 	return res, plan, false, nil
@@ -468,12 +538,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		missIdx = append(missIdx, i)
 	}
 	if len(missTexts) > 0 {
-		results, err := s.backend.QueryBatchPlanned(missTexts, missPlans, opts.Workers, 0)
+		results, err := s.backend.QueryBatchPlanned(r.Context(), missTexts, missPlans, opts.Workers, 0)
 		if err != nil {
 			s.fail(w, queryErrStatus(err), "%v", err)
 			return
 		}
 		for j, res := range results {
+			s.metrics.observeStage("stage1", res.FastSearch)
+			s.metrics.observeStage("rerank", res.Rerank)
 			s.cache.put(cacheKey(missTexts[j], missPlans[j]), gen, res)
 			out[missIdx[j]] = toResponse(res, missPlans[j], false)
 		}
@@ -501,12 +573,12 @@ type StatsResponse struct {
 	ReplicaGroups [][]shard.ReplicaStat `json:"replica_groups,omitempty"`
 	// Backends reports per-shard backend kind, address and health when the
 	// backend is a distributed engine.
-	Backends      []shard.BackendStat `json:"backends,omitempty"`
-	IngestGen    uint64     `json:"ingest_gen"`
-	Cache        CacheStats `json:"cache"`
-	QueriesTotal uint64     `json:"queries_total"`
-	BatchTotal   uint64     `json:"batch_queries_total"`
-	ErrorsTotal  uint64     `json:"errors_total"`
+	Backends     []shard.BackendStat `json:"backends,omitempty"`
+	IngestGen    uint64              `json:"ingest_gen"`
+	Cache        CacheStats          `json:"cache"`
+	QueriesTotal uint64              `json:"queries_total"`
+	BatchTotal   uint64              `json:"batch_queries_total"`
+	ErrorsTotal  uint64              `json:"errors_total"`
 	// Plans counts resolved plans by kind ("fixed", "pinned", "adaptive",
 	// "adaptive-exact") across /query and /query/batch.
 	Plans map[string]uint64 `json:"plans,omitempty"`
@@ -595,6 +667,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(w, "lovod_queries_total", s.metrics.queries.Load())
 	counter(w, "lovod_batch_queries_total", s.metrics.batchQueries.Load())
 	counter(w, "lovod_errors_total", s.metrics.errors.Load())
+	s.metrics.writeErrorMetrics(w)
 	counter(w, "lovod_cache_hits_total", cs.Hits)
 	counter(w, "lovod_cache_misses_total", cs.Misses)
 	counter(w, "lovod_cache_evictions_total", cs.Evicted)
@@ -613,6 +686,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeBackendMetrics(w, bb.BackendStats())
 	}
 	s.metrics.latency.writeProm(w, "lovod_query_latency_seconds")
+	s.metrics.writeStageMetrics(w, "lovod_stage_seconds")
 }
 
 // writeReplicaMetrics renders per-replica health and read counters with
@@ -659,8 +733,27 @@ func queryErrStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// errKindForStatus classifies a failed request for the per-kind error
+// counter: 4xx means the request was bad, 503 means the index is not ready
+// (failUnavailable overrides with "backend_down" when it knows better), and
+// everything else is our fault.
+func errKindForStatus(status int) string {
+	switch {
+	case status == http.StatusServiceUnavailable:
+		return "not_ready"
+	case status >= 400 && status < 500:
+		return "validation"
+	default:
+		return "internal"
+	}
+}
+
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.metrics.errors.Add(1)
+	s.failKind(w, status, errKindForStatus(status), format, args...)
+}
+
+func (s *Server) failKind(w http.ResponseWriter, status int, kind string, format string, args ...any) {
+	s.metrics.noteError(kind)
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 

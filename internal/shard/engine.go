@@ -32,6 +32,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -39,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/video"
 )
@@ -234,12 +236,17 @@ func (e *Engine) BuildIndex() error {
 // what a single system would.
 type engineTarget struct{ e *Engine }
 
-func (t engineTarget) ScatterSearch(text string, plan core.Plan) ([][]core.ResultObject, error) {
+func (t engineTarget) ScatterSearch(ctx context.Context, text string, plan core.Plan) ([][]core.ResultObject, error) {
 	e := t.e
 	lists := make([][]core.ResultObject, len(e.backends))
 	errs := make([]error, len(e.backends))
 	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
-		hits, err := e.backends[i].FastSearch(text, plan.Leg(i))
+		lctx, lsp := obs.Start(ctx, "stage1.shard")
+		if lsp.On() {
+			lsp.Detail(fmt.Sprintf("shard=%d", i))
+		}
+		hits, err := e.backends[i].FastSearch(lctx, text, plan.Leg(i))
+		lsp.End()
 		if err != nil {
 			errs[i] = fmt.Errorf("shard %d: %w", i, err)
 			return
@@ -252,7 +259,7 @@ func (t engineTarget) ScatterSearch(text string, plan core.Plan) ([][]core.Resul
 	return lists, nil
 }
 
-func (t engineTarget) ScatterGround(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+func (t engineTarget) ScatterGround(ctx context.Context, text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
 	e := t.e
 	type routed struct {
 		refs []core.FrameRef
@@ -270,7 +277,12 @@ func (t engineTarget) ScatterGround(text string, refs []core.FrameRef, workers i
 		if len(byShard[i].refs) == 0 {
 			return
 		}
-		gs, err := e.backends[i].GroundCandidates(text, byShard[i].refs, workers)
+		lctx, lsp := obs.Start(ctx, "rerank.shard")
+		if lsp.On() {
+			lsp.Detail(fmt.Sprintf("shard=%d frames=%d", i, len(byShard[i].refs)))
+		}
+		gs, err := e.backends[i].GroundCandidates(lctx, text, byShard[i].refs, workers)
+		lsp.End()
 		if err != nil {
 			gerrs[i] = fmt.Errorf("shard %d: %w", i, err)
 			return
@@ -307,9 +319,11 @@ func (e *Engine) PlanQuery(text string, opts core.QueryOptions) (core.Plan, erro
 
 // QueryPlanned executes an explicit plan through the shared executor — the
 // same stage composition core.System.Query runs, scattered across shards,
-// so equal plans answer byte-identically on every deployment shape.
-func (e *Engine) QueryPlanned(text string, plan core.Plan, workers int) (*core.Result, error) {
-	return core.ExecutePlan(engineTarget{e}, text, e.cfg.NormalizePlan(plan), workers)
+// so equal plans answer byte-identically on every deployment shape. The
+// context carries the tracing recorder (see internal/obs); an untraced
+// context runs the allocation-free disabled path.
+func (e *Engine) QueryPlanned(ctx context.Context, text string, plan core.Plan, workers int) (*core.Result, error) {
+	return core.ExecutePlan(ctx, engineTarget{e}, text, e.cfg.NormalizePlan(plan), workers)
 }
 
 // Query answers a natural-language object query with both stages scattered:
@@ -321,11 +335,21 @@ func (e *Engine) QueryPlanned(text string, plan core.Plan, workers int) (*core.R
 // fails (after worker-side failover and transport retries) fails the whole
 // query: a partial merge is never returned.
 func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
+	return e.QueryCtx(context.Background(), text, opts)
+}
+
+// QueryCtx is Query with a caller context, so a traced caller sees plan
+// resolution and both scattered stages — down to per-shard legs, replica
+// attempts and remote-worker spans — in its trace. Tracing never changes
+// the answer.
+func (e *Engine) QueryCtx(ctx context.Context, text string, opts core.QueryOptions) (*core.Result, error) {
+	_, psp := obs.Start(ctx, "plan")
 	plan, err := e.PlanQuery(text, opts)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryPlanned(text, plan, opts.Workers)
+	return e.QueryPlanned(ctx, text, plan, opts.Workers)
 }
 
 // QueryBatch answers many queries concurrently across at most clients
@@ -358,7 +382,7 @@ func (e *Engine) QueryBatch(texts []string, opts core.QueryOptions, clients int)
 // QueryBatchPlanned executes one pre-resolved plan per query concurrently
 // across at most clients goroutines — the serving tier's batch path, which
 // plans (and cache-keys) each query before execution.
-func (e *Engine) QueryBatchPlanned(texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
+func (e *Engine) QueryBatchPlanned(ctx context.Context, texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
 	if len(plans) != len(texts) {
 		return nil, fmt.Errorf("shard: batch of %d texts given %d plans", len(texts), len(plans))
 	}
@@ -372,7 +396,7 @@ func (e *Engine) QueryBatchPlanned(texts []string, plans []core.Plan, workers, c
 	results := make([]*core.Result, len(texts))
 	errs := make([]error, len(texts))
 	core.ParallelFor(len(texts), clients, func(i int) {
-		results[i], errs[i] = e.QueryPlanned(texts[i], plans[i], workers)
+		results[i], errs[i] = e.QueryPlanned(ctx, texts[i], plans[i], workers)
 	})
 	for i, err := range errs {
 		if err != nil {

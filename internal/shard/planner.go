@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -306,14 +307,14 @@ func (e *Engine) shardStageRecall(i int, text string, plan core.Plan) (float64, 
 	xp := plan.Leg(i)
 	xp.Exact = true
 	xp.ShardK = plan.FastK
-	exact, err := e.backends[i].FastSearch(text, xp)
+	exact, err := e.backends[i].FastSearch(context.Background(), text, xp)
 	if err != nil {
 		return 0, err
 	}
 	if len(exact) == 0 {
 		return 1, nil
 	}
-	hits, err := e.backends[i].FastSearch(text, plan.Leg(i))
+	hits, err := e.backends[i].FastSearch(context.Background(), text, plan.Leg(i))
 	if err != nil {
 		return 0, err
 	}
@@ -340,7 +341,7 @@ func (e *Engine) StageRecall(text string, plan core.Plan) (float64, error) {
 	xp.ShardKs = nil
 	xp.ShardK = plan.FastK
 	target := engineTarget{e}
-	exactLists, err := target.ScatterSearch(text, xp)
+	exactLists, err := target.ScatterSearch(context.Background(), text, xp)
 	if err != nil {
 		return 0, err
 	}
@@ -348,7 +349,7 @@ func (e *Engine) StageRecall(text string, plan core.Plan) (float64, error) {
 	if len(exact) == 0 {
 		return 1, nil
 	}
-	lists, err := target.ScatterSearch(text, plan)
+	lists, err := target.ScatterSearch(context.Background(), text, plan)
 	if err != nil {
 		return 0, err
 	}

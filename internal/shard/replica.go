@@ -2,11 +2,13 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/video"
 )
@@ -117,9 +119,13 @@ func replicaFault(err error) bool {
 
 // withReplica runs fn against one healthy replica, marking a replica that
 // returns a fault unhealthy and transparently retrying the next healthy
-// one. fn observes a fully-functional core.System; the error it returns
-// decides failover (see replicaFault).
-func (l *Local) withReplica(fn func(sys *core.System) error) error {
+// one. fn observes a fully-functional core.System along with a context
+// carrying the attempt's span; the error fn returns decides failover (see
+// replicaFault). Under a traced context every attempt — including the
+// failed ones the retry loop papers over — records a sibling "replica"
+// span, so a failover that silently rescued a query is visible in its
+// trace.
+func (l *Local) withReplica(ctx context.Context, fn func(ctx context.Context, sys *core.System) error) error {
 	var lastErr error
 	var marked []int
 	for attempt := 0; attempt < len(l.replicas); attempt++ {
@@ -130,7 +136,16 @@ func (l *Local) withReplica(fn func(sys *core.System) error) error {
 		st := &l.state[ri]
 		st.inflight.Add(1)
 		st.reads.Add(1)
-		err := l.callReplica(ri, fn)
+		actx, asp := obs.Start(ctx, "replica")
+		err := l.callReplica(actx, ri, fn)
+		if asp.On() {
+			if err != nil {
+				asp.Detail(fmt.Sprintf("replica=%d err=%v", ri, err))
+			} else {
+				asp.Detail(fmt.Sprintf("replica=%d", ri))
+			}
+		}
+		asp.End()
 		st.inflight.Add(-1)
 		if err == nil {
 			return nil
@@ -161,13 +176,13 @@ func (l *Local) withReplica(fn func(sys *core.System) error) error {
 
 // callReplica dispatches fn to one replica, routing through the test-only
 // fault hook when set.
-func (l *Local) callReplica(ri int, fn func(sys *core.System) error) error {
+func (l *Local) callReplica(ctx context.Context, ri int, fn func(ctx context.Context, sys *core.System) error) error {
 	if l.faultHook != nil {
 		if err := l.faultHook(ri); err != nil {
 			return err
 		}
 	}
-	return fn(l.replicas[ri])
+	return fn(ctx, l.replicas[ri])
 }
 
 // Fail removes one replica from query routing — the operational "kill" used
@@ -255,10 +270,10 @@ func (l *Local) BuildIndex() error {
 
 // FastSearch runs stage 1 under the plan's leg knobs on one healthy
 // replica, failing over on faults.
-func (l *Local) FastSearch(text string, plan core.Plan) ([]core.ResultObject, error) {
+func (l *Local) FastSearch(ctx context.Context, text string, plan core.Plan) ([]core.ResultObject, error) {
 	var hits []core.ResultObject
-	err := l.withReplica(func(sys *core.System) error {
-		fh, err := sys.SearchPlanned(text, plan)
+	err := l.withReplica(ctx, func(ctx context.Context, sys *core.System) error {
+		fh, err := sys.SearchPlanned(ctx, text, plan)
 		if err != nil {
 			return err
 		}
@@ -276,7 +291,7 @@ func (l *Local) FastSearch(text string, plan core.Plan) ([]core.ResultObject, er
 // the group.
 func (l *Local) PlanStats() (core.PlanStats, error) {
 	var st core.PlanStats
-	err := l.withReplica(func(sys *core.System) error {
+	err := l.withReplica(context.Background(), func(_ context.Context, sys *core.System) error {
 		st = sys.PlanStats()
 		return nil
 	})
@@ -285,10 +300,10 @@ func (l *Local) PlanStats() (core.PlanStats, error) {
 
 // GroundCandidates runs stage 2 on one healthy replica, failing over on
 // faults.
-func (l *Local) GroundCandidates(text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
+func (l *Local) GroundCandidates(ctx context.Context, text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
 	var gs []core.Grounding
-	err := l.withReplica(func(sys *core.System) error {
-		gs = sys.GroundCandidates(text, refs, workers)
+	err := l.withReplica(ctx, func(ctx context.Context, sys *core.System) error {
+		gs = sys.GroundCandidates(ctx, text, refs, workers)
 		return nil
 	})
 	if err != nil {
