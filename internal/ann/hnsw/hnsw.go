@@ -77,9 +77,10 @@ func New(dim int, cfg Config) *Index {
 	}
 	cfg = cfg.withDefaults()
 	return &Index{
-		dim:   dim,
-		cfg:   cfg,
-		mL:    1 / math.Log(float64(cfg.M)),
+		dim: dim,
+		cfg: cfg,
+		mL:  1 / math.Log(float64(cfg.M)),
+		//lovo:nondeterministic-ok PCG seeded purely from cfg.Seed: level draws are a deterministic function of config, identical on every replica
 		rng:   rand.New(rand.NewPCG(cfg.Seed^0x4e57, cfg.Seed^0x5357)),
 		byID:  make(map[int64]int32),
 		entry: -1,

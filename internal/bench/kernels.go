@@ -318,6 +318,7 @@ func pqTableRef(pq *quant.PQ, q mat.Vec) [][]float32 {
 func dotScalarRef(a, b []float32) float32 {
 	var s float32
 	for i, av := range a {
+		//lovo:kernel-ok the bench baseline IS the seed's scalar kernel; replacing it with mat.Dot would benchmark mat against itself
 		s += av * b[i]
 	}
 	return s
@@ -336,6 +337,7 @@ func matMulScalarRef(a, b *mat.Matrix) *mat.Matrix {
 			}
 			brow := b.Row(k)
 			for j, bv := range brow {
+				//lovo:kernel-ok the bench baseline IS the seed's scalar kernel; replacing it with mat.MatMul would benchmark mat against itself
 				orow[j] += av * bv
 			}
 		}

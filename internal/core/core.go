@@ -314,6 +314,7 @@ func (s *System) Ingest(v *video.Video) error {
 	if v.ID < 0 || v.ID > MaxVideoID {
 		return fmt.Errorf("core: video ID %d outside the %d-bit patch-ID field (0..%d)", v.ID, 16, MaxVideoID)
 	}
+	//lovo:nondeterministic-ok stats.Processing is ingest-cost bookkeeping; stored rows and vectors never depend on it
 	start := time.Now()
 	keys := s.cfg.Keyframe.Select(v)
 	for _, fi := range keys {
@@ -363,6 +364,7 @@ func (s *System) Ingest(v *video.Video) error {
 	s.mu.Lock()
 	s.stats.Videos++
 	s.stats.Frames += len(v.Frames)
+	//lovo:nondeterministic-ok stats.Processing is ingest-cost bookkeeping; stored rows and vectors never depend on it
 	s.stats.Processing += time.Since(start)
 	s.mu.Unlock()
 	s.ingestGen.Add(1)
@@ -381,6 +383,7 @@ func (s *System) insertVector(id int64, v []float32) error {
 // ingested so far. In streaming mode it seals the current growing segment
 // instead — sealed segments are never rebuilt.
 func (s *System) BuildIndex() error {
+	//lovo:nondeterministic-ok stats.Indexing is build-cost bookkeeping; the built index never depends on it
 	start := time.Now()
 	if s.seg != nil {
 		if err := s.seg.Seal(); err != nil {
@@ -390,6 +393,7 @@ func (s *System) BuildIndex() error {
 		return fmt.Errorf("core: building %s index: %w", s.cfg.Index, err)
 	}
 	s.mu.Lock()
+	//lovo:nondeterministic-ok stats.Indexing is build-cost bookkeeping; the built index never depends on it
 	s.stats.Indexing += time.Since(start)
 	s.built = true
 	s.mu.Unlock()

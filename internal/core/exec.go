@@ -37,6 +37,7 @@ type PlanTarget interface {
 // width — and at every tracing setting: spans observe, never steer.
 func ExecutePlan(ctx context.Context, t PlanTarget, text string, plan Plan, workers int) (*Result, error) {
 	res := &Result{}
+	//lovo:nondeterministic-ok Result.FastSearch is reported stage latency; hit selection and order never read it
 	start := time.Now()
 	sctx, ssp := obs.Start(ctx, "stage1")
 	lists, err := t.ScatterSearch(sctx, text, plan)
@@ -53,6 +54,7 @@ func ExecutePlan(ctx context.Context, t PlanTarget, text string, plan Plan, work
 	msp.End()
 	ssp.End()
 	res.CandidateFrames = len(refs)
+	//lovo:nondeterministic-ok Result.FastSearch is reported stage latency; hit selection and order never read it
 	res.FastSearch = time.Since(start)
 
 	if plan.SkipRerank {
@@ -60,6 +62,7 @@ func ExecutePlan(ctx context.Context, t PlanTarget, text string, plan Plan, work
 		return res, nil
 	}
 
+	//lovo:nondeterministic-ok Result.Rerank is reported stage latency; grounding ranks never read it
 	rstart := time.Now()
 	rctx, rsp := obs.Start(ctx, "rerank")
 	refs = SelectForRerank(refs, plan.RerankFrames)
@@ -73,6 +76,7 @@ func ExecutePlan(ctx context.Context, t PlanTarget, text string, plan Plan, work
 	}
 	res.Objects = RankGroundings(groundings, plan.TopN)
 	rsp.End()
+	//lovo:nondeterministic-ok Result.Rerank is reported stage latency; grounding ranks never read it
 	res.Rerank = time.Since(rstart)
 	return res, nil
 }

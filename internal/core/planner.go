@@ -13,12 +13,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
 
 	"repro/internal/ann"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/vectordb"
 	"repro/internal/video"
@@ -366,7 +368,7 @@ func (p *planner) calibrateLocked(s *System, gen uint64, ent int) {
 // validateEvery-th adaptive plan is validated inline against exact ground
 // truth for the live query; a miss both escalates that query to exact and
 // widens the margin for later ones.
-func (p *planner) plan(s *System, text string, opts QueryOptions) Plan {
+func (p *planner) plan(ctx context.Context, s *System, text string, opts QueryOptions) Plan {
 	base := s.cfg.FixedPlan(opts)
 	exact := func() Plan {
 		e := base
@@ -411,7 +413,13 @@ func (p *planner) plan(s *System, text string, opts QueryOptions) Plan {
 	}
 	p.planned++
 	if p.validateEvery > 0 && p.planned%p.validateEvery == 0 {
-		if measured, err := s.StageRecall(text, pl); err == nil {
+		// The inline probe is real per-query work; give it a span so slow
+		// planning shows up attributed in the caller's trace, not as a
+		// mystery gap between plan and stage1.
+		_, vsp := obs.Start(ctx, "plan.validate")
+		measured, err := s.StageRecall(text, pl)
+		vsp.End()
+		if err == nil {
 			p.lastMeasured = measured
 			if measured < opts.MinRecall {
 				p.margin = math.Min(plannerMaxMargin, p.margin+(opts.MinRecall-measured)+0.01)

@@ -146,6 +146,7 @@ func (s *System) encodeQuery(text string) (mat.Vec, error) {
 // are returned in canonical (score desc, patch ID asc) order. Safe to call
 // concurrently with Ingest.
 func (s *System) FastSearch(text string, opts QueryOptions) (*FastHits, error) {
+	//lovo:ctx-ok public ctx-less wrapper; SearchPlanned is the traced path
 	return s.SearchPlanned(context.Background(), text, s.cfg.FixedPlan(opts))
 }
 
@@ -157,6 +158,7 @@ func (s *System) FastSearch(text string, opts QueryOptions) (*FastHits, error) {
 // encode / ANN / metadata-join sub-spans.
 func (s *System) SearchPlanned(ctx context.Context, text string, plan Plan) (*FastHits, error) {
 	plan = s.cfg.NormalizePlan(plan)
+	//lovo:nondeterministic-ok Elapsed is reported latency metadata; hit selection and order never read it
 	start := time.Now()
 	_, esp := obs.Start(ctx, "encode")
 	qproj, err := s.encodeQuery(text)
@@ -193,6 +195,7 @@ func (s *System) SearchPlanned(ctx context.Context, text string, plan Plan) (*Fa
 			PatchID:  h.ID,
 		})
 	}
+	//lovo:nondeterministic-ok Elapsed is reported latency metadata; hit selection and order never read it
 	return &FastHits{Objects: objects, Elapsed: time.Since(start)}, nil
 }
 
@@ -397,6 +400,14 @@ func RankGroundings(groundings []Grounding, topN int) []ResultObject {
 // when MinRecall is set, and otherwise the fixed default plan — exactly the
 // knobs every query ran with before plans existed.
 func (s *System) PlanQuery(text string, opts QueryOptions) (Plan, error) {
+	//lovo:ctx-ok public ctx-less wrapper mirroring Query/QueryCtx; PlanQueryCtx is the traced path
+	return s.PlanQueryCtx(context.Background(), text, opts)
+}
+
+// PlanQueryCtx is PlanQuery with a caller context: the planner's inline
+// validation probe (a real exact-vs-plan measurement on the live query)
+// runs under it, so a traced caller sees validation cost in its trace.
+func (s *System) PlanQueryCtx(ctx context.Context, text string, opts QueryOptions) (Plan, error) {
 	if err := ValidateMinRecall(opts.MinRecall); err != nil {
 		return Plan{}, err
 	}
@@ -404,7 +415,7 @@ func (s *System) PlanQuery(text string, opts QueryOptions) (Plan, error) {
 		return s.cfg.NormalizePlan(*opts.Plan), nil
 	}
 	if opts.MinRecall > 0 {
-		return s.planner.plan(s, text, opts), nil
+		return s.planner.plan(ctx, s, text, opts), nil
 	}
 	return s.cfg.FixedPlan(opts), nil
 }
@@ -424,6 +435,7 @@ func (s *System) QueryPlanned(ctx context.Context, text string, plan Plan, worke
 // across shards, so a one-shard engine answers byte-identically to this
 // path.
 func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
+	//lovo:ctx-ok public ctx-less wrapper; QueryCtx is the traced path
 	return s.QueryCtx(context.Background(), text, opts)
 }
 
@@ -431,8 +443,8 @@ func (s *System) Query(text string, opts QueryOptions) (*Result, error) {
 // and execution spans in its trace. Tracing never changes the answer:
 // QueryCtx and Query return identical bytes for identical inputs.
 func (s *System) QueryCtx(ctx context.Context, text string, opts QueryOptions) (*Result, error) {
-	_, psp := obs.Start(ctx, "plan")
-	plan, err := s.PlanQuery(text, opts)
+	pctx, psp := obs.Start(ctx, "plan")
+	plan, err := s.PlanQueryCtx(pctx, text, opts)
 	psp.End()
 	if err != nil {
 		return nil, err

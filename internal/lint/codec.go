@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CodecSafety guards the wire codec's forged-count contract in
+// internal/remote: a length or count read off the wire must pass the
+// sticky decoder's bound check (dec.count, which rejects counts whose
+// elements cannot fit the remaining payload) before it may size an
+// allocation, and every op* handler must settle the sticky error with
+// dec.finish so trailing garbage and truncation are never silently
+// accepted.
+var CodecSafety = &Analyzer{
+	Name:      "codecsafety",
+	Doc:       "flags allocations sized by unbounded wire-decoded values and op handlers that skip the sticky decoder",
+	Directive: "codec-ok",
+	Run:       runCodecSafety,
+}
+
+// rawDecodeMethods are dec methods returning wire-controlled numbers with
+// no bound check; count is the sanctioned, bounds-checked counterpart.
+var rawDecodeMethods = map[string]bool{
+	"u8": true, "u32": true, "u64": true, "i64": true, "intv": true,
+}
+
+func runCodecSafety(p *Pass) {
+	if !p.PathIn("internal/remote") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkWireSizedMakes(p, fn.Body)
+			checkOpHandlers(p, fn.Body)
+			return true
+		})
+	}
+}
+
+// isRawDecodeCall reports whether e calls a raw (unbounded) decode method
+// on the sticky decoder, unwrapping conversions like int(d.u32()).
+func isRawDecodeCall(p *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		// Conversion wrapper: int(d.u32()), uint64(d.intv()), ...
+		if len(call.Args) == 1 {
+			if t := p.TypeOf(call.Fun); t != nil {
+				if _, isConv := t.(*types.Basic); isConv {
+					return isRawDecodeCall(p, call.Args[0])
+				}
+			}
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !rawDecodeMethods[sel.Sel.Name] {
+			return false
+		}
+		return isDecReceiver(p, sel.X)
+	}
+	return false
+}
+
+// isDecReceiver reports whether e's type is the sticky decoder (a named
+// type called dec, possibly behind a pointer).
+func isDecReceiver(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "dec"
+}
+
+// checkWireSizedMakes flags make(T, n) / make(T, l, c) where a size derives
+// from a raw decode without an intervening bound: either the size expression
+// is itself a raw decode call, or it is a variable assigned from one that
+// never appears in a comparison or min/max call before the make.
+func checkWireSizedMakes(p *Pass, body *ast.BlockStmt) {
+	// tainted: variables assigned from a raw decode, at their taint pos.
+	tainted := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isRawDecodeCall(p, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := p.ObjectOf(id); obj != nil {
+					tainted[obj] = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	// sanitized: positions where a tainted variable meets a bound — a
+	// comparison, or a min/max clamp.
+	sanitizedAt := func(obj types.Object, before token.Pos) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					if n.Pos() < before && (refersTo(p, n.X, obj) || refersTo(p, n.Y, obj)) {
+						found = true
+					}
+				}
+			case *ast.CallExpr:
+				if name := calleeName(n); (name == "min" || name == "max") && n.Pos() < before {
+					for _, a := range n.Args {
+						if refersTo(p, a, obj) {
+							found = true
+						}
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+			return true
+		}
+		for _, arg := range call.Args[1:] { // skip the type argument
+			arg = ast.Unparen(arg)
+			if isRawDecodeCall(p, arg) {
+				p.Reportf(call.Pos(), "allocation sized directly by an unbounded wire value: read the size via dec.count (bounds-checked) instead")
+				continue
+			}
+			obj := sizeVarObject(p, arg)
+			if obj == nil {
+				continue
+			}
+			if tpos, ok := tainted[obj]; ok && tpos < call.Pos() && !sanitizedAt(obj, call.Pos()) {
+				p.Reportf(call.Pos(), "allocation sized by %q, a wire-decoded value with no bound check between decode and make: use dec.count or clamp it first", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// sizeVarObject resolves a make-size argument to the variable behind it,
+// unwrapping conversions (make([]T, int(n))).
+func sizeVarObject(p *Pass, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if t := p.TypeOf(call.Fun); t != nil {
+			if _, isConv := t.(*types.Basic); isConv {
+				return sizeVarObject(p, call.Args[0])
+			}
+		}
+		return nil
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return p.ObjectOf(id)
+	}
+	return nil
+}
+
+// checkOpHandlers enforces the handler discipline: in a switch dispatching
+// on op codes (case expressions named op*), every handler must call the
+// sticky decoder's finish — the single place truncation, trailing bytes
+// and all accumulated decode errors surface.
+func checkOpHandlers(p *Pass, body *ast.BlockStmt) {
+	// Only dispatch functions that hold the sticky decoder are handlers;
+	// a switch mapping op codes to names (logging, metrics) is not.
+	if !bodyUsesDec(p, body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok || cc.List == nil { // skip default
+				continue
+			}
+			opName := ""
+			for _, e := range cc.List {
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && strings.HasPrefix(id.Name, "op") && len(id.Name) > 2 && id.Name[2] >= 'A' && id.Name[2] <= 'Z' {
+					opName = id.Name
+					break
+				}
+			}
+			if opName == "" {
+				continue
+			}
+			if !callsFinish(cc.Body) {
+				p.Reportf(cc.Pos(), "op handler %s never calls the sticky decoder's finish: truncated or trailing request bytes would be silently accepted", opName)
+			}
+		}
+		return true
+	})
+}
+
+// bodyUsesDec reports whether any expression in body has the sticky
+// decoder's type.
+func bodyUsesDec(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && isDecReceiver(p, id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func callsFinish(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "finish" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow keeps the tracing context threaded end to end. The query trace
+// (internal/obs) rides the context.Context; a stage that mints
+// context.Background() mid-path silently detaches every span beneath it —
+// exactly the failure PR 7's per-stage metrics exist to rule out. In
+// library code (everything but cmd/, examples/ and tests) the analyzer
+// flags context.Background()/TODO(): harshly inside functions that already
+// receive a ctx (the caller's context was dropped), and as a boundary
+// finding elsewhere (the function should accept a ctx, or say why not
+// with //lovo:ctx-ok). It also flags functions that bind a ctx parameter
+// to a name but never read it — a silently severed trace; rename the
+// parameter to _ (interface satisfaction) or thread it.
+var CtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "flags dropped or freshly minted contexts in library code",
+	Directive: "ctx-ok",
+	Run:       runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.PathIn("cmd", "examples") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			hasCtx := funcHasCtxParam(p, fn)
+			for _, obj := range droppedCtxParams(p, fn) {
+				p.Reportf(fn.Pos(), "%s accepts a context.Context (%s) but never uses it: thread it into callees, or rename the parameter to _", fn.Name.Name, obj.Name())
+			}
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				bg := p.PkgFunc(call.Fun, "context", "Background")
+				todo := p.PkgFunc(call.Fun, "context", "TODO")
+				if !bg && !todo {
+					return true
+				}
+				name := "context.Background()"
+				if todo {
+					name = "context.TODO()"
+				}
+				if hasCtx {
+					p.Reportf(call.Pos(), "%s receives a context.Context but calls %s, dropping the caller's context (and its trace)", fn.Name.Name, name)
+				} else {
+					p.Reportf(call.Pos(), "%s in library code: %s should accept a context.Context and thread it", name, fn.Name.Name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// funcHasCtxParam reports whether fn declares a context.Context parameter.
+func funcHasCtxParam(p *Pass, fn *ast.FuncDecl) bool {
+	found := false
+	eachCtxParam(p, fn, func(*ast.Ident) { found = true })
+	return found
+}
+
+// droppedCtxParams returns the named context.Context parameters of fn that
+// the body never reads. An unnamed or _-named parameter is a declared,
+// visible drop (interface satisfaction) and is not returned.
+func droppedCtxParams(p *Pass, fn *ast.FuncDecl) []types.Object {
+	var dropped []types.Object
+	eachCtxParam(p, fn, func(name *ast.Ident) {
+		if name == nil || name.Name == "_" {
+			return
+		}
+		obj := p.ObjectOf(name)
+		if obj == nil {
+			return
+		}
+		used := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			dropped = append(dropped, obj)
+		}
+	})
+	return dropped
+}
+
+// eachCtxParam calls f once per context.Context parameter binding of fn:
+// once per name for named fields, once with nil for an anonymous field.
+func eachCtxParam(p *Pass, fn *ast.FuncDecl, f func(name *ast.Ident)) {
+	if fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() != "Context" || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+			continue
+		}
+		if len(field.Names) == 0 {
+			f(nil)
+			continue
+		}
+		for _, name := range field.Names {
+			f(name)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestDirectiveWithoutReason: a suppression must say why — the bare kind
+// still suppresses (so one problem is reported, not two), but is itself a
+// finding.
+func TestDirectiveWithoutReason(t *testing.T) {
+	pkg := load(t, "repro/internal/core", `package core
+
+import "time"
+
+func f() time.Time {
+	//lovo:nondeterministic-ok
+	return time.Now()
+}
+`)
+	diags := lint.Run(lint.Determinism, pkg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "without a reason") {
+		t.Fatalf("want exactly one missing-reason finding, got %v", messages(diags))
+	}
+}
+
+// TestStaleDirective: a directive that suppresses nothing is dead weight —
+// usually the excused code was fixed or moved — and must be reported so
+// the suppression inventory never rots.
+func TestStaleDirective(t *testing.T) {
+	pkg := load(t, "repro/internal/core", `package core
+
+func g() int {
+	//lovo:nondeterministic-ok nothing nondeterministic remains here
+	return 1
+}
+`)
+	diags := lint.Run(lint.Determinism, pkg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale") {
+		t.Fatalf("want exactly one stale-directive finding, got %v", messages(diags))
+	}
+}
+
+// TestUnknownDirectiveKind: a typo'd kind would otherwise silently
+// suppress nothing while looking like a suppression.
+func TestUnknownDirectiveKind(t *testing.T) {
+	pkg := load(t, "repro/internal/core", `package core
+
+func h() int {
+	//lovo:determinism-ok the kind is a typo
+	return 1
+}
+`)
+	diags := lint.RunAll(pkg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown directive") {
+		t.Fatalf("want exactly one unknown-kind finding, got %v", messages(diags))
+	}
+}
+
+// TestBurnInDirectiveLoadBearing re-runs the suite over the real
+// internal/core package twice: as shipped it must be clean, and with one
+// burn-in directive deleted it must fail — deleting any suppression (or
+// the code it excuses) always changes lovocheck's verdict.
+func TestBurnInDirectiveLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks a full package from source")
+	}
+	files, err := filepath.Glob(filepath.Join("..", "core", "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("locating internal/core sources: %v", err)
+	}
+	clean := make(map[string]string)
+	for _, fn := range files {
+		if strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean[fn] = string(data)
+	}
+
+	// Clean run: the shipped package, directives intact.
+	cleanPkg, err := lint.LoadSources("repro/internal/core", clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunAll(cleanPkg); len(diags) != 0 {
+		t.Fatalf("shipped internal/core must be lovocheck-clean, got %v", messages(diags))
+	}
+
+	// Mutated run: one directive gone, the finding it suppressed returns.
+	execGo := filepath.Join("..", "core", "exec.go")
+	lines := strings.Split(clean[execGo], "\n")
+	stripped := false
+	for i, l := range lines {
+		if strings.Contains(l, lint.DirectivePrefix+"nondeterministic-ok") {
+			lines = append(lines[:i], lines[i+1:]...)
+			stripped = true
+			break
+		}
+	}
+	if !stripped {
+		t.Fatal("exec.go carries no nondeterministic-ok directive to strip; pick another burn-in file")
+	}
+	sources := make(map[string]string, len(clean))
+	for k, v := range clean {
+		sources[k] = v
+	}
+	sources[execGo] = strings.Join(lines, "\n")
+	mutPkg, err := lint.LoadSources("repro/internal/core", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(lint.Determinism, mutPkg)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "wall-clock read") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stripping a burn-in directive must resurface its finding, got %v", messages(diags))
+	}
+}
+
+func load(t *testing.T, importPath, src string) *lint.Package {
+	t.Helper()
+	pkg, err := lint.LoadSources(importPath, map[string]string{"src.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func messages(diags []lint.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

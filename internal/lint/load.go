@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+)
+
+// Package is one parsed-and-typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects what the lenient typecheck swallowed. The
+	// analyzers tolerate partial type information; the driver surfaces
+	// these only under -debug.
+	TypeErrors []error
+}
+
+// lenientImporter resolves imports from source (the toolchain ships no
+// pre-compiled export data for the stdlib, and the module has no external
+// deps) and degrades to an empty stub package when resolution fails — a
+// stub leaves selector types unknown, which the analyzers treat as
+// "cannot prove a violation", never as a crash.
+type lenientImporter struct {
+	src   types.ImporterFrom
+	stubs map[string]*types.Package
+}
+
+func newLenientImporter(fset *token.FileSet) *lenientImporter {
+	// The source importer reads go/build's default context; with cgo on it
+	// would try to run the cgo tool for packages like net. The pure-Go
+	// variants typecheck identically for analysis purposes.
+	build.Default.CgoEnabled = false
+	imp, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return &lenientImporter{src: imp, stubs: make(map[string]*types.Package)}
+}
+
+func (li *lenientImporter) Import(p string) (*types.Package, error) {
+	return li.ImportFrom(p, "", 0)
+}
+
+func (li *lenientImporter) ImportFrom(p, dir string, mode types.ImportMode) (pkg *types.Package, err error) {
+	if li.src != nil {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("lint: importing %s panicked: %v", p, r)
+				}
+			}()
+			pkg, err = li.src.ImportFrom(p, dir, 0)
+		}()
+		if err == nil && pkg != nil {
+			return pkg, nil
+		}
+	}
+	if stub, ok := li.stubs[p]; ok {
+		return stub, nil
+	}
+	stub := types.NewPackage(p, path.Base(p))
+	stub.MarkComplete()
+	li.stubs[p] = stub
+	return stub, nil
+}
+
+// LoadFiles parses and leniently typechecks one package from explicit
+// file paths, tagging it with importPath (which the analyzers scope by).
+func LoadFiles(importPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typecheck(importPath, fset, files), nil
+}
+
+// LoadSources parses and leniently typechecks one package from in-memory
+// sources (filename → source), for tests that synthesize or mutate code.
+func LoadSources(importPath string, sources map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(sources))
+	for fn := range sources {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, fn := range names {
+		f, err := parser.ParseFile(fset, fn, sources[fn], parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typecheck(importPath, fset, files), nil
+}
+
+func typecheck(importPath string, fset *token.FileSet, files []*ast.File) *Package {
+	pkg := &Package{Path: importPath, Fset: fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: newLenientImporter(fset),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg
+}

@@ -1,0 +1,131 @@
+// Corpus for the codecsafety analyzer: loaded by the harness under the
+// import path repro/internal/remote. It models the wire codec's sticky
+// decoder: raw reads (u8/u32/intv) return attacker-controlled numbers,
+// count is the sanctioned bounds-checked read, finish settles the sticky
+// error.
+package remote
+
+import "errors"
+
+var errTruncated = errors.New("truncated")
+
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.err = errTruncated
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *dec) u32() uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v = v<<8 | uint32(d.u8())
+	}
+	return v
+}
+
+// count reads an element count and rejects any value whose elements cannot
+// fit the remaining payload — the one sanctioned way to size a decode loop.
+func (d *dec) count(elem int) int {
+	n := int(d.u32())
+	if rem := len(d.buf) - d.off; elem > 0 && n > rem/elem {
+		d.err = errTruncated
+		return 0
+	}
+	return n
+}
+
+func (d *dec) finish() error { return d.err }
+
+// decodeUnbounded sizes an allocation from a raw wire value: a forged
+// count allocates gigabytes before the payload length is ever consulted.
+func decodeUnbounded(d *dec) []int64 {
+	n := int(d.u32())
+	out := make([]int64, n) // want `allocation sized by "n", a wire-decoded value with no bound check`
+	for i := range out {
+		out[i] = int64(d.u32())
+	}
+	return out
+}
+
+// decodeInline inlines the raw read straight into make.
+func decodeInline(d *dec) []byte {
+	return make([]byte, d.u32()) // want `allocation sized directly by an unbounded wire value`
+}
+
+// decodeBounded compares the count against a budget before allocating.
+func decodeBounded(d *dec) []int64 {
+	n := int(d.u32())
+	if n > 1024 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.u32())
+	}
+	return out
+}
+
+// decodeCounted goes through count, the bounds-checked read.
+func decodeCounted(d *dec) []byte {
+	n := d.count(1)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = d.u8()
+	}
+	return out
+}
+
+// decodeDirected documents an out-of-band bound the analyzer cannot see.
+func decodeDirected(d *dec) []byte {
+	n := int(d.u32())
+	//lovo:codec-ok the caller has already capped the frame at maxFrame, so n is transitively bounded
+	return make([]byte, n)
+}
+
+const (
+	opPing byte = iota + 1
+	opQuery
+	opStats
+)
+
+// handle dispatches ops while holding the sticky decoder: every payload
+// handler must settle it with finish.
+func handle(d *dec, op byte) error {
+	switch op {
+	case opPing: // want `op handler opPing never calls the sticky decoder's finish`
+		_ = d.u8()
+		return nil
+	case opQuery:
+		_ = d.u32()
+		return d.finish()
+	//lovo:codec-ok stats carries no request payload; there is nothing to settle
+	case opStats:
+		return nil
+	default:
+		return errors.New("bad op")
+	}
+}
+
+// opName maps op codes to strings with no decoder in sight: not a handler.
+func opName(op byte) string {
+	switch op {
+	case opPing:
+		return "ping"
+	case opQuery:
+		return "query"
+	case opStats:
+		return "stats"
+	default:
+		return "unknown"
+	}
+}

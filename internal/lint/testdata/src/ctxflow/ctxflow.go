@@ -1,0 +1,46 @@
+// Corpus for the ctxflow analyzer: loaded by the harness under
+// repro/internal/svc, library code where the caller's context (and the
+// query trace riding it) must be threaded, never dropped or re-minted.
+package svc
+
+import "context"
+
+type store struct{}
+
+func (s *store) get(ctx context.Context, k string) (string, error) {
+	_ = ctx
+	return k, nil
+}
+
+// lookup mints a context in a function with none: a boundary that should
+// accept one.
+func lookup(s *store, k string) (string, error) {
+	return s.get(context.Background(), k) // want `context.Background\(\) in library code: lookup should accept a context.Context`
+}
+
+// lookupCtx receives a context and discards it both ways: the parameter is
+// never read, and the callee gets a fresh Background.
+func lookupCtx(ctx context.Context, s *store, k string) (string, error) { // want `lookupCtx accepts a context.Context \(ctx\) but never uses it`
+	return s.get(context.Background(), k) // want `lookupCtx receives a context.Context but calls context.Background\(\), dropping the caller's context`
+}
+
+// lookupThreaded does it right.
+func lookupThreaded(ctx context.Context, s *store, k string) (string, error) {
+	return s.get(ctx, k)
+}
+
+// lookupDetached drops the context visibly (_) and documents the mint.
+func lookupDetached(_ context.Context, s *store, k string) (string, error) {
+	//lovo:ctx-ok fire-and-forget audit write that must outlive the request
+	return s.get(context.Background(), k)
+}
+
+// lookupTODO: a TODO context is still a dropped trace.
+func lookupTODO(s *store, k string) (string, error) {
+	return s.get(context.TODO(), k) // want `context.TODO\(\) in library code`
+}
+
+//lovo:ctx-ok interface parity with the traced variant; nothing here can block or trace
+func legacy(ctx context.Context, k string) string {
+	return k
+}

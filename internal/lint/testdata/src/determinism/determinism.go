@@ -1,0 +1,90 @@
+// Corpus for the determinism analyzer: loaded by the harness under the
+// query-path import path repro/internal/core. Lines carrying findings are
+// annotated with `// want` regexes; unannotated idioms must stay quiet.
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// now is an undocumented wall-clock read on a query path.
+func now() time.Time {
+	return time.Now() // want `wall-clock read \(time\.Now\)`
+}
+
+// nowOK documents why the clock is harmless here.
+func nowOK() time.Time {
+	//lovo:nondeterministic-ok latency metadata only; results never read it
+	return time.Now()
+}
+
+// roll is undocumented randomness.
+func roll() uint64 {
+	return rand.Uint64() // want `math/rand use`
+}
+
+// rollOK is seeded from a constant and says so.
+func rollOK() uint64 {
+	//lovo:nondeterministic-ok PCG seeded from constants: the same stream on every replica
+	return rand.New(rand.NewPCG(1, 2)).Uint64()
+}
+
+// leak appends in map iteration order and never restores an order.
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order flows into "keys" via append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: the sort erases iteration order,
+// so the analyzer must stay quiet.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sum accumulates floats in map order; float addition is not associative.
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order flows into "total" via float accumulation`
+		total += v
+	}
+	return total
+}
+
+// counting is associative: integer accumulation over a map is order-free.
+func counting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyed writes land per element, not in iteration order.
+func keyed(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// perIteration state declared inside the loop body is not a leak.
+func perIteration(m map[string][]float32) int {
+	n := 0
+	for _, vs := range m {
+		var local []float32
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -165,6 +165,7 @@ func (c *Client) put(conn net.Conn) {
 // have been sent. Application-level errors (the worker executed and said
 // no) never retry on either path.
 func (c *Client) call(op byte, body []byte, mutating bool) ([]byte, error) {
+	//lovo:ctx-ok untraced control-plane ops (ingest, build, snapshot); the query path goes through callCtx
 	return c.do(context.Background(), op, body, mutating, false)
 }
 
@@ -185,6 +186,7 @@ func (c *Client) callCtx(ctx context.Context, op byte, body []byte) ([]byte, err
 // request one DialTimeout, not Retries x Timeout. Stale pooled connections
 // still discard and redial for free.
 func (c *Client) meta(op byte) ([]byte, error) {
+	//lovo:ctx-ok sub-millisecond metadata exchange, deliberately untraced: a span per Built/IngestGen poll would dwarf the traces it decorates
 	return c.do(context.Background(), op, nil, false, true)
 }
 
@@ -261,6 +263,7 @@ func (c *Client) exchange(conn net.Conn, req []byte, mutating, light bool) ([]by
 		// dial, not like a query.
 		timeout = c.opts.DialTimeout
 	}
+	//lovo:nondeterministic-ok transport deadline arithmetic; the wire payload never carries the clock value
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}

@@ -133,7 +133,7 @@ func TestPlanStatsRoundTrip(t *testing.T) {
 		{}, // empty shard: no sample, no terms, no rungs
 		{Entities: math.MaxInt32, Dim: 1, SampleEvery: 1 << 20,
 			Sample:     []float32{math.MaxFloat32},
-			Terms:      []core.TermCount{{Name: strings.Repeat("t", 1 << 10), Objects: -1, Frames: math.MaxInt32}},
+			Terms:      []core.TermCount{{Name: strings.Repeat("t", 1<<10), Objects: -1, Frames: math.MaxInt32}},
 			Rungs:      []core.Rung{{NProbe: 64, MinRecall: 1, MeanRecall: 1}},
 			Calibrated: true, Margin: 0.25},
 	}

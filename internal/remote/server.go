@@ -136,6 +136,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		// deadline clears while the backend works (ingest and index
 		// builds legitimately run long) and re-arms for the response
 		// write.
+		//lovo:nondeterministic-ok transport deadline arithmetic; the wire payload never carries the clock value
 		_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
 		payload, err := readFrame(conn, s.maxFrame())
 		if err != nil {
@@ -158,6 +159,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		_ = conn.SetReadDeadline(time.Time{})
 		status, body := s.handle(payload[0], payload[1:])
+		//lovo:nondeterministic-ok transport deadline arithmetic; the wire payload never carries the clock value
 		_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout()))
 		if err := writeFrame(conn, append([]byte{status}, body...), s.maxFrame()); err != nil {
 			s.logf("remote: writing response: %v", err)
@@ -180,10 +182,12 @@ type workerTrace struct {
 // spans ship back on the response for the coordinator to graft.
 func traceRequest(tid uint64, rootName string) (context.Context, workerTrace) {
 	if tid == 0 {
+		//lovo:ctx-ok the RPC boundary is a context root: the coordinator's ctx ended at its client socket, and an untraced op needs only the free disabled recorder
 		return context.Background(), workerTrace{}
 	}
 	t := obs.NewTrace(tid)
 	root := t.Root(rootName)
+	//lovo:ctx-ok the RPC boundary is a context root: the coordinator's trace rides the wire as tid and regrows here from a fresh Background
 	return obs.With(context.Background(), root), workerTrace{t: t, root: root}
 }
 

@@ -34,7 +34,7 @@ type fakeBackend struct {
 	queryErr error // QueryPlanned fails with this, if set
 }
 
-func (f *fakeBackend) PlanQuery(text string, opts core.QueryOptions) (core.Plan, error) {
+func (f *fakeBackend) PlanQueryCtx(ctx context.Context, text string, opts core.QueryOptions) (core.Plan, error) {
 	if err := core.ValidateMinRecall(opts.MinRecall); err != nil {
 		return core.Plan{}, err
 	}

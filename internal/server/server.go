@@ -48,7 +48,7 @@ import (
 // request's tracing recorder (see internal/obs); tracing never changes an
 // answer.
 type Backend interface {
-	PlanQuery(text string, opts core.QueryOptions) (core.Plan, error)
+	PlanQueryCtx(ctx context.Context, text string, opts core.QueryOptions) (core.Plan, error)
 	QueryPlanned(ctx context.Context, text string, plan core.Plan, workers int) (*core.Result, error)
 	QueryBatchPlanned(ctx context.Context, texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error)
 	Stats() core.IngestStats
@@ -425,8 +425,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // per chosen plan, not per bound.
 func (s *Server) query(ctx context.Context, text string, opts core.QueryOptions) (*core.Result, core.Plan, bool, error) {
 	planStart := time.Now()
-	_, psp := obs.Start(ctx, "plan")
-	plan, err := s.backend.PlanQuery(text, opts)
+	pctx, psp := obs.Start(ctx, "plan")
+	plan, err := s.backend.PlanQueryCtx(pctx, text, opts)
 	psp.End()
 	s.metrics.observeStage("plan", time.Since(planStart))
 	if err != nil {
@@ -523,7 +523,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var missPlans []core.Plan
 	var missIdx []int
 	for i, q := range req.Queries {
-		plan, err := s.backend.PlanQuery(q, opts)
+		plan, err := s.backend.PlanQueryCtx(r.Context(), q, opts)
 		if err != nil {
 			s.fail(w, queryErrStatus(err), "batch query %d (%q): %v", i, q, err)
 			return

@@ -305,6 +305,15 @@ func (t engineTarget) ScatterGround(ctx context.Context, text string, refs []cor
 // QueryOptions.Plan is set, the engine planner's cheapest bound-satisfying
 // scatter plan when MinRecall is set, and otherwise the fixed default plan.
 func (e *Engine) PlanQuery(text string, opts core.QueryOptions) (core.Plan, error) {
+	//lovo:ctx-ok public ctx-less wrapper mirroring Query/QueryCtx; PlanQueryCtx is the traced path
+	return e.PlanQueryCtx(context.Background(), text, opts)
+}
+
+// PlanQueryCtx is PlanQuery with a caller context: the planner's inline
+// validation probe fast-searches a shard, and under a traced context that
+// probe records its RPC legs in the query's trace instead of vanishing.
+// The context never changes which plan is chosen.
+func (e *Engine) PlanQueryCtx(ctx context.Context, text string, opts core.QueryOptions) (core.Plan, error) {
 	if err := core.ValidateMinRecall(opts.MinRecall); err != nil {
 		return core.Plan{}, err
 	}
@@ -312,7 +321,7 @@ func (e *Engine) PlanQuery(text string, opts core.QueryOptions) (core.Plan, erro
 		return e.cfg.NormalizePlan(*opts.Plan), nil
 	}
 	if opts.MinRecall > 0 {
-		return e.planner.plan(e, text, opts), nil
+		return e.planner.plan(ctx, e, text, opts), nil
 	}
 	return e.cfg.FixedPlan(opts), nil
 }
@@ -335,6 +344,7 @@ func (e *Engine) QueryPlanned(ctx context.Context, text string, plan core.Plan, 
 // fails (after worker-side failover and transport retries) fails the whole
 // query: a partial merge is never returned.
 func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error) {
+	//lovo:ctx-ok public ctx-less wrapper; QueryCtx is the traced path
 	return e.QueryCtx(context.Background(), text, opts)
 }
 
@@ -343,8 +353,8 @@ func (e *Engine) Query(text string, opts core.QueryOptions) (*core.Result, error
 // attempts and remote-worker spans — in its trace. Tracing never changes
 // the answer.
 func (e *Engine) QueryCtx(ctx context.Context, text string, opts core.QueryOptions) (*core.Result, error) {
-	_, psp := obs.Start(ctx, "plan")
-	plan, err := e.PlanQuery(text, opts)
+	pctx, psp := obs.Start(ctx, "plan")
+	plan, err := e.PlanQueryCtx(pctx, text, opts)
 	psp.End()
 	if err != nil {
 		return nil, err

@@ -291,6 +291,7 @@ func (l *Local) FastSearch(ctx context.Context, text string, plan core.Plan) ([]
 // the group.
 func (l *Local) PlanStats() (core.PlanStats, error) {
 	var st core.PlanStats
+	//lovo:ctx-ok calibration-digest export during engine assembly, not a per-query path; withReplica only wants ctx for failover bookkeeping
 	err := l.withReplica(context.Background(), func(_ context.Context, sys *core.System) error {
 		st = sys.PlanStats()
 		return nil

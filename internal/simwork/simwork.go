@@ -40,6 +40,7 @@ func Burn(cost int) {
 	for c := 0; c < cost; c++ {
 		var s float32
 		for i := 0; i < 64; i++ {
+			//lovo:kernel-ok deliberate un-optimized burn loop: the point is spending cycles the compiler cannot elide, not computing a dot product
 			s += bufA[i] * bufB[i]
 		}
 		acc += s

@@ -310,6 +310,7 @@ func (m *Model) GroundFrame(f *video.Frame, toks []embed.Token) []Grounding {
 		tw := tweights[ti]
 		for o := 0; o < nObj; o++ {
 			if seen[o] {
+				//lovo:kernel-ok fixed-order per-object gather over terms, not a dot-product reduction; term order is the slice order, already deterministic
 				scores[o] += tw * best[o]
 				wsums[o] += tw
 				if ti == primaryIdx {

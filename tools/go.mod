@@ -1,0 +1,16 @@
+// Alternate modfile pinning developer tooling (used via
+// `go <cmd> -modfile=tools/go.mod ...`), so tool versions are reviewed in
+// diffs instead of floating behind an @version in the CI workflow. The
+// module path matches the root go.mod: this file swaps the dependency set,
+// not the module identity, so the tools analyze the repo's packages under
+// their real import paths. CI runs `go mod tidy -modfile=tools/go.mod` to
+// materialize the tool's (pruned) dependency graph and checksums before
+// `go tool -modfile=tools/go.mod staticcheck ./...`; the staticcheck
+// version below is the single source of truth.
+module repro
+
+go 1.24
+
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1
