@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"repro"
+	"repro/internal/mat"
 )
 
 func main() {
@@ -34,8 +35,17 @@ func main() {
 		shards   = flag.Int("shards", 0, "partition across N scatter-gather shards (0/1 = single system)")
 		saveFile = flag.String("save", "", "after ingest and indexing, write a system snapshot to this file")
 		loadFile = flag.String("load", "", "restore a snapshot written by -save instead of re-ingesting (open with the saver's -seed/-index/-shards)")
+		kernels  = flag.String("kernels", "", "pin the float32 scoring-kernel tier: auto|avx2|sse2|neon|purego (default: $LOVO_KERNELS, else widest supported; all tiers are bit-identical)")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		if _, err := mat.SetKernelTier(*kernels); err != nil {
+			fatal(fmt.Errorf("-kernels: %w", err))
+		}
+	} else if err := mat.KernelTierEnvError(); err != nil {
+		fatal(fmt.Errorf("LOVO_KERNELS: %w", err))
+	}
 
 	sys, err := lovo.Open(lovo.Options{Seed: *seed, Index: *index, Keyframes: *keyfr, TopN: *topn, Shards: *shards})
 	if err != nil {
@@ -83,8 +93,8 @@ func main() {
 		}
 	}
 	st := sys.Stats()
-	fmt.Printf("summary: %d keyframes, %d indexed patch vectors, processing %s, indexing %s\n\n",
-		st.Keyframes, st.Tokens, st.Processing.Round(1e6), st.Indexing.Round(1e6))
+	fmt.Printf("summary: %d keyframes, %d indexed patch vectors, processing %s, indexing %s (%s kernels)\n\n",
+		st.Keyframes, st.Tokens, st.Processing.Round(1e6), st.Indexing.Round(1e6), mat.KernelTier())
 
 	if *stats {
 		return

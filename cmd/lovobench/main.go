@@ -27,6 +27,7 @@ func main() {
 		scale      = flag.Float64("scale", 0, "dataset duration scale (0 = default)")
 		quick      = flag.Bool("quick", false, "shrink sweeps for smoke runs")
 		workers    = flag.Int("workers", 0, "max worker count for the throughput sweep (0 = max(4, NumCPU))")
+		jsonDir    = flag.String("json", "", "also write each table as a BENCH_<id>.json snapshot into this directory")
 	)
 	flag.Parse()
 
@@ -44,6 +45,13 @@ func main() {
 			return err
 		}
 		fmt.Println(t)
+		if *jsonDir != "" {
+			path, err := t.WriteJSON(*jsonDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("(snapshot written to %s)\n", path)
+		}
 		fmt.Printf("(%s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
 	}

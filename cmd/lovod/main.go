@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/mat"
 	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -66,8 +67,19 @@ func main() {
 		connectTO  = flag.Duration("connect-timeout", 3*time.Second, "per-worker dial timeout for -shard-addrs (boot fails fast on an unreachable worker)")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "per-call deadline for shard RPCs")
 		debugAddr  = flag.String("debug-addr", "", "optional second listen address for the debug tier (/debug/queries, /debug/pprof/*); keep it off the public port")
+		kernels    = flag.String("kernels", "", "pin the float32 scoring-kernel tier: auto|avx2|sse2|neon|purego (default: $LOVO_KERNELS, else widest supported; all tiers are bit-identical)")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		if _, err := mat.SetKernelTier(*kernels); err != nil {
+			fatal(fmt.Errorf("-kernels: %w", err))
+		}
+	} else if err := mat.KernelTierEnvError(); err != nil {
+		fatal(fmt.Errorf("LOVO_KERNELS: %w", err))
+	}
+	log.Printf("kernels: %s tier active (host supports: %s)",
+		mat.KernelTier(), strings.Join(mat.KernelTiers(), " "))
 
 	kind, err := vectordb.ParseKind(*index)
 	if err != nil {

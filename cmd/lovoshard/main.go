@@ -25,8 +25,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/remote"
 	"repro/internal/shard"
 	"repro/internal/vectordb"
@@ -39,8 +41,19 @@ func main() {
 		index    = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat (must match the coordinator's)")
 		replicas = flag.Int("replicas", 1, "replicas hosted by this worker (queries pick one; ingest fans to all)")
 		workers  = flag.Int("workers", 0, "worker pool per replica (0 = NumCPU)")
+		kernels  = flag.String("kernels", "", "pin the float32 scoring-kernel tier: auto|avx2|sse2|neon|purego (default: $LOVO_KERNELS, else widest supported; all tiers are bit-identical)")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		if _, err := mat.SetKernelTier(*kernels); err != nil {
+			fatal(fmt.Errorf("-kernels: %w", err))
+		}
+	} else if err := mat.KernelTierEnvError(); err != nil {
+		fatal(fmt.Errorf("LOVO_KERNELS: %w", err))
+	}
+	log.Printf("kernels: %s tier active (host supports: %s)",
+		mat.KernelTier(), strings.Join(mat.KernelTiers(), " "))
 
 	kind, err := vectordb.ParseKind(*index)
 	if err != nil {

@@ -18,8 +18,17 @@ type Params struct {
 	// Ef is the HNSW dynamic candidate-list size (efSearch).
 	Ef int
 	// Exhaustive disables cluster pruning, scanning every stored code;
-	// the "w/o ANNS" ablation of Table IV.
+	// the "w/o ANNS" ablation of Table IV. Exhaustive searches are exact
+	// by contract, so they ignore Int8.
 	Exhaustive bool
+	// Int8 selects the int8-quantized stage-1 scoring path where the
+	// index supports it (flat, IVF-PQ): candidates are scored through
+	// symmetric per-vector int8 codes (quant.Int8Block) and the shortlist
+	// is re-scored exactly against raw vectors when they are retained.
+	// Unlike the float32 kernel tiers this path is recall-gated, not
+	// bit-identical — the planner only selects it when calibration shows
+	// the measured recall meets the declared bound.
+	Int8 bool
 }
 
 // Index is a vector index over (id, vector) pairs.

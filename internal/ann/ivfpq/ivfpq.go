@@ -61,10 +61,13 @@ func isqrt(n int) int {
 }
 
 // list is one inverted list in structure-of-arrays layout: ids[i] pairs
-// with the packed code row codes[i*P:(i+1)*P].
+// with the packed code row codes[i*P:(i+1)*P] and the int8 sidecar row
+// i8.Row(i). The sidecar quantizes the ORIGINAL vector (not the residual),
+// so Params.Int8 can score q·v directly without the coarse term.
 type list struct {
 	ids   []int64
 	codes []uint16
+	i8    *quant.Int8Block
 }
 
 // Index is a built IVF-PQ index.
@@ -125,6 +128,7 @@ func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
 		off := li * dim
 		copy(ix.coarseFlat[off:off+dim], c)
 		ix.coarse[li] = ix.coarseFlat[off : off+dim : off+dim]
+		ix.lists[li].i8 = quant.NewInt8Block(dim)
 	}
 	if cfg.KeepRaw {
 		ix.rawPos = make(map[int64]int32, len(vecs))
@@ -135,6 +139,7 @@ func Build(ids []int64, vecs []mat.Vec, cfg Config) (*Index, error) {
 		pq.EncodeInto(code, residuals[i])
 		ix.lists[li].ids = append(ix.lists[li].ids, ids[i])
 		ix.lists[li].codes = append(ix.lists[li].codes, code...)
+		ix.lists[li].i8.Append(v)
 		if cfg.KeepRaw {
 			ix.rawPos[ids[i]] = int32(len(ix.rawData) / dim)
 			ix.rawData = append(ix.rawData, v...)
@@ -171,6 +176,7 @@ func (ix *Index) Add(id int64, v mat.Vec) error {
 	ix.pq.EncodeInto(code, r)
 	ix.lists[li].ids = append(ix.lists[li].ids, id)
 	ix.lists[li].codes = append(ix.lists[li].codes, code...)
+	ix.lists[li].i8.Append(v)
 	if ix.rawPos != nil {
 		ix.rawPos[id] = int32(len(ix.rawData) / ix.dim)
 		ix.rawData = append(ix.rawData, v...)
@@ -202,9 +208,22 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 	}
 	cscratch.Release()
 
+	// Params.Int8 swaps the per-candidate stage-1 scorer: instead of
+	// coarse + residual ADC, score q·v directly over each probed list's
+	// int8 sidecar. Exhaustive searches are exact by contract and ignore
+	// the knob. The shortlist/refinement machinery downstream is shared.
+	useInt8 := p.Int8 && !p.Exhaustive
+	var qCode []int8
+	var qScale float32
+	var table quant.Table
 	tscratch := mat.GetScratch(ix.pq.TableLen())
 	defer tscratch.Release()
-	table := ix.pq.DotTableInto(tscratch.Buf, q)
+	if useInt8 {
+		qCode = make([]int8, ix.dim)
+		qScale = quant.QuantizeInt8Into(qCode, q)
+	} else {
+		table = ix.pq.DotTableInto(tscratch.Buf, q)
+	}
 
 	shortlistK := k
 	if ix.rawData != nil {
@@ -233,9 +252,15 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 			sscratch.Release()
 			sscratch = mat.GetScratch(len(l.ids))
 		}
-		// Approximate scores: coarse + residual ADC (Algorithm 1,
-		// line 10), one batch pass over the list's packed codes.
-		scores := ix.pq.ApproxDotBatch(sscratch.Buf[:len(l.ids)], table, l.codes, sc.Score)
+		// Approximate scores, one batch pass per probed list: either
+		// coarse + residual ADC (Algorithm 1, line 10) or the int8
+		// sidecar's direct q·v approximation.
+		var scores []float32
+		if useInt8 {
+			scores = l.i8.ScoreRowsInt8(sscratch.Buf[:len(l.ids)], qScale, qCode, 0, len(l.ids))
+		} else {
+			scores = ix.pq.ApproxDotBatch(sscratch.Buf[:len(l.ids)], table, l.codes, sc.Score)
+		}
 		for i, s := range scores {
 			top.Push(l.ids[i], s)
 		}
@@ -260,12 +285,14 @@ func (ix *Index) Search(q mat.Vec, k int, p ann.Params) []mat.Scored {
 	return out
 }
 
-// Memory implements ann.Index: centroids + codes (+ raw vectors if kept).
+// Memory implements ann.Index: centroids + codes + int8 sidecars (+ raw
+// vectors if kept).
 func (ix *Index) Memory() int64 {
 	var b int64
 	b += int64(len(ix.coarseFlat)) * 4
 	for _, l := range ix.lists {
 		b += int64(len(l.ids)) * int64(8+2*ix.cfg.P)
+		b += int64(l.i8.Memory())
 	}
 	b += int64(ix.pq.P*len(ix.pq.Codebooks[0])*ix.pq.SubDim) * 4
 	if ix.rawData != nil {

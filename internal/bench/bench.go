@@ -7,7 +7,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -104,6 +107,26 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// WriteJSON writes the table as a BENCH_<id>.json snapshot in dir and
+// returns the path — a machine-readable perf-trajectory record (the
+// kernels experiment's per-tier and per-batch-width splits especially)
+// that successive runs can diff.
+func (t *Table) WriteJSON(dir string) (string, error) {
+	snap := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // secs formats a duration as seconds with three decimals.

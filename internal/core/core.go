@@ -431,6 +431,29 @@ func (s *System) searchVectors(q []float32, k int, p ann.Params) ([]mat.Scored, 
 	return col.Search(q, k, p)
 }
 
+// searchVectorsBatch runs fast search for many queries sharing one (k,
+// params) shape. Monolithic stores route through Collection.SearchBatch so
+// the whole group shares one cache-blocked memory sweep; segmented stores
+// fall back to per-query search (segments already partition the scan).
+// Results align with qs and are bit-identical to per-query searchVectors.
+func (s *System) searchVectorsBatch(qs []mat.Vec, k int, p ann.Params) ([][]mat.Scored, error) {
+	s.mu.RLock()
+	col, seg := s.col, s.seg
+	s.mu.RUnlock()
+	if seg != nil {
+		out := make([][]mat.Scored, len(qs))
+		for i, q := range qs {
+			hits, err := seg.Search(q, k, p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = hits
+		}
+		return out, nil
+	}
+	return col.SearchBatch(qs, k, p)
+}
+
 // Entities returns the number of indexed patch vectors.
 func (s *System) Entities() int {
 	s.mu.RLock()

@@ -81,6 +81,107 @@ func ExecutePlan(ctx context.Context, t PlanTarget, text string, plan Plan, work
 	return res, nil
 }
 
+// BatchTarget is the optional batched stage-1 surface a PlanTarget may
+// implement: scatter stage 1 for MANY queries in one call, so the target can
+// amortize one memory sweep across the whole batch (flat scans score every
+// query per cache-resident block; shard engines issue one scatter round-trip
+// per backend instead of one per query). Per-query results must be
+// bit-identical to per-query ScatterSearch calls.
+type BatchTarget interface {
+	PlanTarget
+	// ScatterSearchBatch runs stage 1 for every (text, plan) pair;
+	// out[i][leg] is query i's canonical hit list from that leg.
+	ScatterSearchBatch(ctx context.Context, texts []string, plans []Plan) ([][][]ResultObject, error)
+}
+
+// ExecutePlanBatch runs one pre-resolved plan per query against the target.
+// When the target implements BatchTarget, stage 1 for the WHOLE batch is one
+// scatter call — queries with identical search shapes share a single memory
+// sweep — and only stage 2 (rerank) fans out per query across at most
+// clients goroutines. Otherwise each query runs the full ExecutePlan
+// composition concurrently. Results align with texts and are bit-identical
+// to per-query ExecutePlan runs; the first failing query (lowest index)
+// reports its error once in-flight work drains.
+func ExecutePlanBatch(ctx context.Context, t PlanTarget, texts []string, plans []Plan, workers, clients int) ([]*Result, error) {
+	if len(plans) != len(texts) {
+		return nil, fmt.Errorf("core: batch of %d texts given %d plans", len(texts), len(plans))
+	}
+	results := make([]*Result, len(texts))
+	errs := make([]error, len(texts))
+	bt, ok := t.(BatchTarget)
+	if !ok {
+		ParallelFor(len(texts), clients, func(i int) {
+			results[i], errs[i] = ExecutePlan(ctx, t, texts[i], plans[i], workers)
+		})
+		return firstBatchError(results, errs, texts)
+	}
+
+	//lovo:nondeterministic-ok Result.FastSearch is reported stage latency; hit selection and order never read it
+	start := time.Now()
+	sctx, ssp := obs.Start(ctx, "stage1")
+	allLists, err := bt.ScatterSearchBatch(sctx, texts, plans)
+	if err != nil {
+		ssp.End()
+		return nil, err
+	}
+	_, msp := obs.Start(sctx, "merge")
+	merged := make([][]ResultObject, len(texts))
+	refs := make([][]FrameRef, len(texts))
+	for i := range texts {
+		merged[i] = MergeHits(allLists[i], plans[i].FastK)
+		refs[i] = CandidateFrames(merged[i])
+	}
+	if msp.On() {
+		msp.Detail(fmt.Sprintf("queries=%d", len(texts)))
+	}
+	msp.End()
+	ssp.End()
+	//lovo:nondeterministic-ok Result.FastSearch is reported stage latency; hit selection and order never read it
+	fastElapsed := time.Since(start)
+
+	// Stage 2 is per-query work (transformer forward passes over each
+	// query's own candidate frames), so it fans out across the batch like
+	// the unbatched path.
+	ParallelFor(len(texts), clients, func(i int) {
+		res := &Result{CandidateFrames: len(refs[i]), FastSearch: fastElapsed}
+		if plans[i].SkipRerank {
+			res.Objects = DedupHits(merged[i], plans[i].FastK)
+			results[i] = res
+			return
+		}
+		//lovo:nondeterministic-ok Result.Rerank is reported stage latency; grounding ranks never read it
+		rstart := time.Now()
+		rctx, rsp := obs.Start(ctx, "rerank")
+		sel := SelectForRerank(refs[i], plans[i].RerankFrames)
+		if rsp.On() {
+			rsp.Detail(fmt.Sprintf("frames=%d", len(sel)))
+		}
+		groundings, err := t.ScatterGround(rctx, texts[i], sel, workers)
+		if err != nil {
+			rsp.End()
+			errs[i] = err
+			return
+		}
+		res.Objects = RankGroundings(groundings, plans[i].TopN)
+		rsp.End()
+		//lovo:nondeterministic-ok Result.Rerank is reported stage latency; grounding ranks never read it
+		res.Rerank = time.Since(rstart)
+		results[i] = res
+	})
+	return firstBatchError(results, errs, texts)
+}
+
+// firstBatchError reports the lowest-index failing query of a batch, or the
+// aligned results when every query succeeded.
+func firstBatchError(results []*Result, errs []error, texts []string) ([]*Result, error) {
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d (%q): %w", i, texts[i], err)
+		}
+	}
+	return results, nil
+}
+
 // systemTarget adapts a System to the one-leg PlanTarget.
 type systemTarget struct{ s *System }
 
@@ -90,6 +191,18 @@ func (t systemTarget) ScatterSearch(ctx context.Context, text string, plan Plan)
 		return nil, err
 	}
 	return [][]ResultObject{fh.Objects}, nil
+}
+
+func (t systemTarget) ScatterSearchBatch(ctx context.Context, texts []string, plans []Plan) ([][][]ResultObject, error) {
+	fhs, err := t.s.SearchPlannedBatch(ctx, texts, plans)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]ResultObject, len(fhs))
+	for i, fh := range fhs {
+		out[i] = [][]ResultObject{fh.Objects}
+	}
+	return out, nil
 }
 
 func (t systemTarget) ScatterGround(ctx context.Context, text string, refs []FrameRef, workers int) ([]Grounding, error) {

@@ -40,8 +40,13 @@ type TermCount struct {
 // worst-case probe — the value plan selection trusts; MeanRecall is
 // reported for observability.
 type Rung struct {
-	NProbe     int
-	Ef         int
+	NProbe int
+	Ef     int
+	// Int8 marks a rung measured over the int8-quantized stage-1 path
+	// (flat, IVF-PQ). At equal NProbe the int8 sweep is the cheaper
+	// scorer, so its rung sits immediately before its float sibling on
+	// the ladder and wins whenever its measured recall clears the bound.
+	Int8       bool
 	MinRecall  float64
 	MeanRecall float64
 }
@@ -290,14 +295,15 @@ func (p *planner) calibrateLocked(s *System, gen uint64, ent int) {
 	if ent == 0 || !s.Built() {
 		return
 	}
-	if s.cfg.Index == vectordb.IndexFlat {
-		// Flat search is exact at every setting.
+	probes := p.probeVectorsLocked()
+	probes = append(probes, s.probeTextVectors(p.topTermsLocked(plannerProbeTerms))...)
+	if s.cfg.Index == vectordb.IndexFlat && len(probes) == 0 {
+		// Flat float search is exact at every setting; with no probes to
+		// measure the int8 rung against, the ladder is the exact rung alone.
 		p.rungs = []Rung{{MinRecall: 1, MeanRecall: 1}}
 		p.calibrated = true
 		return
 	}
-	probes := p.probeVectorsLocked()
-	probes = append(probes, s.probeTextVectors(p.topTermsLocked(plannerProbeTerms))...)
 	if len(probes) == 0 {
 		return
 	}
@@ -315,15 +321,27 @@ func (p *planner) calibrateLocked(s *System, gen uint64, ent int) {
 		exact[i] = ids
 	}
 	var ladder []Rung
-	if s.cfg.Index == vectordb.IndexHNSW {
+	switch s.cfg.Index {
+	case vectordb.IndexFlat:
+		// The float flat scan is exact at every setting — only the int8
+		// stage-1 path needs measuring. The exact terminal rung is appended
+		// unmeasured below.
+		ladder = []Rung{{Int8: true}}
+	case vectordb.IndexHNSW:
 		for _, ef := range []int{16, 32, 64, 128, 256} {
 			ladder = append(ladder, Rung{Ef: ef})
 		}
-	} else {
+	default:
 		maxProbe := s.cfg.IndexOptions.M
+		int8Capable := s.cfg.Index == vectordb.IndexIVFPQ
 		for _, np := range []int{1, 2, 4, 8, 16, 32, 64} {
 			if maxProbe > 0 && np > maxProbe {
 				break
+			}
+			if int8Capable {
+				// The int8 sidecar sweep is the cheaper stage-1 scorer at
+				// the same probe width, so its rung sits first and wins ties.
+				ladder = append(ladder, Rung{NProbe: np, Int8: true})
 			}
 			ladder = append(ladder, Rung{NProbe: np})
 		}
@@ -331,7 +349,7 @@ func (p *planner) calibrateLocked(s *System, gen uint64, ent int) {
 	for _, rung := range ladder {
 		minR, sum := 1.0, 0.0
 		for i, q := range probes {
-			hits, err := s.searchVectors(q, k, ann.Params{NProbe: rung.NProbe, Ef: rung.Ef})
+			hits, err := s.searchVectors(q, k, ann.Params{NProbe: rung.NProbe, Ef: rung.Ef, Int8: rung.Int8})
 			if err != nil {
 				return
 			}
@@ -353,9 +371,14 @@ func (p *planner) calibrateLocked(s *System, gen uint64, ent int) {
 		rung.MinRecall = minR
 		rung.MeanRecall = sum / float64(len(probes))
 		p.rungs = append(p.rungs, rung)
-		if minR >= 0.999 {
+		if minR >= 0.999 && !rung.Int8 {
 			break
 		}
+	}
+	if s.cfg.Index == vectordb.IndexFlat {
+		// The plain flat scan is exact by construction — its terminal rung
+		// needs no measurement and guarantees every bound stays satisfiable.
+		p.rungs = append(p.rungs, Rung{MinRecall: 1, MeanRecall: 1})
 	}
 	p.calibrated = true
 }
@@ -373,6 +396,7 @@ func (p *planner) plan(ctx context.Context, s *System, text string, opts QueryOp
 	exact := func() Plan {
 		e := base
 		e.Exact = true
+		e.Int8 = false
 		e.Kind = PlanAdaptiveExact
 		e.PredictedRecall = 1
 		return e
@@ -400,6 +424,7 @@ func (p *planner) plan(ctx context.Context, s *System, text string, opts QueryOp
 	pl := base
 	pl.Kind = PlanAdaptive
 	pl.PredictedRecall = chosen.MinRecall
+	pl.Int8 = chosen.Int8
 	if chosen.NProbe > 0 {
 		pl.NProbe = chosen.NProbe
 	}
@@ -541,7 +566,7 @@ func (s *System) StageRecall(text string, plan Plan) (float64, error) {
 	if k <= 0 {
 		k = plan.FastK
 	}
-	hits, err := s.searchVectors(q, k, ann.Params{NProbe: plan.NProbe, Ef: plan.Ef, Exhaustive: plan.Exact})
+	hits, err := s.searchVectors(q, k, plan.annParams())
 	if err != nil {
 		return 0, err
 	}

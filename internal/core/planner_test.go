@@ -152,8 +152,15 @@ func TestPlannerCalibration(t *testing.T) {
 		if r.MinRecall < 0 || r.MinRecall > 1 || r.MeanRecall < r.MinRecall {
 			t.Fatalf("rung %d malformed: %+v", i, r)
 		}
-		if i > 0 && st.Rungs[i].NProbe <= st.Rungs[i-1].NProbe {
-			t.Fatalf("rungs not at increasing effort: %+v", st.Rungs)
+		// Effort must ascend: NProbe never decreases, and at equal NProbe
+		// the only legal pairing is the cheaper int8 rung directly before
+		// its float sibling.
+		if i > 0 {
+			prev := st.Rungs[i-1]
+			if r.NProbe < prev.NProbe ||
+				(r.NProbe == prev.NProbe && !(prev.Int8 && !r.Int8)) {
+				t.Fatalf("rungs not at increasing effort: %+v", st.Rungs)
+			}
 		}
 	}
 }

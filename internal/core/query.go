@@ -26,6 +26,13 @@ type QueryOptions struct {
 	DisableRerank bool
 	// Exhaustive disables ANNS pruning ("w/o ANNS" ablation).
 	Exhaustive bool
+	// Int8 pins the int8-quantized stage-1 scoring path (flat, IVF-PQ):
+	// candidates are scanned through per-vector int8 codes and the
+	// shortlist is re-scored exactly. Recall-gated, not bit-identical —
+	// callers that want the planner to decide should set MinRecall instead
+	// and let calibration pick int8 only when it clears the bound.
+	// Ignored when Exhaustive is set.
+	Int8 bool
 	// RerankFrames overrides the stage-2 frame budget.
 	RerankFrames int
 	// Workers overrides the stage-2 rerank fan-out width for this query
@@ -167,11 +174,7 @@ func (s *System) SearchPlanned(ctx context.Context, text string, plan Plan) (*Fa
 		return nil, err
 	}
 	_, asp := obs.Start(ctx, "ann")
-	hits, err := s.searchVectors(qproj, plan.ShardK, ann.Params{
-		NProbe:     plan.NProbe,
-		Ef:         plan.Ef,
-		Exhaustive: plan.Exact,
-	})
+	hits, err := s.searchVectors(qproj, plan.ShardK, plan.annParams())
 	if asp.On() {
 		asp.Detail(fmt.Sprintf("k=%d hits=%d", plan.ShardK, len(hits)))
 	}
@@ -181,6 +184,29 @@ func (s *System) SearchPlanned(ctx context.Context, text string, plan Plan) (*Fa
 	}
 	_, jsp := obs.Start(ctx, "join")
 	defer jsp.End()
+	objects, err := s.joinHits(hits)
+	if err != nil {
+		return nil, err
+	}
+	//lovo:nondeterministic-ok Elapsed is reported latency metadata; hit selection and order never read it
+	return &FastHits{Objects: objects, Elapsed: time.Since(start)}, nil
+}
+
+// annParams derives the index search parameters a plan's stage-1 leg runs
+// with — the single place the plan-to-Params mapping lives, so every stage-1
+// surface (single query, batch, calibration measurement) agrees on it.
+func (p Plan) annParams() ann.Params {
+	return ann.Params{
+		NProbe:     p.NProbe,
+		Ef:         p.Ef,
+		Exhaustive: p.Exact,
+		Int8:       p.Int8,
+	}
+}
+
+// joinHits resolves fast-search hits against the relational store into
+// canonical ResultObjects, preserving hit order.
+func (s *System) joinHits(hits []mat.Scored) ([]ResultObject, error) {
 	objects := make([]ResultObject, 0, len(hits))
 	for _, h := range hits {
 		row, err := s.patches.Get(h.ID)
@@ -195,8 +221,86 @@ func (s *System) SearchPlanned(ctx context.Context, text string, plan Plan) (*Fa
 			PatchID:  h.ID,
 		})
 	}
+	return objects, nil
+}
+
+// SearchPlannedBatch runs the stage-1 leg for many (text, plan) pairs in one
+// pass, amortizing the vector-store sweep across queries: queries whose
+// plans resolve to identical search parameters are grouped and handed to the
+// store's batched scan (one cache-blocked memory pass scores every query in
+// the group — see flat.SearchBatch), and each group's hits are joined
+// per-query afterwards. Results align with texts and are bit-identical to
+// calling SearchPlanned per pair; a query whose text fails to encode fails
+// the whole batch, mirroring the per-query error.
+func (s *System) SearchPlannedBatch(ctx context.Context, texts []string, plans []Plan) ([]*FastHits, error) {
+	if len(plans) != len(texts) {
+		return nil, fmt.Errorf("core: stage-1 batch of %d texts given %d plans", len(texts), len(plans))
+	}
 	//lovo:nondeterministic-ok Elapsed is reported latency metadata; hit selection and order never read it
-	return &FastHits{Objects: objects, Elapsed: time.Since(start)}, nil
+	start := time.Now()
+	_, esp := obs.Start(ctx, "encode")
+	qs := make([]mat.Vec, len(texts))
+	for i, text := range texts {
+		q, err := s.encodeQuery(text)
+		if err != nil {
+			esp.End()
+			return nil, fmt.Errorf("core: batch query %d (%q): %w", i, text, err)
+		}
+		qs[i] = q
+	}
+	esp.End()
+
+	// Group queries by their resolved search shape. ann.Params is a
+	// comparable struct, so (depth, params) keys a map directly; each
+	// group shares one batched sweep.
+	type groupKey struct {
+		k int
+		p ann.Params
+	}
+	groups := make(map[groupKey][]int)
+	for i := range plans {
+		plans[i] = s.cfg.NormalizePlan(plans[i])
+		gk := groupKey{k: plans[i].ShardK, p: plans[i].annParams()}
+		groups[gk] = append(groups[gk], i)
+	}
+
+	_, asp := obs.Start(ctx, "ann")
+	allHits := make([][]mat.Scored, len(texts))
+	for gk, idxs := range groups {
+		gq := make([]mat.Vec, len(idxs))
+		for j, i := range idxs {
+			gq[j] = qs[i]
+		}
+		lists, err := s.searchVectorsBatch(gq, gk.k, gk.p)
+		if err != nil {
+			asp.End()
+			return nil, fmt.Errorf("core: fast search: %w", err)
+		}
+		for j, i := range idxs {
+			allHits[i] = lists[j]
+		}
+	}
+	if asp.On() {
+		asp.Detail(fmt.Sprintf("queries=%d groups=%d", len(texts), len(groups)))
+	}
+	asp.End()
+
+	_, jsp := obs.Start(ctx, "join")
+	defer jsp.End()
+	out := make([]*FastHits, len(texts))
+	//lovo:nondeterministic-ok Elapsed is reported latency metadata; hit selection and order never read it
+	elapsed := time.Since(start)
+	// The shared sweep has no per-query attribution; report the batch
+	// stage-1 wall time on every query, which is what the caller actually
+	// waited for.
+	for i, hits := range allHits {
+		objects, err := s.joinHits(hits)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &FastHits{Objects: objects, Elapsed: elapsed}
+	}
+	return out, nil
 }
 
 // MergeHits folds many canonical hit lists (e.g. one per shard) into one
@@ -486,11 +590,15 @@ func (s *System) QueryBatch(texts []string, opts QueryOptions, clients int) ([]*
 	return results, nil
 }
 
-// QueryBatchPlanned executes one pre-resolved plan per query concurrently
-// across at most clients goroutines — the serving tier's batch path, which
-// plans (and cache-keys) each query before execution. Plans align with
-// texts; results align with texts. The context threads the tracing
-// recorder into every query of the batch.
+// QueryBatchPlanned executes one pre-resolved plan per query — the serving
+// tier's batch path, which plans (and cache-keys) each query before
+// execution. Stage 1 for the whole batch runs through the batched scatter
+// (ExecutePlanBatch): queries whose plans resolve to identical search
+// shapes share ONE cache-blocked memory sweep over the stored vectors,
+// while stage 2 fans out per query across at most clients goroutines.
+// Plans align with texts; results align with texts and are bit-identical
+// to per-query QueryPlanned runs. The context threads the tracing recorder
+// into every query of the batch.
 func (s *System) QueryBatchPlanned(ctx context.Context, texts []string, plans []Plan, workers, clients int) ([]*Result, error) {
 	if len(plans) != len(texts) {
 		return nil, fmt.Errorf("core: batch of %d texts given %d plans", len(texts), len(plans))
@@ -502,17 +610,11 @@ func (s *System) QueryBatchPlanned(ctx context.Context, texts []string, plans []
 	if workers == 0 && clients > 1 {
 		workers = 1
 	}
-	results := make([]*Result, len(texts))
-	errs := make([]error, len(texts))
-	ParallelFor(len(texts), clients, func(i int) {
-		results[i], errs[i] = s.QueryPlanned(ctx, texts[i], plans[i], workers)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: batch query %d (%q): %w", i, texts[i], err)
-		}
+	normalized := make([]Plan, len(plans))
+	for i := range plans {
+		normalized[i] = s.cfg.NormalizePlan(plans[i])
 	}
-	return results, nil
+	return ExecutePlanBatch(ctx, systemTarget{s}, texts, normalized, workers, clients)
 }
 
 // DedupHits removes near-duplicate fast-search hits and truncates to limit:

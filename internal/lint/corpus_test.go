@@ -41,20 +41,23 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
-// TestKernelExemptInMat proves the kernel corpus — violations and all — is
-// legal inside internal/mat, where the canonical reduction order lives.
-func TestKernelExemptInMat(t *testing.T) {
-	files := corpusFiles(t, "kerneldiscipline")
-	pkg, err := lint.LoadFiles("repro/internal/mat", files)
-	if err != nil {
-		t.Fatalf("loading corpus: %v", err)
-	}
-	// The corpus's kernel-ok directive suppresses nothing under mat's
-	// exemption, so expect exactly the stale-directive hygiene finding —
-	// and no reduction findings.
-	for _, d := range lint.Run(lint.KernelDiscipline, pkg) {
-		if !strings.Contains(d.Message, "stale") {
-			t.Errorf("unexpected finding under internal/mat: %s: %s", pkg.Fset.Position(d.Pos), d.Message)
+// TestKernelExempt proves the kernel corpus — violations and all — is
+// legal inside internal/mat and internal/quant, where the canonical
+// float32 reduction order and the vetted int8 kernel live.
+func TestKernelExempt(t *testing.T) {
+	for _, path := range []string{"repro/internal/mat", "repro/internal/quant"} {
+		files := corpusFiles(t, "kerneldiscipline")
+		pkg, err := lint.LoadFiles(path, files)
+		if err != nil {
+			t.Fatalf("loading corpus: %v", err)
+		}
+		// The corpus's kernel-ok directives suppress nothing under the
+		// exemption, so expect exactly the stale-directive hygiene
+		// findings — and no reduction findings.
+		for _, d := range lint.Run(lint.KernelDiscipline, pkg) {
+			if !strings.Contains(d.Message, "stale") {
+				t.Errorf("unexpected finding under %s: %s: %s", path, pkg.Fset.Position(d.Pos), d.Message)
+			}
 		}
 	}
 }

@@ -1,0 +1,57 @@
+//go:build amd64 && !purego
+
+package mat
+
+// Runtime CPU feature detection for the amd64 kernel tiers. SSE2 is the
+// amd64 baseline and needs no probing; AVX2 requires CPUID to report the
+// feature AND the OS to have enabled AVX state saving (OSXSAVE + XCR0
+// bits 1–2), otherwise executing VEX-256 instructions faults. The module
+// has no dependencies, so detection is hand-rolled CPUID/XGETBV assembly
+// (cpu_amd64.s) rather than x/sys/cpu.
+
+// baselineTierName is the architecture baseline below avx2.
+const baselineTierName = TierSSE2
+
+// hasBaselineASM reports that the 4-rows-per-pass baseline assembly
+// kernels exist in this build.
+const hasBaselineASM = true
+
+// hasAVX2 reports CPU+OS support for the 8-rows-per-pass AVX2 kernels.
+var hasAVX2 = detectAVX2()
+
+// hasFMA is detected alongside AVX2 for the /stats report. The kernels
+// never use FMA — its single rounding would break bit-identity with the
+// two-rounding MULPS+ADDPS tiers — so this only documents headroom.
+var hasFMA bool
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	hasFMA = ecx1&(1<<12) != 0
+	// XCR0 bits 1 (SSE state) and 2 (AVX upper-half state) must both be
+	// OS-enabled before ymm registers are usable.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// cpuid executes CPUID with the given leaf/subleaf.
+//
+//go:noescape
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+//
+//go:noescape
+func xgetbv() (eax, edx uint32)

@@ -1,0 +1,16 @@
+//go:build arm64 && !purego
+
+package mat
+
+// NEON (Advanced SIMD) is part of the arm64 baseline — every AArch64 CPU
+// running Go has it — so like SSE2 on amd64 the 4-rows-per-pass NEON
+// kernels need no feature probing. There is no avx2-equivalent wider tier
+// here yet.
+
+const baselineTierName = TierNEON
+
+const hasBaselineASM = true
+
+const hasAVX2 = false
+
+var hasFMA = false

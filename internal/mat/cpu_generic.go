@@ -1,0 +1,14 @@
+//go:build (!amd64 && !arm64) || purego
+
+package mat
+
+// No assembly kernels in this build: either the architecture has none, or
+// the purego tag forced the portable reference implementations.
+
+const baselineTierName = TierPurego
+
+const hasBaselineASM = false
+
+const hasAVX2 = false
+
+var hasFMA = false

@@ -1,0 +1,267 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dot8rows(dst []float32, q, block []float32)
+//
+// AVX2 tier: scores EIGHT consecutive rows of the row-major block (stride
+// len(q)) against q, writing the eight inner products to dst[0:8]. Each
+// row still reduces in the canonical 4-lane order of kernels.go — the
+// 256-bit registers hold TWO rows' 4-lane accumulators side by side (row
+// pair A in the low 128 bits, B in the high 128), never eight partial
+// sums of one row. The combine and tail are therefore identical per row
+// to dot4rows, and results are bit-identical to dot8rowsGeneric (pinned
+// by TestDot8RowsMatchesGeneric).
+//
+// The main loop consumes two quads (eight floats) per row per iteration
+// through full 32-byte loads, repacked into [A-quad | B-quad] pair form
+// with VPERM2F128; the two quads then accumulate SEQUENTIALLY (quad i
+// before quad i+4), so every lane keeps its serial chain. Deliberately
+// MULPS+ADDPS, not FMA: VFMADD rounds once where the contract rounds
+// twice, which would break bit-identity with the SSE2/purego tiers.
+TEXT ·dot8rows(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), BX
+	MOVQ q_base+24(FP), SI
+	MOVQ q_len+32(FP), CX
+	MOVQ block_base+48(FP), DI
+
+	// Row pointers: DI plus R9..R15 at successive strides.
+	MOVQ CX, R8
+	SHLQ $2, R8            // stride in bytes
+	LEAQ (DI)(R8*1), R9
+	LEAQ (DI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	LEAQ (R10)(R8*2), R12
+	LEAQ (R11)(R8*2), R13
+	LEAQ (R12)(R8*2), R14
+	LEAQ (R13)(R8*2), R15
+
+	VXORPS Y0, Y0, Y0      // rows 0/1 lanes (low/high 128)
+	VXORPS Y1, Y1, Y1      // rows 2/3 lanes
+	VXORPS Y2, Y2, Y2      // rows 4/5 lanes
+	VXORPS Y3, Y3, Y3      // rows 6/7 lanes
+
+	// One advancing byte index (AX) against nine fixed bases keeps loop
+	// overhead at a single increment.
+	XORQ AX, AX
+
+	MOVQ CX, DX
+	SHRQ $3, DX            // double-quad count
+	JZ   quad8one
+
+oct8:
+	// Two quads per iteration. The query halves come in through
+	// VBROADCASTF128 (a pure load µop) and the row pairs through
+	// VMOVUPS + VINSERTF128-from-memory, whose blend µop is
+	// port-0/1/5-flexible — the loop has no port-5-only shuffles at all,
+	// which is what lets the 8-row width actually clear the SSE2 tier's
+	// front-end-bound throughput.
+	VBROADCASTF128 (SI)(AX*1), Y4   // [q_i   | q_i  ]
+	VBROADCASTF128 16(SI)(AX*1), Y5 // [q_i+4 | q_i+4]
+
+	// Rows 0/1: quad i, then quad i+4 — serial per-lane chains.
+	VMOVUPS     (DI)(AX*1), X6
+	VINSERTF128 $1, (R9)(AX*1), Y6, Y6
+	VMULPS      Y4, Y6, Y6
+	VADDPS      Y6, Y0, Y0
+	VMOVUPS     16(DI)(AX*1), X7
+	VINSERTF128 $1, 16(R9)(AX*1), Y7, Y7
+	VMULPS      Y5, Y7, Y7
+	VADDPS      Y7, Y0, Y0
+
+	// Rows 2/3.
+	VMOVUPS     (R10)(AX*1), X8
+	VINSERTF128 $1, (R11)(AX*1), Y8, Y8
+	VMULPS      Y4, Y8, Y8
+	VADDPS      Y8, Y1, Y1
+	VMOVUPS     16(R10)(AX*1), X9
+	VINSERTF128 $1, 16(R11)(AX*1), Y9, Y9
+	VMULPS      Y5, Y9, Y9
+	VADDPS      Y9, Y1, Y1
+
+	// Rows 4/5.
+	VMOVUPS     (R12)(AX*1), X6
+	VINSERTF128 $1, (R13)(AX*1), Y6, Y6
+	VMULPS      Y4, Y6, Y6
+	VADDPS      Y6, Y2, Y2
+	VMOVUPS     16(R12)(AX*1), X7
+	VINSERTF128 $1, 16(R13)(AX*1), Y7, Y7
+	VMULPS      Y5, Y7, Y7
+	VADDPS      Y7, Y2, Y2
+
+	// Rows 6/7.
+	VMOVUPS     (R14)(AX*1), X8
+	VINSERTF128 $1, (R15)(AX*1), Y8, Y8
+	VMULPS      Y4, Y8, Y8
+	VADDPS      Y8, Y3, Y3
+	VMOVUPS     16(R14)(AX*1), X9
+	VINSERTF128 $1, 16(R15)(AX*1), Y9, Y9
+	VMULPS      Y5, Y9, Y9
+	VADDPS      Y9, Y3, Y3
+
+	ADDQ $32, AX
+	DECQ DX
+	JNZ  oct8
+
+quad8one:
+	// Odd leftover quad (len(q)%8 >= 4): one 16-byte step in pair form.
+	MOVQ  CX, DX
+	ANDQ  $4, DX
+	JZ    combine8
+
+	VBROADCASTF128 (SI)(AX*1), Y4 // q[i:i+4] in both halves
+
+	VMOVUPS     (DI)(AX*1), X5
+	VINSERTF128 $1, (R9)(AX*1), Y5, Y5
+	VMULPS      Y4, Y5, Y5
+	VADDPS      Y5, Y0, Y0
+
+	VMOVUPS     (R10)(AX*1), X6
+	VINSERTF128 $1, (R11)(AX*1), Y6, Y6
+	VMULPS      Y4, Y6, Y6
+	VADDPS      Y6, Y1, Y1
+
+	VMOVUPS     (R12)(AX*1), X7
+	VINSERTF128 $1, (R13)(AX*1), Y7, Y7
+	VMULPS      Y4, Y7, Y7
+	VADDPS      Y7, Y2, Y2
+
+	VMOVUPS     (R14)(AX*1), X8
+	VINSERTF128 $1, (R15)(AX*1), Y8, Y8
+	VMULPS      Y4, Y8, Y8
+	VADDPS      Y8, Y3, Y3
+
+	ADDQ $16, AX
+
+combine8:
+	// Fast path for dim%4 == 0 (all production dims): a ymm transpose
+	// turns the four pair registers into packed per-row sums with ~16
+	// µops instead of the 49-µop per-row scalar combine. Every addition
+	// keeps the canonical operand order — (l0+l2)+(l1+l3) per row — the
+	// transpose only rearranges which register holds which lane.
+	MOVQ CX, DX
+	ANDQ $3, DX
+	JNZ  combineSlow
+
+	// Step 1: pair lanes l0·l2 and l1·l3 for rows 0-3 (Y0/Y1) and rows
+	// 4-7 (Y2/Y3). After the adds, element k of each half holds
+	// row-interleaved (l0+l2) and (l1+l3) values.
+	VUNPCKLPS Y1, Y0, Y4 // [r0l0 r2l0 r0l1 r2l1 | r1l0 r3l0 r1l1 r3l1]
+	VUNPCKHPS Y1, Y0, Y5 // [r0l2 r2l2 r0l3 r2l3 | r1l2 r3l2 r1l3 r3l3]
+	VADDPS    Y5, Y4, Y4 // [r0a r2a r0b r2b | r1a r3a r1b r3b]  a=l0+l2 b=l1+l3
+	VUNPCKLPS Y3, Y2, Y6
+	VUNPCKHPS Y3, Y2, Y7
+	VADDPS    Y7, Y6, Y6 // [r4a r6a r4b r6b | r5a r7a r5b r7b]
+
+	// Step 2: gather the a's and b's, one add finishes every row.
+	VSHUFPS $0x44, Y6, Y4, Y8 // [r0a r2a r4a r6a | r1a r3a r5a r7a]
+	VSHUFPS $0xEE, Y6, Y4, Y9 // [r0b r2b r4b r6b | r1b r3b r5b r7b]
+	VADDPS  Y9, Y8, Y8        // [s0 s2 s4 s6 | s1 s3 s5 s7]
+
+	// Step 3: interleave the halves into dst order and store.
+	VEXTRACTF128 $1, Y8, X9 // [s1 s3 s5 s7]
+	VUNPCKLPS    X9, X8, X4 // [s0 s1 s2 s3]
+	VUNPCKHPS    X9, X8, X5 // [s4 s5 s6 s7]
+	VMOVUPS      X4, (BX)
+	VMOVUPS      X5, 16(BX)
+	VZEROUPPER
+	RET
+
+combineSlow:
+	// Split each pair register into per-row 128-bit accumulators, then
+	// leave AVX before the legacy-SSE lane combine (VZEROUPPER avoids the
+	// SSE/AVX transition penalty).
+	VEXTRACTF128 $1, Y0, X9  // row 1 lanes
+	VEXTRACTF128 $1, Y1, X10 // row 3 lanes
+	VEXTRACTF128 $1, Y2, X11 // row 5 lanes
+	VEXTRACTF128 $1, Y3, X12 // row 7 lanes
+	VZEROUPPER
+
+	// Per row: [l0 l1 l2 l3] -> lane0 = (l0+l2)+(l1+l3), exactly as in
+	// dot4rows (PSHUFD $0x4E pairs l0·l2 and l1·l3 in one shuffle).
+	PSHUFD $0x4E, X0, X4
+	ADDPS  X4, X0
+	PSHUFD $0x55, X0, X4
+	ADDSS  X4, X0
+
+	PSHUFD $0x4E, X9, X4
+	ADDPS  X4, X9
+	PSHUFD $0x55, X9, X4
+	ADDSS  X4, X9
+
+	PSHUFD $0x4E, X1, X4
+	ADDPS  X4, X1
+	PSHUFD $0x55, X1, X4
+	ADDSS  X4, X1
+
+	PSHUFD $0x4E, X10, X4
+	ADDPS  X4, X10
+	PSHUFD $0x55, X10, X4
+	ADDSS  X4, X10
+
+	PSHUFD $0x4E, X2, X4
+	ADDPS  X4, X2
+	PSHUFD $0x55, X2, X4
+	ADDSS  X4, X2
+
+	PSHUFD $0x4E, X11, X4
+	ADDPS  X4, X11
+	PSHUFD $0x55, X11, X4
+	ADDSS  X4, X11
+
+	PSHUFD $0x4E, X3, X4
+	ADDPS  X4, X3
+	PSHUFD $0x55, X3, X4
+	ADDSS  X4, X3
+
+	PSHUFD $0x4E, X12, X4
+	ADDPS  X4, X12
+	PSHUFD $0x55, X12, X4
+	ADDSS  X4, X12
+
+	// Serial tail: remaining len(q)%4 elements, per row (AX still
+	// indexes all nine bases).
+	MOVQ CX, DX
+	ANDQ $3, DX
+	JZ   store8
+
+tail8:
+	MOVSS (SI)(AX*1), X4
+	MOVSS (DI)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	MOVSS (R9)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X9
+	MOVSS (R10)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X1
+	MOVSS (R11)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X10
+	MOVSS (R12)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X2
+	MOVSS (R13)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X11
+	MOVSS (R14)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X3
+	MOVSS (R15)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X12
+	ADDQ  $4, AX
+	DECQ  DX
+	JNZ   tail8
+
+store8:
+	MOVSS X0, (BX)
+	MOVSS X9, 4(BX)
+	MOVSS X1, 8(BX)
+	MOVSS X10, 12(BX)
+	MOVSS X2, 16(BX)
+	MOVSS X11, 20(BX)
+	MOVSS X3, 24(BX)
+	MOVSS X12, 28(BX)
+	RET

@@ -1,0 +1,160 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON scoring kernels — the arm64 port of the 4-lane contract. A 128-bit
+// Advanced SIMD register holds exactly the four accumulator lanes, so the
+// structure mirrors dot_amd64.s one for one: quad loop, (l0+l2)+(l1+l3)
+// combine, serial tail.
+//
+// Go's arm64 assembler has no mnemonics for UNFUSED vector FMUL/FADD
+// (only the fused VFMLA, whose single rounding would break bit-identity
+// with the amd64 and purego tiers), so those two instructions are emitted
+// as WORD-encoded machine code. Each WORD carries the canonical
+// disassembly in its comment; TestDot4RowsMatchesGeneric pins the
+// behaviour against the portable kernels on arm64 CI.
+//
+// Encodings (single-precision, 4S arrangement):
+//	FMUL Vd.4S, Vn.4S, Vm.4S = 0x6E20DC00 | m<<16 | n<<5 | d
+//	FADD Vd.4S, Vn.4S, Vm.4S = 0x4E20D400 | m<<16 | n<<5 | d
+
+// func dot4rows(dst []float32, q, block []float32)
+//
+// Scores four consecutive rows of the row-major block (stride len(q))
+// against q, writing the four inner products to dst[0:4] in the canonical
+// 4-lane order of kernels.go.
+TEXT ·dot4rows(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD q_base+24(FP), R1
+	MOVD q_len+32(FP), R2
+	MOVD block_base+48(FP), R3
+
+	// Row pointers: R3, R4 = R3+stride, R5, R6.
+	LSL $2, R2, R7         // stride in bytes
+	ADD R7, R3, R4
+	ADD R7, R4, R5
+	ADD R7, R5, R6
+
+	VEOR V0.B16, V0.B16, V0.B16 // row-0 lanes
+	VEOR V1.B16, V1.B16, V1.B16 // row-1 lanes
+	VEOR V2.B16, V2.B16, V2.B16 // row-2 lanes
+	VEOR V3.B16, V3.B16, V3.B16 // row-3 lanes
+
+	LSR $2, R2, R8         // quad count
+	CBZ R8, combine
+
+quad:
+	VLD1.P 16(R1), [V4.S4] // q[i:i+4]
+	VLD1.P 16(R3), [V5.S4]
+	VLD1.P 16(R4), [V6.S4]
+	VLD1.P 16(R5), [V7.S4]
+	VLD1.P 16(R6), [V8.S4]
+	WORD $0x6E24DCA5       // FMUL V5.4S, V5.4S, V4.4S
+	WORD $0x4E25D400       // FADD V0.4S, V0.4S, V5.4S
+	WORD $0x6E24DCC6       // FMUL V6.4S, V6.4S, V4.4S
+	WORD $0x4E26D421       // FADD V1.4S, V1.4S, V6.4S
+	WORD $0x6E24DCE7       // FMUL V7.4S, V7.4S, V4.4S
+	WORD $0x4E27D442       // FADD V2.4S, V2.4S, V7.4S
+	WORD $0x6E24DD08       // FMUL V8.4S, V8.4S, V4.4S
+	WORD $0x4E28D463       // FADD V3.4S, V3.4S, V8.4S
+	SUBS $1, R8
+	BNE  quad
+
+combine:
+	// Each accumulator [l0 l1 l2 l3] -> scalar (l0+l2)+(l1+l3) in
+	// V16..V19 lane 0.
+	VEXT $8, V0.B16, V0.B16, V5.B16 // V5 = [l2 l3 l0 l1]
+	WORD $0x4E25D410                // FADD V16.4S, V0.4S, V5.4S
+	VEXT $4, V16.B16, V16.B16, V5.B16
+	FADDS F5, F16, F16
+
+	VEXT $8, V1.B16, V1.B16, V5.B16
+	WORD $0x4E25D431                // FADD V17.4S, V1.4S, V5.4S
+	VEXT $4, V17.B16, V17.B16, V5.B16
+	FADDS F5, F17, F17
+
+	VEXT $8, V2.B16, V2.B16, V5.B16
+	WORD $0x4E25D452                // FADD V18.4S, V2.4S, V5.4S
+	VEXT $4, V18.B16, V18.B16, V5.B16
+	FADDS F5, F18, F18
+
+	VEXT $8, V3.B16, V3.B16, V5.B16
+	WORD $0x4E25D473                // FADD V19.4S, V3.4S, V5.4S
+	VEXT $4, V19.B16, V19.B16, V5.B16
+	FADDS F5, F19, F19
+
+	// Serial tail: remaining len(q)%4 elements.
+	AND $3, R2, R8
+	CBZ R8, store
+
+tail:
+	FMOVS (R1), F4
+	FMOVS (R3), F5
+	FMULS F4, F5, F5
+	FADDS F5, F16, F16
+	FMOVS (R4), F6
+	FMULS F4, F6, F6
+	FADDS F6, F17, F17
+	FMOVS (R5), F7
+	FMULS F4, F7, F7
+	FADDS F7, F18, F18
+	FMOVS (R6), F8
+	FMULS F4, F8, F8
+	FADDS F8, F19, F19
+	ADD   $4, R1
+	ADD   $4, R3
+	ADD   $4, R4
+	ADD   $4, R5
+	ADD   $4, R6
+	SUBS  $1, R8
+	BNE   tail
+
+store:
+	FMOVS F16, (R0)
+	FMOVS F17, 4(R0)
+	FMOVS F18, 8(R0)
+	FMOVS F19, 12(R0)
+	RET
+
+// func axpyKernel(dst []float32, alpha float32, x []float32)
+//
+// dst[j] += alpha * x[j] for j < len(dst). Lanes hold different output
+// elements, so vectorization cannot change any per-element accumulation
+// order — bit-identical to the scalar loop.
+TEXT ·axpyKernel(SB), NOSPLIT, $0-56
+	MOVD  dst_base+0(FP), R0
+	MOVD  dst_len+8(FP), R2
+	FMOVS alpha+24(FP), F0
+	MOVD  x_base+32(FP), R1
+
+	VDUP V0.S[0], V1.S4    // broadcast alpha to all lanes
+
+	LSR $2, R2, R8
+	CBZ R8, atail
+
+aquad:
+	VLD1.P 16(R1), [V2.S4]
+	WORD   $0x6E21DC42     // FMUL V2.4S, V2.4S, V1.4S
+	VLD1   (R0), [V3.S4]
+	WORD   $0x4E22D463     // FADD V3.4S, V3.4S, V2.4S
+	VST1.P [V3.S4], 16(R0)
+	SUBS   $1, R8
+	BNE    aquad
+
+atail:
+	AND $3, R2, R8
+	CBZ R8, adone
+
+atailloop:
+	FMOVS (R1), F2
+	FMULS F0, F2, F2
+	FMOVS (R0), F3
+	FADDS F2, F3, F3
+	FMOVS F3, (R0)
+	ADD   $4, R1
+	ADD   $4, R0
+	SUBS  $1, R8
+	BNE   atailloop
+
+adone:
+	RET

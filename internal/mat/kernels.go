@@ -78,6 +78,17 @@ func dot4rowsGeneric(dst []float32, q, block []float32) {
 	dst[3] = dotKernel(q, block[3*n:4*n])
 }
 
+// dot8rowsGeneric is the portable twin of the AVX2 dot8rows kernel: eight
+// consecutive rows against q into dst[0:8]. Widening to eight rows per
+// pass never touches any row's reduction order — each row is still the
+// canonical 4-lane dotKernel — so this is bit-identical to the assembly
+// tier and to two dot4rowsGeneric calls.
+func dot8rowsGeneric(dst []float32, q, block []float32) {
+	n := len(q)
+	dot4rowsGeneric(dst[:4:4], q, block[:4*n])
+	dot4rowsGeneric(dst[4:8:8], q, block[4*n:8*n])
+}
+
 // axpyGeneric computes dst[j] += alpha*x[j]. Each output element owns its
 // accumulation chain, so unrolling (or SIMD lanes) cannot change any
 // reduction order.
@@ -121,10 +132,17 @@ func ScoreRows(dst []float32, q Vec, block []float32, dim int) []float32 {
 	}
 	dst = dst[:n]
 	rows4 := dot4rows
-	if !vectorKernels {
+	wide := activeTier == tidAVX2
+	if !vectorKernels || activeTier == tidPurego {
 		rows4 = dot4rowsGeneric
+		wide = false
 	}
 	r := 0
+	if wide {
+		for ; r+8 <= n; r += 8 {
+			dot8rows(dst[r:r+8:r+8], q, block[r*dim:(r+8)*dim])
+		}
+	}
 	for ; r+4 <= n; r += 4 {
 		rows4(dst[r:r+4:r+4], q, block[r*dim:(r+4)*dim])
 	}
@@ -132,6 +150,54 @@ func ScoreRows(dst []float32, q Vec, block []float32, dim int) []float32 {
 		dst[r] = dotKernel(q, block[r*dim:(r+1)*dim])
 	}
 	return dst
+}
+
+// ScoreRowsBatch scores Q queries against every row of a row-major block
+// in one cache-blocked sweep: dsts[j][r] = Dot(qs[j], block[r*dim:...]).
+// Rows are visited in ScanBlock-sized chunks and every query scores the
+// chunk while it is cache-resident, so Q queries cost ONE pass over the
+// block's memory instead of Q — the win that makes /query/batch and
+// coalesced cache misses cheap on scans that exceed the LLC. Each
+// (query, row) score goes through the same tiered row kernels as
+// ScoreRows, so results are bit-identical to Q independent ScoreRows
+// calls.
+//
+// dsts must hold len(qs) destination slices, each nil (allocated here) or
+// with capacity for the row count; it returns dsts with every slice
+// truncated to the row count.
+func ScoreRowsBatch(dsts [][]float32, qs []Vec, block []float32, dim int) [][]float32 {
+	if len(dsts) != len(qs) {
+		panic(fmt.Sprintf("mat: ScoreRowsBatch %d dsts for %d queries", len(dsts), len(qs)))
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("mat: ScoreRowsBatch dim %d", dim))
+	}
+	for j, q := range qs {
+		if len(q) != dim {
+			panic(fmt.Sprintf("mat: ScoreRowsBatch query %d length %d != dim %d", j, len(q), dim))
+		}
+	}
+	if len(block)%dim != 0 {
+		panic(fmt.Sprintf("mat: ScoreRowsBatch block length %d not a multiple of dim %d", len(block), dim))
+	}
+	n := len(block) / dim
+	for j := range dsts {
+		if dsts[j] == nil {
+			dsts[j] = make([]float32, n)
+		}
+		dsts[j] = dsts[j][:n]
+	}
+	for r0 := 0; r0 < n; r0 += ScanBlock {
+		r1 := r0 + ScanBlock
+		if r1 > n {
+			r1 = n
+		}
+		chunk := block[r0*dim : r1*dim]
+		for j, q := range qs {
+			ScoreRows(dsts[j][r0:r1:r1], q, chunk, dim)
+		}
+	}
+	return dsts
 }
 
 // matMulBlock is the column-tile width of MatMulInto: output and B-row
@@ -154,7 +220,7 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	axpy := axpyKernel
-	if !vectorKernels {
+	if !vectorKernels || activeTier == tidPurego {
 		axpy = axpyGeneric
 	}
 	n := b.Cols

@@ -2,10 +2,11 @@
 
 package mat
 
-// The amd64 kernels in dot_amd64.s use only SSE2 instructions (the amd64
-// baseline), so they need no CPU-feature detection. Build with the purego
-// tag to force the portable implementations (e.g. to cross-check the
-// assembly in tests or benchmarks).
+// The baseline amd64 kernels in dot_amd64.s use only SSE2 instructions
+// (the amd64 baseline), so they need no CPU-feature detection; the avx2
+// tier in dot8_amd64.s is gated on detection (cpu_amd64.go). Build with
+// the purego tag to force the portable implementations (e.g. to
+// cross-check the assembly in tests or benchmarks).
 
 // dot4rows scores four consecutive rows of a row-major block (stride
 // len(q)) against q into dst[0:4], each row in the canonical 4-lane
@@ -13,6 +14,14 @@ package mat
 //
 //go:noescape
 func dot4rows(dst []float32, q, block []float32)
+
+// dot8rows is the AVX2 tier: eight consecutive rows per pass into
+// dst[0:8], each row still in the canonical 4-lane reduction order —
+// bit-identical to dot8rowsGeneric. Callers must check hasAVX2 (the tier
+// dispatch in ScoreRows does).
+//
+//go:noescape
+func dot8rows(dst []float32, q, block []float32)
 
 // axpyKernel computes dst[j] += alpha*x[j] over len(dst) elements
 // (len(x) >= len(dst)); bit-identical to axpyGeneric.

@@ -1,0 +1,144 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dotInt8AVX2(a, b *int8, n int) int32
+//
+// Widening-multiply dot over the first n int8 elements, n a positive
+// multiple of 16. Each iteration sign-extends 16 codes from each side to
+// int16 (VPMOVSXBW), multiplies and pairwise-adds into 8 int32 partials
+// (VPMADDWD; a pair sum is bounded by 2·127², far inside int32), and
+// accumulates with VPADDD.
+// Integer addition is associative, so the 8-lane accumulation returns
+// exactly the same bits as the scalar loop in int8.go for every input —
+// there is no lane-order contract to preserve, only overflow bounds,
+// which match DotInt8's documented dim ≤ 133000.
+TEXT ·dotInt8AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+
+	VPXOR Y0, Y0, Y0       // 8 int32 accumulators
+	XORQ  AX, AX
+
+loop16:
+	VPMOVSXBW (SI)(AX*1), Y1    // 16 int8 → 16 int16
+	VPMOVSXBW (DI)(AX*1), Y2
+	VPMADDWD  Y1, Y2, Y2        // 8 int32 pairwise product sums
+	VPADDD    Y2, Y0, Y0
+	ADDQ      $16, AX
+	CMPQ      AX, CX
+	JL        loop16
+
+	// Horizontal sum of the 8 lanes.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1  // swap 64-bit halves
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1  // swap 32-bit pairs
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	MOVL         AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dotInt8RowsAVX2(dst *int32, q, rows *int8, stride, n, nrows int)
+//
+// The blocked form: integer dot of q against nrows consecutive rows of a
+// row-major int8 block (row r at rows + r·stride), accumulating the first
+// n elements of each row (n a positive multiple of 16, n ≤ stride) into
+// dst[0:nrows]. Row tails beyond n are the caller's. One call scores a
+// whole scan block, and the main loop takes rows FOUR at a time sharing
+// one sign-extended query chunk: the per-row cost of the q load, the
+// horizontal reduction (three VPHADDDs fold four 8-lane accumulators into
+// one 4-result vector), and the trailing VZEROUPPER all amortize — the
+// per-row kernel above pays each per vector, which at dim=32 costs more
+// than the multiplies themselves.
+TEXT ·dotInt8RowsAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ q+8(FP), DX
+	MOVQ rows+16(FP), SI
+	MOVQ stride+24(FP), R8
+	MOVQ n+32(FP), CX
+	MOVQ nrows+40(FP), R9
+
+	LEAQ (R8)(R8*2), R13   // 3·stride, for the fourth row pointer
+	MOVQ R9, BX
+	SHRQ $2, BX            // quad-row count
+	JZ   rowtail
+
+row4:
+	LEAQ  (SI)(R8*1), R10
+	LEAQ  (SI)(R8*2), R11
+	LEAQ  (SI)(R13*1), R12
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	XORQ  AX, AX
+
+inner4:
+	VPMOVSXBW (DX)(AX*1), Y4    // one q chunk feeds all four rows
+	VPMOVSXBW (SI)(AX*1), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y0, Y0
+	VPMOVSXBW (R10)(AX*1), Y6
+	VPMADDWD  Y4, Y6, Y6
+	VPADDD    Y6, Y1, Y1
+	VPMOVSXBW (R11)(AX*1), Y7
+	VPMADDWD  Y4, Y7, Y7
+	VPADDD    Y7, Y2, Y2
+	VPMOVSXBW (R12)(AX*1), Y8
+	VPMADDWD  Y4, Y8, Y8
+	VPADDD    Y8, Y3, Y3
+	ADDQ      $16, AX
+	CMPQ      AX, CX
+	JL        inner4
+
+	// Fold rows 0..3 to [r0, r1, r2, r3]: pairwise VPHADDDs keep each
+	// row's partials in one lane position, the extract-add folds the
+	// 128-bit halves.
+	VPHADDD      Y1, Y0, Y4
+	VPHADDD      Y3, Y2, Y5
+	VPHADDD      Y5, Y4, Y6
+	VEXTRACTI128 $1, Y6, X7
+	VPADDD       X7, X6, X6
+	VMOVDQU      X6, (DI)
+	ADDQ         $16, DI
+	LEAQ         (SI)(R8*4), SI
+	DECQ         BX
+	JNZ          row4
+
+rowtail:
+	ANDQ $3, R9
+	JZ   done
+
+row1:
+	VPXOR Y0, Y0, Y0
+	XORQ  AX, AX
+
+inner1:
+	VPMOVSXBW (DX)(AX*1), Y4
+	VPMOVSXBW (SI)(AX*1), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y0, Y0
+	ADDQ      $16, AX
+	CMPQ      AX, CX
+	JL        inner1
+
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	MOVL         AX, (DI)
+	ADDQ         $4, DI
+	ADDQ         R8, SI
+	DECQ         R9
+	JNZ          row1
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,166 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Symmetric int8 quantization for the stage-1 scoring path.
+//
+// Each vector is quantized independently with a per-vector scale:
+// scale = maxabs/127, code[i] = round(v[i]/scale) ∈ [-127, 127]. An inner
+// product then reconstructs as
+//
+//	Dot(a, b) ≈ (a.Scale * b.Scale) * Σ int32(a.Code[i])*int32(b.Code[i])
+//
+// The widening-multiply accumulation is EXACT integer arithmetic (the sum
+// of dim products bounded by 127² fits int32 for dim ≤ 133000), so —
+// unlike the float32 kernels — the reduction needs no lane-order
+// contract: any association gives the same bits, on every architecture.
+// All approximation error lives in quantization itself, which is why the
+// int8 path is recall-gated through the planner ladder rather than
+// bit-identical: scans shortlist with int8 scores, then re-score the
+// shortlist exactly (see ann/flat). Per element the error is at most
+// scale/2, i.e. relative to the vector's largest component, 1/254.
+
+// Int8Scale returns the symmetric quantization scale for v: maxabs/127,
+// or 0 for an all-zero (or empty) vector. Non-finite components make the
+// scale non-finite; callers quantize projected embeddings, which are
+// always finite.
+func Int8Scale(v []float32) float32 {
+	var maxAbs float32
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > maxAbs {
+			maxAbs = x
+		}
+	}
+	return maxAbs / 127
+}
+
+// QuantizeInt8Into writes round(v[i]/scale) clamped to [-127, 127] into
+// dst (len(v) entries) and returns the scale. A zero scale (all-zero
+// vector) yields all-zero codes. Rounding goes through float64
+// math.Round, which is exact and identical on every platform — the codes
+// are part of the deterministic query path.
+func QuantizeInt8Into(dst []int8, v []float32) (scale float32) {
+	if len(dst) < len(v) {
+		panic(fmt.Sprintf("quant: QuantizeInt8Into dst %d for %d values", len(dst), len(v)))
+	}
+	scale = Int8Scale(v)
+	if scale == 0 {
+		for i := range v {
+			dst[i] = 0
+		}
+		return 0
+	}
+	inv := 1 / float64(scale)
+	for i, x := range v {
+		r := math.Round(float64(x) * inv)
+		if r > 127 {
+			r = 127
+		} else if r < -127 {
+			r = -127
+		}
+		dst[i] = int8(r)
+	}
+	return scale
+}
+
+// DotInt8 is the widening-multiply kernel: Σ int32(a[i])*int32(b[i]) over
+// len(a) (callers guarantee len(b) >= len(a)). On amd64 with AVX2 the
+// multiple-of-16 prefix runs through the VPMADDWD assembly
+// (dotint8_amd64.s); everywhere else — and for the tail — four
+// independent int32 accumulators let the compiler keep the loop in
+// registers. Integer addition is associative, so every path returns
+// identical bits and, unlike the float32 kernels, no ordering contract
+// constrains the implementation.
+func DotInt8(a, b []int8) int32 {
+	i := 0
+	var s int32
+	if useInt8AVX2 {
+		if n := len(a) &^ 15; n > 0 {
+			s = dotInt8AVX2(&a[0], &b[0], n)
+			i = n
+		}
+	}
+	var l0, l1, l2, l3 int32
+	for ; i+4 <= len(a); i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		l0 += int32(x[0]) * int32(y[0])
+		l1 += int32(x[1]) * int32(y[1])
+		l2 += int32(x[2]) * int32(y[2])
+		l3 += int32(x[3]) * int32(y[3])
+	}
+	s += l0 + l1 + l2 + l3
+	for ; i < len(a); i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// Int8Block is a row-major block of int8-quantized vectors with their
+// per-vector scales — the stage-1 scan sidecar kept by the flat and
+// IVF-PQ indexes. It costs dim+4 bytes per vector against the 4·dim of
+// the float32 rows it shadows.
+type Int8Block struct {
+	Dim    int
+	Codes  []int8    // row r at Codes[r*Dim : (r+1)*Dim]
+	Scales []float32 // Scales[r] is row r's quantization scale
+}
+
+// NewInt8Block returns an empty block for dim-dimensional vectors.
+func NewInt8Block(dim int) *Int8Block {
+	if dim <= 0 {
+		panic(fmt.Sprintf("quant: NewInt8Block dim %d", dim))
+	}
+	return &Int8Block{Dim: dim}
+}
+
+// Append quantizes v (length Dim) and appends it as the next row.
+func (b *Int8Block) Append(v []float32) {
+	if len(v) != b.Dim {
+		panic(fmt.Sprintf("quant: Int8Block.Append vector length %d != dim %d", len(v), b.Dim))
+	}
+	n := len(b.Codes)
+	b.Codes = append(b.Codes, make([]int8, b.Dim)...)
+	b.Scales = append(b.Scales, QuantizeInt8Into(b.Codes[n:n+b.Dim], v))
+}
+
+// Rows reports the number of quantized vectors in the block.
+func (b *Int8Block) Rows() int { return len(b.Scales) }
+
+// Row returns row r's codes.
+func (b *Int8Block) Row(r int) []int8 { return b.Codes[r*b.Dim : (r+1)*b.Dim] }
+
+// Memory reports the block's approximate footprint in bytes.
+func (b *Int8Block) Memory() int { return len(b.Codes) + 4*len(b.Scales) }
+
+// ScoreRowsInt8 scores an int8-quantized query against rows [r0, r1) of
+// the block, writing approximate inner products into dst[0 : r1-r0]:
+// dst[j] = (qScale * Scales[r0+j]) * Σ q[i]*Row(r0+j)[i]. It returns dst
+// truncated to the row count. The integer accumulation is exact and the
+// two float32 multiplications are in fixed order, so scores are
+// deterministic on every architecture; they differ from exact float32
+// dots only by quantization error.
+func (b *Int8Block) ScoreRowsInt8(dst []float32, qScale float32, q []int8, r0, r1 int) []float32 {
+	if len(q) != b.Dim {
+		panic(fmt.Sprintf("quant: ScoreRowsInt8 query length %d != dim %d", len(q), b.Dim))
+	}
+	dst = dst[:r1-r0]
+	if useInt8AVX2 && b.Dim >= 16 && r1 > r0 {
+		// Blocked assembly: one call scores up to 256 rows, which is what
+		// makes the int8 sweep beat the float kernels instead of losing
+		// to per-call overhead (exact integer math — same bits as below).
+		b.scoreRowsWide(dst, qScale, q, r0, r1)
+		return dst
+	}
+	for r := r0; r < r1; r++ {
+		acc := DotInt8(q, b.Codes[r*b.Dim:(r+1)*b.Dim])
+		dst[r-r0] = (qScale * b.Scales[r]) * float32(acc)
+	}
+	return dst
+}

@@ -1,0 +1,46 @@
+//go:build amd64 && !purego
+
+package quant
+
+import "repro/internal/mat"
+
+// useInt8AVX2 gates the widening-multiply assembly on CPU capability, not
+// on the active float kernel tier: integer accumulation is exact, so the
+// implementation can never change a score bit, and pinning -kernels=sse2
+// for bit-identity triage must not quietly slow the int8 sidecar down.
+var useInt8AVX2 = mat.HasAVX2()
+
+// dotInt8AVX2 returns Σ int32(a[i])*int32(b[i]) over the first n elements;
+// n must be a positive multiple of 16 and both arrays at least n long.
+//
+//go:noescape
+func dotInt8AVX2(a, b *int8, n int) int32
+
+// dotInt8RowsAVX2 scores q against nrows rows of stride `stride` starting
+// at rows, writing each row's integer dot over its first n elements
+// (n a positive multiple of 16, n ≤ stride) to dst[0:nrows].
+//
+//go:noescape
+func dotInt8RowsAVX2(dst *int32, q, rows *int8, stride, n, nrows int)
+
+// scoreRowsWide is the AVX2 body of Int8Block.ScoreRowsInt8: one assembly
+// call per chunk of rows, scalar tails and the fixed-order scale
+// multiplications in Go. The acc chunk lives on the stack.
+func (b *Int8Block) scoreRowsWide(dst []float32, qScale float32, q []int8, r0, r1 int) {
+	n := b.Dim &^ 15
+	var acc [256]int32
+	for base := r0; base < r1; base += len(acc) {
+		cnt := r1 - base
+		if cnt > len(acc) {
+			cnt = len(acc)
+		}
+		dotInt8RowsAVX2(&acc[0], &q[0], &b.Codes[base*b.Dim], b.Dim, n, cnt)
+		for j := 0; j < cnt; j++ {
+			s := acc[j]
+			for i := n; i < b.Dim; i++ {
+				s += int32(q[i]) * int32(b.Codes[(base+j)*b.Dim+i])
+			}
+			dst[base-r0+j] = (qScale * b.Scales[base+j]) * float32(s)
+		}
+	}
+}

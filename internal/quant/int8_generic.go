@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package quant
+
+// useInt8AVX2 is false off amd64 (and under -tags purego): DotInt8 runs
+// its unrolled scalar loop, which returns identical bits.
+const useInt8AVX2 = false
+
+func dotInt8AVX2(a, b *int8, n int) int32 {
+	panic("quant: dotInt8AVX2 without AVX2")
+}
+
+func (b *Int8Block) scoreRowsWide(dst []float32, qScale float32, q []int8, r0, r1 int) {
+	panic("quant: scoreRowsWide without AVX2")
+}

@@ -1,0 +1,184 @@
+package quant
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQuantizeInt8RoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 0x18))
+	for _, dim := range []int{1, 7, 32, 64, 129} {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		code := make([]int8, dim)
+		scale := QuantizeInt8Into(code, v)
+		if scale <= 0 {
+			t.Fatalf("dim=%d: scale %v", dim, scale)
+		}
+		for i := range v {
+			back := float64(code[i]) * float64(scale)
+			if diff := math.Abs(back - float64(v[i])); diff > float64(scale)/2+1e-7 {
+				t.Fatalf("dim=%d elem %d: |%v - %v| = %v > scale/2 = %v",
+					dim, i, back, v[i], diff, scale/2)
+			}
+		}
+	}
+}
+
+func TestQuantizeInt8ZeroAndClamp(t *testing.T) {
+	code := make([]int8, 4)
+	if scale := QuantizeInt8Into(code, []float32{0, 0, 0, 0}); scale != 0 {
+		t.Fatalf("zero vector scale %v", scale)
+	}
+	for i, c := range code {
+		if c != 0 {
+			t.Fatalf("zero vector code[%d] = %d", i, c)
+		}
+	}
+	// The extreme components land exactly on ±127.
+	scale := QuantizeInt8Into(code, []float32{2, -2, 1, 0})
+	if code[0] != 127 || code[1] != -127 {
+		t.Fatalf("extremes quantized to %d, %d", code[0], code[1])
+	}
+	if code[3] != 0 {
+		t.Fatalf("zero component quantized to %d", code[3])
+	}
+	_ = scale
+}
+
+func TestDotInt8MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 0x18))
+	// Sizes straddle the AVX2 kernel's 16-element stride: below it, exact
+	// multiples, and every tail residue class that matters.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 16, 17, 31, 32, 48, 64, 67, 255, 1024} {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(rng.IntN(255) - 127)
+			b[i] = int8(rng.IntN(255) - 127)
+		}
+		var want int32
+		for i := range a {
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := DotInt8(a, b); got != want {
+			t.Fatalf("n=%d: DotInt8 = %d, want %d", n, got, want)
+		}
+		// Saturated codes maximize every intermediate the widening path
+		// produces; the documented bound keeps even dim=133000 in int32.
+		for i := range a {
+			a[i], b[i] = -127, 127
+		}
+		if got, want := DotInt8(a, b), int32(n)*-127*127; got != want {
+			t.Fatalf("n=%d saturated: DotInt8 = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestScoreRowsInt8MatchesScalar pins the blocked assembly path (when
+// present) and the scalar path to identical bits across dims straddling
+// the 16-lane stride, row counts straddling the 256-row chunk, and
+// arbitrary sub-ranges: integer accumulation is exact, so any divergence
+// is a kernel bug, not rounding.
+func TestScoreRowsInt8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 0x19))
+	for _, dim := range []int{4, 15, 16, 17, 32, 48, 50} {
+		for _, rows := range []int{1, 3, 255, 256, 300} {
+			b := NewInt8Block(dim)
+			v := make([]float32, dim)
+			for r := 0; r < rows; r++ {
+				for i := range v {
+					v[i] = float32(rng.NormFloat64())
+				}
+				b.Append(v)
+			}
+			q := make([]int8, dim)
+			for i := range q {
+				q[i] = int8(rng.IntN(255) - 127)
+			}
+			const qScale = 0.0123
+			r0 := rng.IntN(rows)
+			r1 := r0 + 1 + rng.IntN(rows-r0)
+			got := b.ScoreRowsInt8(make([]float32, r1-r0), qScale, q, r0, r1)
+			for r := r0; r < r1; r++ {
+				var acc int32
+				row := b.Row(r)
+				for i := range row {
+					acc += int32(q[i]) * int32(row[i])
+				}
+				want := (qScale * b.Scales[r]) * float32(acc)
+				if got[r-r0] != want {
+					t.Fatalf("dim=%d rows=%d [%d,%d): row %d = %v, want %v",
+						dim, rows, r0, r1, r, got[r-r0], want)
+				}
+			}
+		}
+	}
+}
+
+// TestInt8ScoreApproximatesDot pins the end-to-end accuracy bound of the
+// quantized score against the exact float32 inner product: the error of
+// q·v is at most (|q|₁·scaleV/2 + |v|₁·scaleQ/2 + dim·scaleQ·scaleV/4),
+// the first-order quantization bound. A generous relative check keeps the
+// test robust while catching sign, scale and widening bugs outright.
+func TestInt8ScoreApproximatesDot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 0x18))
+	const dim = 32
+	blk := NewInt8Block(dim)
+	vecs := make([][]float32, 50)
+	for j := range vecs {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		vecs[j] = v
+		blk.Append(v)
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	qCode := make([]int8, dim)
+	qScale := QuantizeInt8Into(qCode, q)
+
+	scores := blk.ScoreRowsInt8(make([]float32, blk.Rows()), qScale, qCode, 0, blk.Rows())
+	for j, v := range vecs {
+		var exact float64
+		for i := range q {
+			exact += float64(q[i]) * float64(v[i])
+		}
+		var l1q, l1v float64
+		for i := range q {
+			l1q += math.Abs(float64(q[i]))
+			l1v += math.Abs(float64(v[i]))
+		}
+		sv := float64(blk.Scales[j])
+		bound := l1q*sv/2 + l1v*float64(qScale)/2 + dim*float64(qScale)*sv/4
+		if diff := math.Abs(float64(scores[j]) - exact); diff > bound {
+			t.Fatalf("row %d: |%v - %v| = %v exceeds quantization bound %v",
+				j, scores[j], exact, diff, bound)
+		}
+	}
+}
+
+func TestInt8BlockRowsAndMemory(t *testing.T) {
+	blk := NewInt8Block(8)
+	if blk.Rows() != 0 {
+		t.Fatalf("empty block rows %d", blk.Rows())
+	}
+	blk.Append(make([]float32, 8))
+	blk.Append([]float32{1, 2, 3, 4, 5, 6, 7, 8})
+	if blk.Rows() != 2 {
+		t.Fatalf("rows %d", blk.Rows())
+	}
+	if got := blk.Memory(); got != 2*8+2*4 {
+		t.Fatalf("memory %d", got)
+	}
+	row := blk.Row(1)
+	if len(row) != 8 || row[7] != 127 {
+		t.Fatalf("row 1 = %v", row)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/shard"
 )
@@ -148,7 +149,12 @@ type QueryOptionsJSON struct {
 	TopN          int  `json:"top_n,omitempty"`
 	DisableRerank bool `json:"disable_rerank,omitempty"`
 	Exhaustive    bool `json:"exhaustive,omitempty"`
-	RerankFrames  int  `json:"rerank_frames,omitempty"`
+	// Int8 pins the int8-quantized stage-1 scoring path (flat and IVF-PQ
+	// indexes; recall-gated, not bit-identical — the shortlist is re-scored
+	// exactly). Callers that want the planner to decide should set
+	// min_recall instead. Ignored when exhaustive is set.
+	Int8         bool `json:"int8,omitempty"`
+	RerankFrames int  `json:"rerank_frames,omitempty"`
 	// MinRecall, when set, asks the planner for the cheapest plan predicted
 	// to reach this stage-1 recall (0 < min_recall <= 1) instead of the
 	// fixed default knobs.
@@ -161,6 +167,7 @@ func (o QueryOptionsJSON) toCore() core.QueryOptions {
 		TopN:          o.TopN,
 		DisableRerank: o.DisableRerank,
 		Exhaustive:    o.Exhaustive,
+		Int8:          o.Int8,
 		RerankFrames:  o.RerankFrames,
 		MinRecall:     o.MinRecall,
 	}
@@ -234,6 +241,7 @@ type PlanJSON struct {
 	RerankFrames    int     `json:"rerank_frames"`
 	TopN            int     `json:"top_n"`
 	SkipRerank      bool    `json:"skip_rerank,omitempty"`
+	Int8            bool    `json:"int8,omitempty"`
 	PredictedRecall float64 `json:"predicted_recall,omitempty"`
 }
 
@@ -248,6 +256,7 @@ func toPlanJSON(p core.Plan) PlanJSON {
 		RerankFrames:    p.RerankFrames,
 		TopN:            p.TopN,
 		SkipRerank:      p.SkipRerank,
+		Int8:            p.Int8,
 		PredictedRecall: p.PredictedRecall,
 	}
 }
@@ -587,7 +596,11 @@ type StatsResponse struct {
 	LastMeasuredRecall float64 `json:"last_measured_recall,omitempty"`
 	LatencyP50Ms       float64 `json:"latency_p50_ms"`
 	LatencyP99Ms       float64 `json:"latency_p99_ms"`
-	UptimeSeconds      float64 `json:"uptime_seconds"`
+	// KernelTier is the active float32 scoring-kernel tier ("avx2",
+	// "sse2", "neon" or "purego") — every tier is bit-identical, so this
+	// is provenance for perf triage, not a correctness knob.
+	KernelTier    string  `json:"kernel_tier"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -625,6 +638,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LastMeasuredRecall: measured,
 		LatencyP50Ms:       s.metrics.latency.quantile(0.50) * 1000,
 		LatencyP99Ms:       s.metrics.latency.quantile(0.99) * 1000,
+		KernelTier:         mat.KernelTier(),
 		UptimeSeconds:      time.Since(s.started).Seconds(),
 	})
 }

@@ -259,6 +259,66 @@ func (t engineTarget) ScatterSearch(ctx context.Context, text string, plan core.
 	return lists, nil
 }
 
+// batchSearchBackend is the optional batched stage-1 surface a shard
+// backend may implement (Local does; remote.Client does not — batched scans
+// don't travel the wire, so remote legs fall back to per-query calls).
+type batchSearchBackend interface {
+	FastSearchBatch(ctx context.Context, texts []string, plans []core.Plan) ([][]core.ResultObject, error)
+}
+
+// ScatterSearchBatch implements core.BatchTarget: stage 1 for the WHOLE
+// batch is one call per shard — an in-process shard answers every query of
+// the batch from one cache-blocked sweep over its slice, a remote shard
+// falls back to per-query legs. out[query][shard] holds each query's
+// canonical per-leg hit lists, bit-identical to per-query ScatterSearch.
+func (t engineTarget) ScatterSearchBatch(ctx context.Context, texts []string, plans []core.Plan) ([][][]core.ResultObject, error) {
+	e := t.e
+	// byShard[shard][query]: scatter first, transpose after the gather.
+	byShard := make([][][]core.ResultObject, len(e.backends))
+	errs := make([]error, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		legs := make([]core.Plan, len(plans))
+		for qi := range plans {
+			legs[qi] = plans[qi].Leg(i)
+		}
+		lctx, lsp := obs.Start(ctx, "stage1.shard")
+		if lsp.On() {
+			lsp.Detail(fmt.Sprintf("shard=%d queries=%d", i, len(texts)))
+		}
+		defer lsp.End()
+		if bb, ok := e.backends[i].(batchSearchBackend); ok {
+			lists, err := bb.FastSearchBatch(lctx, texts, legs)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			byShard[i] = lists
+			return
+		}
+		lists := make([][]core.ResultObject, len(texts))
+		for qi, text := range texts {
+			hits, err := e.backends[i].FastSearch(lctx, text, legs[qi])
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			lists[qi] = hits
+		}
+		byShard[i] = lists
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	out := make([][][]core.ResultObject, len(texts))
+	for qi := range texts {
+		out[qi] = make([][]core.ResultObject, len(e.backends))
+		for i := range e.backends {
+			out[qi][i] = byShard[i][qi]
+		}
+	}
+	return out, nil
+}
+
 func (t engineTarget) ScatterGround(ctx context.Context, text string, refs []core.FrameRef, workers int) ([]core.Grounding, error) {
 	e := t.e
 	type routed struct {
@@ -389,9 +449,13 @@ func (e *Engine) QueryBatch(texts []string, opts core.QueryOptions, clients int)
 	return results, nil
 }
 
-// QueryBatchPlanned executes one pre-resolved plan per query concurrently
-// across at most clients goroutines — the serving tier's batch path, which
-// plans (and cache-keys) each query before execution.
+// QueryBatchPlanned executes one pre-resolved plan per query — the serving
+// tier's batch path. Stage 1 for the whole batch scatters as ONE call per
+// shard (core.ExecutePlanBatch via the engine's BatchTarget surface), so an
+// in-process shard amortizes one memory sweep over every query of the
+// batch; stage 2 fans out per query across at most clients goroutines.
+// Plans align with texts; results align with texts and are bit-identical to
+// per-query QueryPlanned runs.
 func (e *Engine) QueryBatchPlanned(ctx context.Context, texts []string, plans []core.Plan, workers, clients int) ([]*core.Result, error) {
 	if len(plans) != len(texts) {
 		return nil, fmt.Errorf("shard: batch of %d texts given %d plans", len(texts), len(plans))
@@ -403,17 +467,11 @@ func (e *Engine) QueryBatchPlanned(ctx context.Context, texts []string, plans []
 	if workers == 0 && clients > 1 {
 		workers = 1
 	}
-	results := make([]*core.Result, len(texts))
-	errs := make([]error, len(texts))
-	core.ParallelFor(len(texts), clients, func(i int) {
-		results[i], errs[i] = e.QueryPlanned(ctx, texts[i], plans[i], workers)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("shard: batch query %d (%q): %w", i, texts[i], err)
-		}
+	normalized := make([]core.Plan, len(plans))
+	for i := range plans {
+		normalized[i] = e.cfg.NormalizePlan(plans[i])
 	}
-	return results, nil
+	return core.ExecutePlanBatch(ctx, engineTarget{e}, texts, normalized, workers, clients)
 }
 
 // Stats aggregates ingest statistics across shards, counting each shard's

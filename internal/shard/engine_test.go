@@ -206,6 +206,55 @@ func TestQueryBatchMatchesLoneQueries(t *testing.T) {
 	}
 }
 
+// TestQueryBatchPlannedMatchesLoneQueries drives the batched scatter path
+// (one ScatterSearchBatch per backend, grouped stage-1 sweeps inside each
+// shard) over a flat index with a deliberately mixed plan set — default,
+// wider FastK, pinned int8, exhaustive — and pins bit-identity against
+// lone QueryPlanned runs of the very same plans.
+func TestQueryBatchPlannedMatchesLoneQueries(t *testing.T) {
+	ds := datasets.QVHighlights(datasets.Config{Seed: 11, Scale: 0.04})
+	eng, err := New(3, core.Config{Seed: 11, Index: vectordb.IndexFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	texts := queryMix(ds)
+	if len(texts) > 6 {
+		texts = texts[:6]
+	}
+	plans := make([]core.Plan, len(texts))
+	for i, text := range texts {
+		opts := core.QueryOptions{}
+		switch i % 3 {
+		case 1:
+			opts.FastK = 24
+		case 2:
+			opts.Int8 = true
+		}
+		if plans[i], err = eng.PlanQuery(text, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := eng.QueryBatchPlanned(t.Context(), texts, plans, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone := make([]*core.Result, len(texts))
+	for i, text := range texts {
+		if lone[i], err = eng.QueryPlanned(t.Context(), text, plans[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(objectsOf(batch), objectsOf(lone)) {
+		t.Fatal("batched planned results diverge from lone queries")
+	}
+}
+
 func TestUnknownTermsError(t *testing.T) {
 	eng, err := New(2, core.Config{Seed: 1})
 	if err != nil {

@@ -75,10 +75,12 @@ func (p *enginePlanner) refreshStatsLocked(e *Engine) bool {
 }
 
 // minRecallAt returns the minimum predicted recall across all non-empty
-// shards for one ladder setting, and whether every such shard could
-// predict it. A shard whose ladder stopped early at saturation (final rung
-// >= 0.999) extends flat: more effort cannot lose recall.
-func (p *enginePlanner) minRecallAt(nprobe, ef int) (float64, bool) {
+// shards for one ladder setting (effort knobs plus the int8 stage-1 flag),
+// and whether every such shard could predict it. A shard whose ladder
+// stopped early at saturation (final float rung >= 0.999) extends flat for
+// wider float settings: more effort cannot lose recall. Int8 settings never
+// extend — they must have been measured on every shard.
+func (p *enginePlanner) minRecallAt(nprobe, ef int, int8Scan bool) (float64, bool) {
 	minR := 1.0
 	for i := range p.stats {
 		st := &p.stats[i]
@@ -87,14 +89,14 @@ func (p *enginePlanner) minRecallAt(nprobe, ef int) (float64, bool) {
 		}
 		r, ok := -1.0, false
 		for _, rung := range st.Rungs {
-			if rung.NProbe == nprobe && rung.Ef == ef {
+			if rung.NProbe == nprobe && rung.Ef == ef && rung.Int8 == int8Scan {
 				r, ok = rung.MinRecall, true
 				break
 			}
 		}
-		if !ok && len(st.Rungs) > 0 {
+		if !ok && !int8Scan && len(st.Rungs) > 0 {
 			last := st.Rungs[len(st.Rungs)-1]
-			if last.MinRecall >= 0.999 && (nprobe > last.NProbe || ef > last.Ef) {
+			if !last.Int8 && last.MinRecall >= 0.999 && (nprobe > last.NProbe || ef > last.Ef) {
 				r, ok = last.MinRecall, true
 			}
 		}
@@ -109,19 +111,24 @@ func (p *enginePlanner) minRecallAt(nprobe, ef int) (float64, bool) {
 }
 
 // ladderSettings returns the union of every non-empty shard's calibrated
-// settings in ascending effort order.
+// settings in ascending effort order; at equal effort knobs the int8 rung
+// (the cheaper stage-1 scorer) sorts first.
 func (p *enginePlanner) ladderSettings() []core.Rung {
-	seen := make(map[[2]int]bool)
+	type setting struct {
+		np, ef int
+		i8     bool
+	}
+	seen := make(map[setting]bool)
 	var out []core.Rung
 	for i := range p.stats {
 		if p.stats[i].Entities == 0 {
 			continue
 		}
 		for _, rung := range p.stats[i].Rungs {
-			k := [2]int{rung.NProbe, rung.Ef}
+			k := setting{rung.NProbe, rung.Ef, rung.Int8}
 			if !seen[k] {
 				seen[k] = true
-				out = append(out, core.Rung{NProbe: rung.NProbe, Ef: rung.Ef})
+				out = append(out, core.Rung{NProbe: rung.NProbe, Ef: rung.Ef, Int8: rung.Int8})
 			}
 		}
 	}
@@ -129,7 +136,10 @@ func (p *enginePlanner) ladderSettings() []core.Rung {
 		if out[i].NProbe != out[j].NProbe {
 			return out[i].NProbe < out[j].NProbe
 		}
-		return out[i].Ef < out[j].Ef
+		if out[i].Ef != out[j].Ef {
+			return out[i].Ef < out[j].Ef
+		}
+		return out[i].Int8 && !out[j].Int8
 	})
 	return out
 }
@@ -222,6 +232,7 @@ func (p *enginePlanner) plan(ctx context.Context, e *Engine, text string, opts c
 	exact := func() core.Plan {
 		x := base
 		x.Exact = true
+		x.Int8 = false
 		x.Kind = core.PlanAdaptiveExact
 		x.PredictedRecall = 1
 		return x
@@ -250,7 +261,7 @@ func (p *enginePlanner) plan(ctx context.Context, e *Engine, text string, opts c
 	var chosen *core.Rung
 	var predicted float64
 	for _, setting := range p.ladderSettings() {
-		r, ok := p.minRecallAt(setting.NProbe, setting.Ef)
+		r, ok := p.minRecallAt(setting.NProbe, setting.Ef, setting.Int8)
 		if ok && r >= need {
 			s := setting
 			chosen, predicted = &s, r
@@ -263,6 +274,7 @@ func (p *enginePlanner) plan(ctx context.Context, e *Engine, text string, opts c
 	pl := base
 	pl.Kind = core.PlanAdaptive
 	pl.PredictedRecall = predicted
+	pl.Int8 = chosen.Int8
 	if chosen.NProbe > 0 {
 		pl.NProbe = chosen.NProbe
 	}

@@ -286,6 +286,31 @@ func (l *Local) FastSearch(ctx context.Context, text string, plan core.Plan) ([]
 	return hits, nil
 }
 
+// FastSearchBatch runs the stage-1 leg for many (text, plan) pairs on ONE
+// healthy replica, so queries with identical search shapes share a single
+// cache-blocked sweep over the replica's stored vectors (see
+// core.System.SearchPlannedBatch). Results align with texts and are
+// bit-identical to per-query FastSearch calls; failover retries the whole
+// batch on the next healthy replica.
+func (l *Local) FastSearchBatch(ctx context.Context, texts []string, plans []core.Plan) ([][]core.ResultObject, error) {
+	var lists [][]core.ResultObject
+	err := l.withReplica(ctx, func(ctx context.Context, sys *core.System) error {
+		fhs, err := sys.SearchPlannedBatch(ctx, texts, plans)
+		if err != nil {
+			return err
+		}
+		lists = make([][]core.ResultObject, len(fhs))
+		for i, fh := range fhs {
+			lists[i] = fh.Objects
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lists, nil
+}
+
 // PlanStats exports one healthy replica's planning digest — replicas are
 // byte-identical and sample deterministically, so any replica speaks for
 // the group.

@@ -330,6 +330,79 @@ func (c *Collection) Search(q mat.Vec, k int, p ann.Params) ([]mat.Scored, error
 	return top.Sorted(), nil
 }
 
+// batchSearcher is the optional index fast path SearchBatch dispatches to:
+// an index that can answer many queries in one cache-blocked sweep over its
+// storage (flat implements it via mat.ScoreRowsBatch). Results must be
+// bit-identical to per-query Search calls.
+type batchSearcher interface {
+	SearchBatch(qs []mat.Vec, k int, p ann.Params) [][]mat.Scored
+}
+
+// SearchBatch answers many queries under one set of search parameters,
+// results aligned with qs. When the built index implements batchSearcher the
+// whole batch shares one memory sweep; otherwise (other index kinds, or the
+// unindexed fallback) each query runs through the same code path Search
+// uses. Either way the results are bit-identical to per-query Search calls.
+func (c *Collection) SearchBatch(qs []mat.Vec, k int, p ann.Params) ([][]mat.Scored, error) {
+	for i, q := range qs {
+		if len(q) != c.schema.Dim {
+			return nil, fmt.Errorf("%w: batch query %d: %d != %d", ErrDimension, i, len(q), c.schema.Dim)
+		}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if bs, ok := c.index.(batchSearcher); ok {
+		return bs.SearchBatch(qs, k, p), nil
+	}
+	out := make([][]mat.Scored, len(qs))
+	if c.index != nil {
+		for i, q := range qs {
+			out[i] = c.index.Search(q, k, p)
+		}
+		return out, nil
+	}
+	if k <= 0 || len(c.ids) == 0 {
+		return out, nil
+	}
+	// Unindexed fallback: the blocked full scan of Search, but every
+	// ScanBlock chunk of rows is scored by ALL queries while cache-resident
+	// (mat.ScoreRowsBatch) — one memory pass instead of len(qs).
+	tops := make([]*mat.TopK, len(qs))
+	for i := range qs {
+		tops[i] = mat.GetTopK(k)
+	}
+	defer func() {
+		for _, t := range tops {
+			mat.PutTopK(t)
+		}
+	}()
+	scratch := mat.GetScratch(len(qs) * mat.ScanBlock)
+	defer scratch.Release()
+	dim := c.schema.Dim
+	dsts := make([][]float32, len(qs))
+	for start := 0; start < len(c.ids); start += mat.ScanBlock {
+		end := start + mat.ScanBlock
+		if end > len(c.ids) {
+			end = len(c.ids)
+		}
+		n := end - start
+		for j := range dsts {
+			off := j * mat.ScanBlock
+			dsts[j] = scratch.Buf[off : off+n : off+mat.ScanBlock]
+		}
+		mat.ScoreRowsBatch(dsts, qs, c.data[start*dim:end*dim], dim)
+		for j := range qs {
+			for i, s := range dsts[j] {
+				tops[j].Push(c.ids[start+i], s)
+			}
+		}
+	}
+	for j := range qs {
+		out[j] = tops[j].Sorted()
+	}
+	return out, nil
+}
+
 // Stats summarises a collection for the storage experiments.
 type Stats struct {
 	Name      string
