@@ -68,6 +68,8 @@ func main() {
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "per-call deadline for shard RPCs")
 		debugAddr  = flag.String("debug-addr", "", "optional second listen address for the debug tier (/debug/queries, /debug/pprof/*); keep it off the public port")
 		kernels    = flag.String("kernels", "", "pin the float32 scoring-kernel tier: auto|avx2|sse2|neon|purego (default: $LOVO_KERNELS, else widest supported; all tiers are bit-identical)")
+		streaming  = flag.Bool("streaming", false, "segmented continuous-ingest mode: POST /ingest accepts footage while serving, seals and compactions run in the background (must match the workers' -streaming)")
+		segSize    = flag.Int("segment-size", 0, "streaming seal threshold in vectors per segment (0 = default 4096; must match the workers')")
 	)
 	flag.Parse()
 
@@ -88,7 +90,11 @@ func main() {
 	if err := core.ValidateMinRecall(*minRecall); err != nil {
 		fatal(fmt.Errorf("-min-recall: %w", err))
 	}
-	cfg := core.Config{Seed: *seed, Index: kind, Workers: *workers}
+	cfg := core.Config{Seed: *seed, Index: kind, Workers: *workers,
+		Streaming: *streaming, SegmentSize: *segSize}
+	if *segSize != 0 && !*streaming {
+		fatal(fmt.Errorf("-segment-size requires -streaming"))
+	}
 
 	var eng *shard.Engine
 	if *shardAddrs != "" {
@@ -136,6 +142,12 @@ func main() {
 	st := eng.Stats()
 	log.Printf("ready: %d keyframes, %d indexed patch vectors (aggregate shard-time: processing %s, indexing %s)",
 		st.Keyframes, st.Tokens, st.Processing.Round(1e6), st.Indexing.Round(1e6))
+	if *streaming {
+		if seg, ok := eng.SegmentStats(); ok {
+			log.Printf("streaming: %d sealed / %d building segments, %d vectors growing (POST /ingest accepts live footage)",
+				seg.Sealed, seg.Building, seg.GrowingLen)
+		}
+	}
 
 	srv := server.New(eng, server.Config{
 		CacheSize:        *cache,
@@ -154,7 +166,7 @@ func main() {
 		}()
 		log.Printf("debug tier on %s (GET /debug/queries, /debug/pprof/)", *debugAddr)
 	}
-	log.Printf("serving on %s (POST /query, POST /query/batch, GET /stats /healthz /metrics /debug/queries)", *addr)
+	log.Printf("serving on %s (POST /query, /query/batch, /ingest; GET /stats /healthz /metrics /debug/queries)", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

@@ -36,12 +36,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9101", "shard RPC listen address")
-		seed     = flag.Uint64("seed", 7, "system seed (must match the coordinator's)")
-		index    = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat (must match the coordinator's)")
-		replicas = flag.Int("replicas", 1, "replicas hosted by this worker (queries pick one; ingest fans to all)")
-		workers  = flag.Int("workers", 0, "worker pool per replica (0 = NumCPU)")
-		kernels  = flag.String("kernels", "", "pin the float32 scoring-kernel tier: auto|avx2|sse2|neon|purego (default: $LOVO_KERNELS, else widest supported; all tiers are bit-identical)")
+		addr      = flag.String("addr", "127.0.0.1:9101", "shard RPC listen address")
+		seed      = flag.Uint64("seed", 7, "system seed (must match the coordinator's)")
+		index     = flag.String("index", "imi", "vector index: imi|ivfpq|hnsw|flat (must match the coordinator's)")
+		replicas  = flag.Int("replicas", 1, "replicas hosted by this worker (queries pick one; ingest fans to all)")
+		workers   = flag.Int("workers", 0, "worker pool per replica (0 = NumCPU)")
+		kernels   = flag.String("kernels", "", "pin the float32 scoring-kernel tier: auto|avx2|sse2|neon|purego (default: $LOVO_KERNELS, else widest supported; all tiers are bit-identical)")
+		streaming = flag.Bool("streaming", false, "segmented continuous-ingest mode (must match the coordinator's -streaming)")
+		segSize   = flag.Int("segment-size", 0, "streaming seal threshold in vectors per segment (0 = default 4096; must match the coordinator's)")
 	)
 	flag.Parse()
 
@@ -59,7 +61,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	backend, err := shard.NewLocal(*replicas, core.Config{Seed: *seed, Index: kind, Workers: *workers})
+	if *segSize != 0 && !*streaming {
+		fatal(fmt.Errorf("-segment-size requires -streaming"))
+	}
+	backend, err := shard.NewLocal(*replicas, core.Config{Seed: *seed, Index: kind, Workers: *workers,
+		Streaming: *streaming, SegmentSize: *segSize})
 	if err != nil {
 		fatal(err)
 	}
@@ -69,8 +75,12 @@ func main() {
 	}
 	srv := remote.NewServer(backend)
 	srv.Logf = log.Printf
-	log.Printf("lovoshard: hosting 1 shard x %d replicas (%s index, seed %d), RPC on %s",
-		*replicas, kind, *seed, l.Addr())
+	mode := "batch"
+	if *streaming {
+		mode = "streaming"
+	}
+	log.Printf("lovoshard: hosting 1 shard x %d replicas (%s index, seed %d, %s mode), RPC on %s",
+		*replicas, kind, *seed, mode, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		fatal(err)
 	}

@@ -14,6 +14,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"table3", "table4", "table5", "table7",
 		"throughput", "sharding", "replication", "kernels",
+		"streamingserve",
 	}
 	have := Experiments()
 	set := map[string]bool{}
@@ -263,6 +264,33 @@ func TestReplicationStructure(t *testing.T) {
 	}
 	if tbl.Rows[0][7] != "1.00x" {
 		t.Fatalf("baseline speedup: %v", tbl.Rows[0])
+	}
+}
+
+func TestStreamingServeStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two engines plus timed phases too slow for -short")
+	}
+	tbl, err := Run("streamingserve", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four phases: streaming/batch x steady/under-ingest. The p99 ratio is
+	// not asserted — it is scheduling-sensitive (see the experiment notes);
+	// the no-blocking property is pinned by the vectordb regression tests.
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	wantLabels := []string{"streaming steady", "streaming under ingest", "batch steady", "batch rebuild under ingest"}
+	for i, w := range wantLabels {
+		if tbl.Rows[i][0] != w {
+			t.Fatalf("row %d label %q, want %q", i, tbl.Rows[i][0], w)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if tbl.Rows[i][6] != "1.00x" {
+			t.Fatalf("steady row %d ratio %q, want 1.00x", i, tbl.Rows[i][6])
+		}
 	}
 }
 

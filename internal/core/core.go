@@ -170,6 +170,12 @@ func (c Config) withDefaults() Config {
 	if c.PlannerValidateEvery == 0 {
 		c.PlannerValidateEvery = 64
 	}
+	if c.Streaming && c.SegmentSize <= 0 {
+		// Mirror vectordb.NewSegmented's default so Resolved reports the
+		// threshold the store actually runs with — coordinator/worker config
+		// verification compares resolved summaries.
+		c.SegmentSize = 4096
+	}
 	return c
 }
 
@@ -386,7 +392,15 @@ func (s *System) BuildIndex() error {
 	//lovo:nondeterministic-ok stats.Indexing is build-cost bookkeeping; the built index never depends on it
 	start := time.Now()
 	if s.seg != nil {
+		// Seal queues a background build; BuildIndex is the explicit batch
+		// boot path, so wait for the maintenance worker to quiesce — the
+		// caller expects a fully indexed system (and a deterministic one:
+		// approximate answers after BuildIndex must not depend on build
+		// timing).
 		if err := s.seg.Seal(); err != nil {
+			return fmt.Errorf("core: sealing segment: %w", err)
+		}
+		if err := s.seg.WaitMaintenance(); err != nil {
 			return fmt.Errorf("core: sealing segment: %w", err)
 		}
 	} else if err := s.col.BuildIndex(s.cfg.Index, s.cfg.IndexOptions); err != nil {
@@ -467,6 +481,31 @@ func (s *System) Entities() int {
 
 // Segmented exposes the streaming-mode store (nil in monolithic mode).
 func (s *System) Segmented() *vectordb.SegmentedCollection { return s.seg }
+
+// SegmentStats reports the per-state segment breakdown of the streaming
+// store; ok is false in monolithic mode.
+func (s *System) SegmentStats() (vectordb.SegmentStats, bool) {
+	s.mu.RLock()
+	seg := s.seg
+	s.mu.RUnlock()
+	if seg == nil {
+		return vectordb.SegmentStats{}, false
+	}
+	return seg.SegmentStats(), true
+}
+
+// MaintLog returns the streaming store's recent maintenance operations
+// (seal builds, compactions) with their obs span trees; empty in
+// monolithic mode.
+func (s *System) MaintLog() []vectordb.MaintEvent {
+	s.mu.RLock()
+	seg := s.seg
+	s.mu.RUnlock()
+	if seg == nil {
+		return nil
+	}
+	return seg.MaintLog()
+}
 
 // Stats returns a snapshot of the accumulated ingest statistics.
 func (s *System) Stats() IngestStats {

@@ -22,15 +22,21 @@ import (
 //
 //	magic "LOVOSYS1\n"
 //	uint64 metadata length, then gob(snapMeta):
-//	                     relational rows, keyframes, stats, built flag
-//	vectordb snapshot    raw vectors + index kind/options (rebuilt on load)
+//	                     relational rows, keyframes, stats, built flag,
+//	                     streaming flag
+//	vector snapshot      monolithic: the vectordb DB snapshot;
+//	                     streaming: the segmented-collection snapshot
+//	                     (per-segment vectors + identities, indexes rebuilt
+//	                     on load from identity-derived seeds)
 //
 // The gob section is length-prefixed because gob wraps non-ByteReader
 // streams in a buffered reader that consumes past the value's end — the
-// vectordb section that follows must start at an exact offset.
+// vector section that follows must start at an exact offset.
 //
-// Snapshots require the monolithic store; the streaming segmented
-// collection has no persistence (sealed segments are an open item).
+// A snapshot's streaming-ness must match the restoring system's Config:
+// the two store layouts answer approximate queries from differently
+// seeded indexes, so silently crossing modes would break the restart
+// bit-identity contract.
 const snapMagic = "LOVOSYS1\n"
 
 type snapRow struct {
@@ -49,6 +55,7 @@ type snapMeta struct {
 	Keyframes []snapKeyframe
 	Stats     IngestStats
 	Built     bool
+	Streaming bool
 }
 
 // SaveSnapshot persists the full system state — patch vectors, relational
@@ -56,13 +63,10 @@ type snapMeta struct {
 // without re-running Video Summary. Must not run concurrently with Ingest
 // or BuildIndex (concurrent queries are fine).
 func (s *System) SaveSnapshot(w io.Writer) error {
-	if s.seg != nil {
-		return fmt.Errorf("core: snapshots are unsupported in streaming mode")
-	}
 	if _, err := io.WriteString(w, snapMagic); err != nil {
 		return err
 	}
-	meta := snapMeta{ProjDim: s.cfg.ProjDim}
+	meta := snapMeta{ProjDim: s.cfg.ProjDim, Streaming: s.seg != nil}
 	for _, row := range s.patches.Scan(func(relational.Row) bool { return true }) {
 		meta.Rows = append(meta.Rows, snapRow{
 			PatchID: row[0].(int64), VideoID: row[1].(int64),
@@ -96,6 +100,9 @@ func (s *System) SaveSnapshot(w io.Writer) error {
 	if _, err := w.Write(mbuf.Bytes()); err != nil {
 		return err
 	}
+	if s.seg != nil {
+		return s.seg.Save(w)
+	}
 	return s.db.Save(w)
 }
 
@@ -105,9 +112,6 @@ func (s *System) SaveSnapshot(w io.Writer) error {
 // so a mismatched seed would embed queries into a different space than the
 // stored vectors. The index is rebuilt from the recorded kind and options.
 func (s *System) LoadSnapshot(r io.Reader) error {
-	if s.seg != nil {
-		return fmt.Errorf("core: snapshots are unsupported in streaming mode")
-	}
 	if s.Entities() > 0 {
 		return fmt.Errorf("core: LoadSnapshot requires an empty system (%d vectors present)", s.Entities())
 	}
@@ -139,13 +143,36 @@ func (s *System) LoadSnapshot(r io.Reader) error {
 	if meta.ProjDim != s.cfg.ProjDim {
 		return fmt.Errorf("core: snapshot dimension D'=%d, system configured with %d", meta.ProjDim, s.cfg.ProjDim)
 	}
-	db, err := vectordb.Load(r)
-	if err != nil {
-		return fmt.Errorf("core: loading vector snapshot: %w", err)
+	if meta.Streaming != (s.seg != nil) {
+		mode := func(streaming bool) string {
+			if streaming {
+				return "streaming"
+			}
+			return "monolithic"
+		}
+		return fmt.Errorf("core: %s snapshot cannot restore into a %s system (set Config.Streaming to match the saver)",
+			mode(meta.Streaming), mode(s.seg != nil))
 	}
-	col, err := db.Collection("patches")
-	if err != nil {
-		return fmt.Errorf("core: vector snapshot misses the patches collection: %w", err)
+	var (
+		db  *vectordb.DB
+		col *vectordb.Collection
+		seg *vectordb.SegmentedCollection
+		err error
+	)
+	if meta.Streaming {
+		seg, err = vectordb.LoadSegmented(r)
+		if err != nil {
+			return fmt.Errorf("core: loading segmented vector snapshot: %w", err)
+		}
+	} else {
+		db, err = vectordb.Load(r)
+		if err != nil {
+			return fmt.Errorf("core: loading vector snapshot: %w", err)
+		}
+		col, err = db.Collection("patches")
+		if err != nil {
+			return fmt.Errorf("core: vector snapshot misses the patches collection: %w", err)
+		}
 	}
 	for _, row := range meta.Rows {
 		err := s.patches.Insert(relational.Row{
@@ -163,8 +190,12 @@ func (s *System) LoadSnapshot(r io.Reader) error {
 	}
 	s.stats = meta.Stats
 	s.built = meta.Built
-	s.db = db
-	s.col = col
+	if meta.Streaming {
+		s.seg = seg
+	} else {
+		s.db = db
+		s.col = col
+	}
 	s.mu.Unlock()
 	// Rebuild the planner's selectivity state from the restored corpus:
 	// keyframes re-feed the posting statistics in their canonical (video,
@@ -176,7 +207,14 @@ func (s *System) LoadSnapshot(r io.Reader) error {
 		f := kf.Frame
 		s.planner.noteFrame(&f)
 	}
-	col.Scan(func(id int64, v mat.Vec) bool {
+	scan := func(fn func(id int64, v mat.Vec) bool) {
+		if meta.Streaming {
+			seg.Scan(fn)
+		} else {
+			col.Scan(fn)
+		}
+	}
+	scan(func(id int64, v mat.Vec) bool {
 		s.planner.observe(v)
 		return true
 	})

@@ -66,19 +66,117 @@ func TestSystemSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStreamingSnapshotRoundTrip pins the streaming save/load path the
+// monolithic round trip cannot cover: a snapshot taken mid-stream (sealed
+// segments plus a non-empty growing segment) restores a system that
+// answers byte-identically and keeps streaming.
+func TestStreamingSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 17, Streaming: true, SegmentSize: 400}
+	ds := datasets.Bellevue(datasets.Config{Seed: 17, Scale: 0.05})
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Videos {
+		if err := orig.Ingest(&ds.Videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := orig.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// Keep streaming past the build so the snapshot catches a growing
+	// segment mid-stream.
+	extra := datasets.Bellevue(datasets.Config{Seed: 18, Scale: 0.03})
+	v := extra.Videos[0]
+	v.ID = 7
+	if err := orig.Ingest(&v); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := orig.SegmentStats(); !ok || st.Sealed == 0 {
+		t.Fatalf("expected sealed segments before save, got %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Entities() != orig.Entities() {
+		t.Fatalf("entities %d != %d", restored.Entities(), orig.Entities())
+	}
+	if st, ok := restored.SegmentStats(); !ok || st.Sealed == 0 || st.GrowingLen == 0 {
+		t.Fatalf("restored segment stats = %+v", st)
+	}
+	for _, q := range ds.Queries {
+		want, err := orig.Query(q.Text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Query(q.Text, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) {
+			t.Fatalf("%s: restored streaming system answers diverge\n got: %+v\nwant: %+v", q.ID, got.Objects, want.Objects)
+		}
+	}
+	// The restored system keeps streaming: more footage seals more
+	// segments without a full rebuild.
+	v2 := extra.Videos[len(extra.Videos)-1]
+	v2.ID = 8
+	if err := restored.Ingest(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Query(ds.Queries[0].Text, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSystemSnapshotErrors(t *testing.T) {
-	// Streaming systems have no snapshot.
+	// A snapshot's streaming-ness must match the restoring system: the two
+	// store layouts answer approximate queries from differently seeded
+	// indexes.
 	s, err := New(Config{Seed: 1, Streaming: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.SaveSnapshot(&buf); err == nil {
-		t.Fatal("streaming save must error")
+	if err := s.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("streaming save: %v", err)
 	}
-	if err := s.LoadSnapshot(&buf); err == nil {
-		t.Fatal("streaming load must error")
+	mono, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if err := mono.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("streaming snapshot into a monolithic system must error")
+	}
+	buf.Reset()
+	monoSrc, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := monoSrc.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := New(Config{Seed: 1, Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("monolithic snapshot into a streaming system must error")
+	}
+	buf.Reset()
 
 	// Bad magic.
 	m, err := New(Config{Seed: 1})

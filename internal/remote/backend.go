@@ -27,6 +27,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -53,6 +54,13 @@ type ConfigSummary struct {
 	FastK        int
 	TopN         int
 	RerankFrames int
+	// Streaming and SegmentSize describe the worker's store mode. They are
+	// part of Compatible: a streaming worker seals per-segment indexes whose
+	// seeds derive from segment identities, so mixing store modes (or seal
+	// thresholds) across a fleet would give shards differently-built
+	// approximate indexes for the same corpus slice.
+	Streaming   bool
+	SegmentSize int
 	// Replicas is the worker's replica count — informational, and
 	// deliberately excluded from Compatible: replica counts may differ
 	// across workers without changing any answer.
@@ -69,6 +77,8 @@ func Summarize(cfg core.Config, replicas int) ConfigSummary {
 		FastK:        cfg.FastK,
 		TopN:         cfg.TopN,
 		RerankFrames: cfg.RerankFrames,
+		Streaming:    cfg.Streaming,
+		SegmentSize:  cfg.SegmentSize,
 		Replicas:     replicas,
 	}
 }
@@ -78,7 +88,8 @@ func Summarize(cfg core.Config, replicas int) ConfigSummary {
 func (s ConfigSummary) Compatible(o ConfigSummary) bool {
 	return s.Dim == o.Dim && s.ProjDim == o.ProjDim && s.Seed == o.Seed &&
 		s.Index == o.Index && s.FastK == o.FastK && s.TopN == o.TopN &&
-		s.RerankFrames == o.RerankFrames
+		s.RerankFrames == o.RerankFrames &&
+		s.Streaming == o.Streaming && s.SegmentSize == o.SegmentSize
 }
 
 // ShardBackend is one shard of a scatter-gather engine: the stage surface
@@ -137,4 +148,14 @@ type ShardBackend interface {
 // Ingest calls otherwise.
 type BulkIngester interface {
 	IngestVideos(vs []*video.Video) error
+}
+
+// SegmentReporter is the optional streaming-mode introspection surface: a
+// backend hosting streaming systems reports its primary replica's segment
+// breakdown (growing/building/sealed counts, bytes, seal and compaction
+// totals). A monolithic backend either doesn't implement it or returns
+// stats with Streaming=false; the serving tier's /stats and /metrics
+// surface whatever is reported.
+type SegmentReporter interface {
+	SegmentStats() (vectordb.SegmentStats, error)
 }

@@ -101,8 +101,9 @@ func TestConnectSucceedsAgainstLiveWorkers(t *testing.T) {
 func TestVerifyConfigRejectsMismatch(t *testing.T) {
 	want := core.Config{Seed: 7, Index: vectordb.IndexIMI}
 	cases := []core.Config{
-		{Seed: 8, Index: vectordb.IndexIMI},  // wrong seed
-		{Seed: 7, Index: vectordb.IndexFlat}, // wrong index
+		{Seed: 8, Index: vectordb.IndexIMI},                  // wrong seed
+		{Seed: 7, Index: vectordb.IndexFlat},                 // wrong index
+		{Seed: 7, Index: vectordb.IndexIMI, Streaming: true}, // streaming worker, batch coordinator
 	}
 	for _, workerCfg := range cases {
 		addr := serveLocal(t, workerCfg)
@@ -120,6 +121,42 @@ func TestVerifyConfigRejectsMismatch(t *testing.T) {
 		if !strings.Contains(err.Error(), "mismatch") {
 			t.Fatalf("error should say mismatch: %v", err)
 		}
+	}
+}
+
+// TestVerifyConfigRejectsSegmentSizeMismatch: two streaming fleets with
+// different seal thresholds build differently-segmented approximate
+// indexes, so the coordinator must refuse the worker at boot.
+func TestVerifyConfigRejectsSegmentSizeMismatch(t *testing.T) {
+	want := core.Config{Seed: 7, Index: vectordb.IndexIMI, Streaming: true, SegmentSize: 1024}
+	addr := serveLocal(t, core.Config{Seed: 7, Index: vectordb.IndexIMI, Streaming: true, SegmentSize: 512})
+	clients, err := remote.Connect([]string{addr}, remote.ClientOptions{DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	if err := remote.VerifyConfig(clients, remote.Summarize(want.Resolved(), 0)); err == nil {
+		t.Fatal("segment-size mismatch must be rejected")
+	}
+	// Matching thresholds — one explicit, one defaulted — must verify:
+	// Config.Resolved canonicalizes the streaming default to 4096.
+	addr2 := serveLocal(t, core.Config{Seed: 7, Index: vectordb.IndexIMI, Streaming: true, SegmentSize: 4096})
+	clients2, err := remote.Connect([]string{addr2}, remote.ClientOptions{DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range clients2 {
+			c.Close()
+		}
+	}()
+	defaulted := core.Config{Seed: 7, Index: vectordb.IndexIMI, Streaming: true}
+	if err := remote.VerifyConfig(clients2, remote.Summarize(defaulted.Resolved(), 0)); err != nil {
+		t.Fatalf("defaulted segment size must match an explicit 4096: %v", err)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -312,6 +313,8 @@ func opName(op byte) string {
 		return "ingest-batch"
 	case opPlanStats:
 		return "plan-stats"
+	case opSegmentStats:
+		return "segment-stats"
 	}
 	return fmt.Sprintf("op-%d", op)
 }
@@ -530,6 +533,22 @@ func (c *Client) IngestGen() (uint64, error) {
 		return 0, err
 	}
 	return g, nil
+}
+
+// SegmentStats fetches the worker's streaming segment breakdown — counts
+// answered from memory, so it rides the metadata fast path. A monolithic
+// worker reports Streaming=false.
+func (c *Client) SegmentStats() (vectordb.SegmentStats, error) {
+	resp, err := c.meta(opSegmentStats)
+	if err != nil {
+		return vectordb.SegmentStats{}, err
+	}
+	d := &dec{b: resp}
+	st := readSegmentStats(d)
+	if err := d.finish(); err != nil {
+		return vectordb.SegmentStats{}, err
+	}
+	return st, nil
 }
 
 // ReplicaStats fetches the worker's per-replica health and read counts.

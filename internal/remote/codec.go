@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -455,6 +456,8 @@ func appendConfigSummary(e *enc, s ConfigSummary) {
 	e.i64(int64(s.FastK))
 	e.i64(int64(s.TopN))
 	e.i64(int64(s.RerankFrames))
+	e.boolean(s.Streaming)
+	e.i64(int64(s.SegmentSize))
 	e.i64(int64(s.Replicas))
 }
 
@@ -467,6 +470,36 @@ func readConfigSummary(d *dec) ConfigSummary {
 		FastK:        d.intv(),
 		TopN:         d.intv(),
 		RerankFrames: d.intv(),
+		Streaming:    d.boolean(),
+		SegmentSize:  d.intv(),
 		Replicas:     d.intv(),
+	}
+}
+
+func appendSegmentStats(e *enc, st vectordb.SegmentStats) {
+	e.boolean(st.Streaming)
+	e.i64(int64(st.Sealed))
+	e.i64(int64(st.Building))
+	e.i64(int64(st.Growing))
+	e.i64(int64(st.GrowingLen))
+	e.i64(int64(st.SealedVectors))
+	e.i64(st.RawBytes)
+	e.i64(st.IndexBytes)
+	e.u64(st.Seals)
+	e.u64(st.Compactions)
+}
+
+func readSegmentStats(d *dec) vectordb.SegmentStats {
+	return vectordb.SegmentStats{
+		Streaming:     d.boolean(),
+		Sealed:        d.intv(),
+		Building:      d.intv(),
+		Growing:       d.intv(),
+		GrowingLen:    d.intv(),
+		SealedVectors: d.intv(),
+		RawBytes:      d.i64(),
+		IndexBytes:    d.i64(),
+		Seals:         d.u64(),
+		Compactions:   d.u64(),
 	}
 }

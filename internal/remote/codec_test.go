@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -272,9 +273,39 @@ func TestConfigSummaryRoundTrip(t *testing.T) {
 		{}, // zero, empty index string
 		{Dim: 64, ProjDim: 32, Seed: math.MaxUint64, Index: "imi", FastK: 100, TopN: 10, RerankFrames: 16, Replicas: 3},
 		{Index: strings.Repeat("x", 1<<12)}, // max-field-width string
+		{Index: "flat", Streaming: true},    // streaming with default threshold
+		{Index: "imi", Streaming: true, SegmentSize: 4096, Replicas: 2},
+		{SegmentSize: math.MaxInt32}, // threshold without streaming still travels
 	}
 	for _, c := range cases {
 		roundTrip(t, "config-summary", c, appendConfigSummary, readConfigSummary)
+	}
+}
+
+func TestSegmentStatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := []vectordb.SegmentStats{
+		{}, // zero: a batch worker answering "not streaming"
+		{Streaming: true, Sealed: 12, Building: 2, Growing: 1, GrowingLen: 511,
+			SealedVectors: 49152, RawBytes: 1 << 40, IndexBytes: 1 << 38,
+			Seals: math.MaxUint64, Compactions: 7},
+	}
+	for i := 0; i < 50; i++ {
+		cases = append(cases, vectordb.SegmentStats{
+			Streaming:     rng.Intn(2) == 0,
+			Sealed:        rng.Intn(1 << 16),
+			Building:      rng.Intn(1 << 8),
+			Growing:       rng.Intn(1 << 8),
+			GrowingLen:    rng.Intn(1 << 20),
+			SealedVectors: rng.Intn(1 << 24),
+			RawBytes:      rng.Int63(),
+			IndexBytes:    rng.Int63(),
+			Seals:         rng.Uint64(),
+			Compactions:   rng.Uint64(),
+		})
+	}
+	for _, c := range cases {
+		roundTrip(t, "segment-stats", c, appendSegmentStats, readSegmentStats)
 	}
 }
 

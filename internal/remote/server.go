@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -358,6 +359,22 @@ func (s *Server) handle(op byte, body []byte) (status byte, resp []byte) {
 			return encodeError(err)
 		}
 		e.u64(g)
+
+	case opSegmentStats:
+		if err := d.finish(); err != nil {
+			return encodeError(err)
+		}
+		// A backend without the optional surface (a monolithic store, or a
+		// test fake) answers like a monolithic worker: zero stats with
+		// Streaming=false.
+		var st vectordb.SegmentStats
+		if sr, ok := s.backend.(SegmentReporter); ok {
+			var err error
+			if st, err = sr.SegmentStats(); err != nil {
+				return encodeError(err)
+			}
+		}
+		appendSegmentStats(e, st)
 
 	case opReplicaStats:
 		if err := d.finish(); err != nil {

@@ -7,6 +7,8 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/relational"
+	"repro/internal/vectordb"
 )
 
 // Wire format: every message — request or response — is one length-prefixed
@@ -42,6 +44,10 @@ const (
 	// posting statistics, calibrated effort ladder) for the coordinator's
 	// accuracy-bounded planner.
 	opPlanStats
+	// opSegmentStats fetches the shard's streaming segment breakdown
+	// (growing/building/sealed counts, bytes, maintenance totals); a
+	// monolithic worker answers with Streaming=false.
+	opSegmentStats
 )
 
 const (
@@ -52,6 +58,10 @@ const (
 	// error the coordinator must keep distinguishable (it maps to a client
 	// error, and must never burn replica or backend health).
 	statusNoTerms
+	// statusDuplicate marks a duplicate-key ingest (vectordb.ErrDuplicate
+	// or the relational store's equivalent): the serving tier maps it to
+	// 409 Conflict, so the sentinel must survive the RPC boundary.
+	statusDuplicate
 )
 
 // DefaultMaxFrame bounds one frame's payload. Snapshot segments are the
@@ -121,16 +131,25 @@ func decodeError(status byte, body []byte) error {
 	if msg == "" {
 		msg = "remote: backend error"
 	}
-	if status == statusNoTerms {
+	switch status {
+	case statusNoTerms:
 		return &wireError{msg: msg, sentinel: core.ErrNoRecognisedTerms}
+	case statusDuplicate:
+		return &wireError{msg: msg, sentinel: vectordb.ErrDuplicate}
 	}
 	return &wireError{msg: msg}
 }
 
 // encodeError picks the wire status for an application error.
 func encodeError(err error) (byte, []byte) {
-	if errors.Is(err, core.ErrNoRecognisedTerms) {
+	switch {
+	case errors.Is(err, core.ErrNoRecognisedTerms):
 		return statusNoTerms, []byte(err.Error())
+	case errors.Is(err, vectordb.ErrDuplicate), errors.Is(err, relational.ErrDuplicateKey):
+		// Both stores key on the packed patch ID; either can notice the
+		// collision first. The wire collapses them to one sentinel — the
+		// serving tier only needs "this is a duplicate, answer 409".
+		return statusDuplicate, []byte(err.Error())
 	}
 	return statusErr, []byte(err.Error())
 }

@@ -134,6 +134,7 @@ var errorKinds = []string{"validation", "not_ready", "backend_down", "internal"}
 type serverMetrics struct {
 	queries      atomic.Uint64 // /query requests answered (cache hits included)
 	batchQueries atomic.Uint64 // individual queries served via /query/batch
+	ingests      atomic.Uint64 // videos accepted via /ingest
 	errors       atomic.Uint64 // requests rejected or failed
 	latency      *histogram    // per-query serve latency (cache hits included)
 

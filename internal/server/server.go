@@ -6,6 +6,7 @@
 //
 //	POST /query          {"query": "...", "options": {...}} -> ranked objects
 //	POST /query/batch    {"queries": [...], "options": {...}} -> per-query results
+//	POST /ingest         one video.Video as JSON -> live ingest (streaming fleets)
 //	GET  /stats          ingest, cache, replica and latency statistics as JSON
 //	GET  /healthz        liveness (always 200 once listening; reports built)
 //	GET  /metrics        Prometheus text-format counters and latency histograms
@@ -39,7 +40,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/relational"
 	"repro/internal/shard"
+	"repro/internal/vectordb"
+	"repro/internal/video"
 )
 
 // Backend answers queries for the server: both *core.System and
@@ -79,6 +83,22 @@ type ReplicaReporter interface {
 // /healthz to "degraded" without waiting for a query to trip over it.
 type BackendReporter interface {
 	BackendStats() []shard.BackendStat
+}
+
+// Ingester is the optional backend surface of a live-ingest deployment
+// (*core.System and *shard.Engine both satisfy it); when present, POST
+// /ingest accepts footage while the server keeps answering queries.
+type Ingester interface {
+	Ingest(v *video.Video) error
+}
+
+// SegmentReporter is the optional backend surface of a streaming deployment
+// (*core.System and *shard.Engine both satisfy it); when the reported stats
+// carry Streaming=true, /stats and /metrics surface the segment breakdown —
+// growing/building/sealed counts and the seal/compaction totals that show
+// background maintenance making progress.
+type SegmentReporter interface {
+	SegmentStats() (vectordb.SegmentStats, bool)
 }
 
 // Config tunes the serving tier.
@@ -133,6 +153,7 @@ func New(backend Backend, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/batch", s.handleBatch)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -570,6 +591,79 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponse{Results: out})
 }
 
+// IngestResponse is the POST /ingest answer: what was accepted, and the
+// generation the mutation advanced the backend to — the stamp that
+// invalidates every cached answer computed before this video landed.
+type IngestResponse struct {
+	VideoID   int    `json:"video_id"`
+	Frames    int    `json:"frames"`
+	IngestGen uint64 `json:"ingest_gen"`
+}
+
+// maxIngestFrames bounds one live-ingest video. A million frames is hours
+// of footage in one request body — past it the payload is abuse, not video.
+const maxIngestFrames = 1 << 20
+
+// handleIngest is the live-ingest serving path: one video.Video as JSON,
+// routed to the owning shard (which fans it out to its replicas). The
+// ingest generation moving invalidates stale cache entries on their next
+// lookup, so queries racing the ingest never see a mix of old and new
+// corpus in one answer.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	ing, ok := s.backend.(Ingester)
+	if !ok {
+		s.fail(w, http.StatusNotImplemented, "backend does not accept live ingest")
+		return
+	}
+	var v video.Video
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	switch {
+	case v.ID < 0 || v.ID > core.MaxVideoID:
+		s.fail(w, http.StatusBadRequest, "video id must lie in [0, %d], got %d", core.MaxVideoID, v.ID)
+		return
+	case len(v.Frames) == 0:
+		s.fail(w, http.StatusBadRequest, "video %d has no frames", v.ID)
+		return
+	case len(v.Frames) > maxIngestFrames:
+		s.fail(w, http.StatusBadRequest, "video %d has %d frames, limit %d per request", v.ID, len(v.Frames), maxIngestFrames)
+		return
+	}
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		if f.Index < 0 || f.Index > core.MaxFrameIdx {
+			s.fail(w, http.StatusBadRequest, "frame %d: index %d outside [0, %d]", i, f.Index, core.MaxFrameIdx)
+			return
+		}
+		if f.VideoID != v.ID {
+			s.fail(w, http.StatusBadRequest, "frame %d: video_id %d != video id %d", i, f.VideoID, v.ID)
+			return
+		}
+	}
+	if err := ing.Ingest(&v); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vectordb.ErrDuplicate) || errors.Is(err, relational.ErrDuplicateKey) {
+			// The patch IDs collided: this video (or one reusing its ID) is
+			// already in the corpus. Either store can notice first — the
+			// relational patch table and the vector collection share the key.
+			status = http.StatusConflict
+		}
+		s.fail(w, status, "ingest: %v", err)
+		return
+	}
+	s.metrics.ingests.Add(1)
+	writeJSON(w, http.StatusOK, IngestResponse{
+		VideoID:   v.ID,
+		Frames:    len(v.Frames),
+		IngestGen: s.backend.IngestGen(),
+	})
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Ingest   core.IngestStats `json:"ingest"`
@@ -582,12 +676,16 @@ type StatsResponse struct {
 	ReplicaGroups [][]shard.ReplicaStat `json:"replica_groups,omitempty"`
 	// Backends reports per-shard backend kind, address and health when the
 	// backend is a distributed engine.
-	Backends     []shard.BackendStat `json:"backends,omitempty"`
-	IngestGen    uint64              `json:"ingest_gen"`
-	Cache        CacheStats          `json:"cache"`
-	QueriesTotal uint64              `json:"queries_total"`
-	BatchTotal   uint64              `json:"batch_queries_total"`
-	ErrorsTotal  uint64              `json:"errors_total"`
+	Backends []shard.BackendStat `json:"backends,omitempty"`
+	// Segments reports the streaming segment breakdown (summed across
+	// shards) when the backend streams; absent for monolithic batch
+	// deployments.
+	Segments     *SegmentStatsJSON `json:"segments,omitempty"`
+	IngestGen    uint64            `json:"ingest_gen"`
+	Cache        CacheStats        `json:"cache"`
+	QueriesTotal uint64            `json:"queries_total"`
+	BatchTotal   uint64            `json:"batch_queries_total"`
+	ErrorsTotal  uint64            `json:"errors_total"`
 	// Plans counts resolved plans by kind ("fixed", "pinned", "adaptive",
 	// "adaptive-exact") across /query and /query/batch.
 	Plans map[string]uint64 `json:"plans,omitempty"`
@@ -601,6 +699,45 @@ type StatsResponse struct {
 	// is provenance for perf triage, not a correctness knob.
 	KernelTier    string  `json:"kernel_tier"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// SegmentStatsJSON is the streaming segment breakdown on the wire.
+type SegmentStatsJSON struct {
+	Sealed        int    `json:"sealed"`
+	Building      int    `json:"building"`
+	Growing       int    `json:"growing"`
+	GrowingLen    int    `json:"growing_len"`
+	SealedVectors int    `json:"sealed_vectors"`
+	RawBytes      int64  `json:"raw_bytes"`
+	IndexBytes    int64  `json:"index_bytes"`
+	Seals         uint64 `json:"seals_total"`
+	Compactions   uint64 `json:"compactions_total"`
+	IngestsTotal  uint64 `json:"ingests_total"`
+}
+
+// segmentStats fetches the backend's streaming segment breakdown; nil for
+// monolithic backends (or ones without the optional surface).
+func (s *Server) segmentStats() *SegmentStatsJSON {
+	sr, ok := s.backend.(SegmentReporter)
+	if !ok {
+		return nil
+	}
+	st, ok := sr.SegmentStats()
+	if !ok || !st.Streaming {
+		return nil
+	}
+	return &SegmentStatsJSON{
+		Sealed:        st.Sealed,
+		Building:      st.Building,
+		Growing:       st.Growing,
+		GrowingLen:    st.GrowingLen,
+		SealedVectors: st.SealedVectors,
+		RawBytes:      st.RawBytes,
+		IndexBytes:    st.IndexBytes,
+		Seals:         st.Seals,
+		Compactions:   st.Compactions,
+		IngestsTotal:  s.metrics.ingests.Load(),
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -629,6 +766,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Replicas:           replicas,
 		ReplicaGroups:      groups,
 		Backends:           backends,
+		Segments:           s.segmentStats(),
 		IngestGen:          s.backend.IngestGen(),
 		Cache:              s.cache.stats(),
 		QueriesTotal:       s.metrics.queries.Load(),
@@ -680,6 +818,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.stats()
 	counter(w, "lovod_queries_total", s.metrics.queries.Load())
 	counter(w, "lovod_batch_queries_total", s.metrics.batchQueries.Load())
+	counter(w, "lovod_ingest_total", s.metrics.ingests.Load())
 	counter(w, "lovod_errors_total", s.metrics.errors.Load())
 	s.metrics.writeErrorMetrics(w)
 	counter(w, "lovod_cache_hits_total", cs.Hits)
@@ -698,6 +837,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if bb, ok := s.backend.(BackendReporter); ok {
 		writeBackendMetrics(w, bb.BackendStats())
+	}
+	if seg := s.segmentStats(); seg != nil {
+		writeSegmentMetrics(w, seg)
 	}
 	s.metrics.latency.writeProm(w, "lovod_query_latency_seconds")
 	s.metrics.writeStageMetrics(w, "lovod_stage_seconds")
@@ -722,6 +864,20 @@ func writeReplicaMetrics(w io.Writer, groups [][]shard.ReplicaStat) {
 			fmt.Fprintf(w, "lovod_replica_reads_total{group=\"%d\",replica=\"%d\"} %d\n", gi, ri, st.Reads)
 		}
 	}
+}
+
+// writeSegmentMetrics renders the streaming segment breakdown: a per-state
+// segment gauge plus the maintenance counters that show background seals
+// and compactions making progress.
+func writeSegmentMetrics(w io.Writer, seg *SegmentStatsJSON) {
+	fmt.Fprintf(w, "# TYPE lovod_segments gauge\n")
+	fmt.Fprintf(w, "lovod_segments{state=\"sealed\"} %d\n", seg.Sealed)
+	fmt.Fprintf(w, "lovod_segments{state=\"building\"} %d\n", seg.Building)
+	fmt.Fprintf(w, "lovod_segments{state=\"growing\"} %d\n", seg.Growing)
+	gauge(w, "lovod_segment_growing_vectors", float64(seg.GrowingLen))
+	gauge(w, "lovod_segment_sealed_vectors", float64(seg.SealedVectors))
+	counter(w, "lovod_seals_total", seg.Seals)
+	counter(w, "lovod_compactions_total", seg.Compactions)
 }
 
 // writeBackendMetrics renders per-shard backend health with shard/kind

@@ -42,6 +42,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/obs"
 	"repro/internal/remote"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -517,6 +518,44 @@ func (e *Engine) Entities() int {
 		n += c
 	}
 	return n
+}
+
+// SegmentStats aggregates the streaming segment breakdown across reachable
+// shards (one replica per shard — replicas converge to identical segment
+// structures). The second return is false when no shard reported streaming
+// stats: a monolithic fleet, or every streaming worker unreachable.
+// Counter and byte fields sum across shards; Sealed/Building/GrowingLen
+// therefore report fleet-wide totals.
+func (e *Engine) SegmentStats() (vectordb.SegmentStats, bool) {
+	stats := make([]vectordb.SegmentStats, len(e.backends))
+	core.ParallelFor(len(e.backends), len(e.backends), func(i int) {
+		sr, ok := e.backends[i].(remote.SegmentReporter)
+		if !ok {
+			return
+		}
+		st, err := sr.SegmentStats()
+		if err != nil {
+			return
+		}
+		stats[i] = st
+	})
+	var agg vectordb.SegmentStats
+	for _, st := range stats {
+		if !st.Streaming {
+			continue
+		}
+		agg.Streaming = true
+		agg.Sealed += st.Sealed
+		agg.Building += st.Building
+		agg.Growing += st.Growing
+		agg.GrowingLen += st.GrowingLen
+		agg.SealedVectors += st.SealedVectors
+		agg.RawBytes += st.RawBytes
+		agg.IndexBytes += st.IndexBytes
+		agg.Seals += st.Seals
+		agg.Compactions += st.Compactions
+	}
+	return agg, agg.Streaming
 }
 
 // Built reports whether every shard has built its index. An unreachable or

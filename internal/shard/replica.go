@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/remote"
+	"repro/internal/vectordb"
 	"repro/internal/video"
 )
 
@@ -390,6 +391,18 @@ func (l *Local) ReplicaStats() ([]ReplicaStat, error) {
 // ConfigSummary digests the shard's resolved configuration.
 func (l *Local) ConfigSummary() (remote.ConfigSummary, error) {
 	return remote.Summarize(l.Config(), len(l.replicas)), nil
+}
+
+// SegmentStats reports the primary replica's streaming segment breakdown
+// (replicas converge to identical segment structures, so the primary speaks
+// for the group); Streaming=false in monolithic mode. Implements
+// remote.SegmentReporter.
+func (l *Local) SegmentStats() (vectordb.SegmentStats, error) {
+	st, ok := l.replicas[0].SegmentStats()
+	if !ok {
+		return vectordb.SegmentStats{}, nil
+	}
+	return st, nil
 }
 
 // SaveSnapshot serialises one replica's full system state (the primary

@@ -122,6 +122,239 @@ func (c *Collection) save(w io.Writer) error {
 	return nil
 }
 
+// Segmented snapshot format: the same little-endian stream model, one
+// record per frozen segment so a streaming collection restores with its
+// segment structure — and therefore its identity-derived index seeds —
+// intact.
+//
+//	magic "LOVOSG1\n"
+//	uint16 name length, name bytes
+//	uint32 dim, uint8 normalize
+//	uint16 index-kind length, kind bytes
+//	index options: 6×int64 (NList, P, M, M0, EfConstruction, Seed) + uint8 KeepRaw
+//	int64 sealThreshold, int64 compactFanIn, int64 seq
+//	uint32 frozen-segment count (ascending identity order)
+//	per segment: int64 lo, int64 hi, uint64 count, per vector: int64 id, dim×float32
+//	uint64 growing count, per vector: int64 id, dim×float32
+//
+// Indexes are rebuilt on load from each segment's [lo, hi] identity seed —
+// the segment-load-then-index recovery model — so a restored replica
+// serves byte-identical approximate answers to the one that saved.
+const segMagic = "LOVOSG1\n"
+
+// Save writes a snapshot of the segmented collection. Safe to call
+// mid-stream: segments whose background index build is still pending are
+// persisted like sealed ones (the load path rebuilds every frozen
+// segment's index anyway). Inserts and seals are blocked for the duration
+// of the write.
+func (s *SegmentedCollection) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := writeString(bw, s.name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(s.schema.Dim)); err != nil {
+		return err
+	}
+	norm := uint8(0)
+	if s.schema.Normalize {
+		norm = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, norm); err != nil {
+		return err
+	}
+	if err := writeString(bw, string(s.kind)); err != nil {
+		return err
+	}
+	opts := []int64{
+		int64(s.opts.NList), int64(s.opts.P), int64(s.opts.M),
+		int64(s.opts.M0), int64(s.opts.EfConstruction), int64(s.opts.Seed),
+	}
+	for _, o := range opts {
+		if err := binary.Write(bw, binary.LittleEndian, o); err != nil {
+			return err
+		}
+	}
+	keep := uint8(0)
+	if s.opts.KeepRaw {
+		keep = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, keep); err != nil {
+		return err
+	}
+	for _, v := range []int64{int64(s.sealThreshold), int64(s.compactFanIn), int64(s.seq)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	frozen := make([]*segment, 0, len(s.sealed)+len(s.building))
+	frozen = append(frozen, s.sealed...)
+	frozen = append(frozen, s.building...)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(frozen))); err != nil {
+		return err
+	}
+	for _, seg := range frozen {
+		for _, v := range []int64{int64(seg.lo), int64(seg.hi)} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := saveVectors(bw, seg.col); err != nil {
+			return fmt.Errorf("vectordb: saving segment %q: %w", seg.col.name, err)
+		}
+	}
+	if err := saveVectors(bw, s.growing); err != nil {
+		return fmt.Errorf("vectordb: saving growing segment: %w", err)
+	}
+	return bw.Flush()
+}
+
+// saveVectors writes one segment's (count, id+vector…) record.
+func (c *Collection) saveVectorsLocked(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(c.ids))); err != nil {
+		return err
+	}
+	for i, id := range c.ids {
+		if err := binary.Write(w, binary.LittleEndian, id); err != nil {
+			return err
+		}
+		for _, f := range c.vector(i) {
+			if err := binary.Write(w, binary.LittleEndian, math.Float32bits(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func saveVectors(w io.Writer, c *Collection) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.saveVectorsLocked(w)
+}
+
+// loadVectors reads one segment's record into col, bypassing normalisation
+// (vectors were normalised before the save).
+func loadVectors(r io.Reader, col *Collection, dim int) error {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	vec := make([]float32, dim)
+	for vi := uint64(0); vi < n; vi++ {
+		var id int64
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return err
+		}
+		for d := range vec {
+			var bits uint32
+			if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			vec[d] = math.Float32frombits(bits)
+		}
+		col.byID[id] = len(col.ids)
+		col.ids = append(col.ids, id)
+		col.data = append(col.data, vec...)
+	}
+	return nil
+}
+
+// LoadSegmented reads a segmented snapshot and rebuilds every frozen
+// segment's index synchronously from its identity-derived seed, restoring
+// byte-identical approximate answers.
+func LoadSegmented(r io.Reader) (*SegmentedCollection, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("vectordb: reading segmented magic: %w", err)
+	}
+	if string(head) != segMagic {
+		return nil, fmt.Errorf("vectordb: bad segmented magic %q", head)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var dim uint32
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	var norm uint8
+	if err := binary.Read(br, binary.LittleEndian, &norm); err != nil {
+		return nil, err
+	}
+	kind, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]int64, 6)
+	for i := range raw {
+		if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
+			return nil, err
+		}
+	}
+	var keep uint8
+	if err := binary.Read(br, binary.LittleEndian, &keep); err != nil {
+		return nil, err
+	}
+	opts := IndexOptions{
+		NList: int(raw[0]), P: int(raw[1]), M: int(raw[2]),
+		M0: int(raw[3]), EfConstruction: int(raw[4]), Seed: uint64(raw[5]),
+		KeepRaw: keep == 1,
+	}
+	meta := make([]int64, 3)
+	for i := range meta {
+		if err := binary.Read(br, binary.LittleEndian, &meta[i]); err != nil {
+			return nil, err
+		}
+	}
+	s, err := NewSegmented(name, Schema{Dim: int(dim), Normalize: norm == 1}, IndexKind(kind), opts, int(meta[0]))
+	if err != nil {
+		return nil, err
+	}
+	s.compactFanIn = int(meta[1])
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	for si := uint32(0); si < count; si++ {
+		lohi := make([]int64, 2)
+		for i := range lohi {
+			if err := binary.Read(br, binary.LittleEndian, &lohi[i]); err != nil {
+				return nil, err
+			}
+		}
+		lo, hi := int(lohi[0]), int(lohi[1])
+		colName := fmt.Sprintf("%s/seg-%d", name, lo)
+		if hi != lo {
+			colName = fmt.Sprintf("%s/seg-%d-%d", name, lo, hi)
+		}
+		col := &Collection{name: colName, schema: s.schema, byID: make(map[int64]int)}
+		if err := loadVectors(br, col, int(dim)); err != nil {
+			return nil, err
+		}
+		segOpts := opts
+		segOpts.Seed = segSeed(opts.Seed, lo, hi)
+		if err := col.BuildIndex(s.kind, segOpts); err != nil {
+			return nil, fmt.Errorf("vectordb: rebuilding segment [%d,%d] index: %w", lo, hi, err)
+		}
+		s.sealed = append(s.sealed, &segment{col: col, lo: lo, hi: hi})
+	}
+	if err := loadVectors(br, s.growing, int(dim)); err != nil {
+		return nil, err
+	}
+	// Restore the seal sequence last: the growing segment NewSegmented
+	// created consumed seq 1, but the saver's counter wins.
+	s.seq = int(meta[2])
+	s.growing.name = fmt.Sprintf("%s/seg-%d", name, s.seq)
+	return s, nil
+}
+
 // Load reads a snapshot and rebuilds indexes.
 func Load(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)

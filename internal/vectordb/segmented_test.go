@@ -153,9 +153,19 @@ func TestSegmentedStats(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		_ = s.Insert(int64(i+1), unit(uint64(i)))
 	}
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
 	st := s.Stats()
 	if st.Count != 150 || st.RawBytes <= 0 || st.IndexBytes <= 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+	seg := s.SegmentStats()
+	if !seg.Streaming || seg.Sealed != 1 || seg.Building != 0 || seg.GrowingLen != 50 {
+		t.Fatalf("segment stats = %+v", seg)
+	}
+	if seg.SealedVectors != 100 || seg.Seals != 1 || seg.IndexBytes <= 0 {
+		t.Fatalf("segment stats = %+v", seg)
 	}
 }
 
@@ -205,11 +215,14 @@ func TestSegmentedNoFullRebuild(t *testing.T) {
 	if sealedBefore != 1 {
 		t.Fatalf("expected 1 sealed segment, got %d", sealedBefore)
 	}
-	firstSeg := s.sealed[0]
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := s.sealed[0].col
 	for i := 100; i < 150; i++ {
 		_ = s.Insert(int64(i+1), unit(uint64(i)))
 	}
-	if s.sealed[0] != firstSeg {
+	if s.sealed[0].col != firstSeg {
 		t.Fatal("sealed segment was rebuilt by later inserts")
 	}
 }

@@ -239,53 +239,78 @@ func (c *Collection) Vector(id int64) (mat.Vec, error) {
 	return mat.Clone(c.vector(i)), nil
 }
 
-// BuildIndex constructs (or replaces) the collection's index.
-func (c *Collection) BuildIndex(kind IndexKind, opts IndexOptions) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.ids) == 0 {
-		return ErrEmptyBuild
+// constructIndex builds an index over aligned ids and row-major data
+// without touching any lock — the shared core of BuildIndex and
+// BuildIndexSealed.
+func constructIndex(dim int, ids []int64, data []float32, kind IndexKind, opts IndexOptions) (ann.Index, error) {
+	if len(ids) == 0 {
+		return nil, ErrEmptyBuild
 	}
-	vecs := make([]mat.Vec, len(c.ids))
-	for i := range c.ids {
-		vecs[i] = c.vector(i)
+	vecs := make([]mat.Vec, len(ids))
+	for i := range ids {
+		vecs[i] = data[i*dim : (i+1)*dim]
 	}
-	var (
-		ix  ann.Index
-		err error
-	)
 	switch kind {
 	case IndexFlat:
-		fl := flat.New(c.schema.Dim)
-		for i, id := range c.ids {
+		fl := flat.New(dim)
+		for i, id := range ids {
 			if err := fl.Add(id, vecs[i]); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		ix = fl
+		return fl, nil
 	case IndexIVFPQ:
-		ix, err = ivfpq.Build(c.ids, vecs, ivfpq.Config{
+		return ivfpq.Build(ids, vecs, ivfpq.Config{
 			NList: opts.NList, P: opts.P, M: opts.M, KeepRaw: opts.KeepRaw, Seed: opts.Seed,
 		})
 	case IndexIMI:
-		ix, err = imi.Build(c.ids, vecs, imi.Config{
+		return imi.Build(ids, vecs, imi.Config{
 			P: opts.P, M: opts.M, KeepRaw: opts.KeepRaw, Seed: opts.Seed,
 		})
 	case IndexHNSW:
-		hn := hnsw.New(c.schema.Dim, hnsw.Config{M: opts.M0, EfConstruction: opts.EfConstruction, Seed: opts.Seed})
-		for i, id := range c.ids {
+		hn := hnsw.New(dim, hnsw.Config{M: opts.M0, EfConstruction: opts.EfConstruction, Seed: opts.Seed})
+		for i, id := range ids {
 			if err := hn.Add(id, vecs[i]); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		ix = hn
+		return hn, nil
 	default:
-		return fmt.Errorf("vectordb: unknown index kind %q", kind)
+		return nil, fmt.Errorf("vectordb: unknown index kind %q", kind)
 	}
+}
+
+// BuildIndex constructs (or replaces) the collection's index. The
+// collection is write-locked for the whole build; concurrent searches
+// block until the index is installed.
+func (c *Collection) BuildIndex(kind IndexKind, opts IndexOptions) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ix, err := constructIndex(c.schema.Dim, c.ids, c.data, kind, opts)
 	if err != nil {
 		return err
 	}
 	c.index, c.kind, c.options = ix, kind, opts
+	return nil
+}
+
+// BuildIndexSealed constructs the index off-lock: the vector set is
+// snapshotted under a brief read lock, the index is built with no lock
+// held (searches keep answering from the exact-scan fallback throughout),
+// and the finished index is installed under a brief write lock. The caller
+// must guarantee no concurrent Insert — the contract a sealed, immutable
+// segment satisfies by construction.
+func (c *Collection) BuildIndexSealed(kind IndexKind, opts IndexOptions) error {
+	c.mu.RLock()
+	ids, data := c.ids, c.data
+	c.mu.RUnlock()
+	ix, err := constructIndex(c.schema.Dim, ids, data, kind, opts)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.index, c.kind, c.options = ix, kind, opts
+	c.mu.Unlock()
 	return nil
 }
 
